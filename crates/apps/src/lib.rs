@@ -1,0 +1,40 @@
+//! The five HPAC-ML evaluation benchmarks (paper Table I), implemented from
+//! their published algorithms and annotated with HPAC-ML directives.
+//!
+//! | Benchmark | Origin | QoI | Metric |
+//! |---|---|---|---|
+//! | MiniBUDE | Bristol BUDE mini-app | per-pose binding energy | MAPE |
+//! | Binomial Options | CUDA finance sample | option prices | RMSE |
+//! | Bonds | GPU quant-finance suite | accrued interest | RMSE |
+//! | MiniWeather | Norman's miniWeather | atmospheric state | RMSE |
+//! | ParticleFilter | Rodinia | tracked object location | RMSE |
+//!
+//! Every benchmark implements [`Benchmark`], the uniform interface the
+//! table/figure harness drives: generate data, run the accurate kernel,
+//! collect training data through its HPAC-ML region, train surrogates, and
+//! evaluate end-to-end speedup and QoI error.
+//!
+//! The paper runs these as CUDA kernels on A100s; here both the accurate
+//! kernels and surrogate inference run on the `hpacml-par` pool (see
+//! DESIGN.md §1 for the substitution argument).
+
+pub mod binomial;
+pub mod bonds;
+pub mod common;
+pub mod metrics;
+pub mod minibude;
+pub mod miniweather;
+pub mod particlefilter;
+
+pub use common::{AppError, AppResult, BenchConfig, Benchmark, CollectStats, EvalStats, Scale, TrainStats};
+
+/// All five benchmarks, boxed, in the paper's Table I order.
+pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(minibude::MiniBude),
+        Box::new(binomial::BinomialOptions),
+        Box::new(bonds::Bonds),
+        Box::new(miniweather::MiniWeather),
+        Box::new(particlefilter::ParticleFilter),
+    ]
+}

@@ -1,0 +1,70 @@
+//! Criterion: ablations of design choices called out in DESIGN.md —
+//! pool-parallel vs sequential kernels, strided vs contiguous gathers, and
+//! matmul layout variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpacml_tensor::ops::{matmul, matmul_transb};
+use hpacml_tensor::{Shape, Tensor, View};
+use std::hint::black_box;
+
+fn bench_pool_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_vs_sequential");
+    let n = 1 << 18;
+    let data: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+
+    group.bench_function("sequential_sum", |b| {
+        b.iter(|| black_box(data.iter().map(|x| x * x).sum::<f64>()));
+    });
+    group.bench_function("pool_parallel_sum", |b| {
+        b.iter(|| {
+            black_box(hpacml_par::parallel_reduce(
+                n,
+                8192,
+                0.0f64,
+                |r| r.map(|i| data[i] * data[i]).sum::<f64>(),
+                |a, b| a + b,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_gather_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_layouts");
+    let n = 512usize;
+    let data: Vec<f32> = (0..n * n).map(|k| k as f32).collect();
+
+    // Contiguous rows (inner stride 1 — the fast path).
+    let contiguous = View::strided(&data, 0, Shape::new([n, n]), vec![n, 1]).unwrap();
+    group.bench_function(BenchmarkId::new("contiguous", n), |b| {
+        b.iter(|| black_box(contiguous.gather()));
+    });
+
+    // Strided columns (inner stride n — the element-wise path).
+    let strided = View::strided(&data, 0, Shape::new([n, n]), vec![1, n]).unwrap();
+    group.bench_function(BenchmarkId::new("transposed", n), |b| {
+        b.iter(|| black_box(strided.gather()));
+    });
+    group.finish();
+}
+
+fn bench_matmul_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_variants");
+    let m = 256usize;
+    let a = Tensor::full([m, m], 0.5f32);
+    let b_mat = Tensor::full([m, m], 0.25f32);
+    group.bench_function("matmul_row_major", |bch| {
+        bch.iter(|| black_box(matmul(black_box(&a), black_box(&b_mat)).unwrap()));
+    });
+    group.bench_function("matmul_transb_dot", |bch| {
+        bch.iter(|| black_box(matmul_transb(black_box(&a), black_box(&b_mat)).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pool_vs_sequential, bench_gather_layouts, bench_matmul_variants
+}
+criterion_main!(benches);

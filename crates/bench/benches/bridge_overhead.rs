@@ -1,0 +1,84 @@
+//! Criterion: the cost of data-bridge layout transformations (gather /
+//! scatter through compiled tensor maps) vs a raw memcpy of the same bytes.
+//!
+//! Supports the paper's claim that "the layout transformations add
+//! negligible overhead" (§I) and the Fig. 6 breakdown.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpacml_bridge::compile;
+use hpacml_directive::parse::parse_directive;
+use hpacml_directive::sema::{analyze, Bindings};
+use hpacml_directive::Directive;
+use hpacml_tensor::Tensor;
+use std::hint::black_box;
+
+fn functor_info(src: &str) -> hpacml_directive::sema::FunctorInfo {
+    match parse_directive(src).unwrap() {
+        Directive::Functor(f) => analyze(&f).unwrap(),
+        other => panic!("{other:?}"),
+    }
+}
+
+fn map_dir(src: &str) -> hpacml_directive::ast::MapDirective {
+    match parse_directive(src).unwrap() {
+        Directive::Map(m) => m,
+        other => panic!("{other:?}"),
+    }
+}
+
+fn bench_bridge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bridge_overhead");
+    for &n in &[64usize, 256] {
+        let grid: Vec<f32> = (0..n * n).map(|k| k as f32).collect();
+        let bytes = (n * n * 4) as u64;
+        group.throughput(Throughput::Bytes(bytes));
+
+        // Raw copy baseline.
+        group.bench_with_input(BenchmarkId::new("memcpy", n), &n, |b, _| {
+            let mut dst = vec![0.0f32; n * n];
+            b.iter(|| {
+                dst.copy_from_slice(black_box(&grid));
+                black_box(&dst);
+            });
+        });
+
+        // Identity functor gather (the cheapest bridge path).
+        let info = functor_info("tensor functor(id: [i, j, 0:1] = ([i, j]))");
+        let map = map_dir("tensor map(to: id(t[0:N, 0:M]))");
+        let binds = Bindings::new().with("N", n as i64).with("M", n as i64);
+        let plan = compile(&info, &map, &[n, n], &binds).unwrap();
+        group.bench_with_input(BenchmarkId::new("gather_identity", n), &n, |b, _| {
+            b.iter(|| black_box(plan.gather(black_box(&grid)).unwrap()));
+        });
+
+        // 5-point stencil functor gather (the Fig. 2 bridge: 5x data motion).
+        let info = functor_info(
+            "tensor functor(st: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))",
+        );
+        let map = map_dir("tensor map(to: st(t[1:N-1, 1:M-1]))");
+        let plan = compile(&info, &map, &[n, n], &binds).unwrap();
+        group.bench_with_input(BenchmarkId::new("gather_stencil5", n), &n, |b, _| {
+            b.iter(|| black_box(plan.gather(black_box(&grid)).unwrap()));
+        });
+
+        // Scatter back through the identity functor.
+        let info = functor_info("tensor functor(id2: [i, j, 0:1] = ([i, j]))");
+        let map = map_dir("tensor map(from: id2(t[0:N, 0:M]))");
+        let plan = compile(&info, &map, &[n, n], &binds).unwrap();
+        let lhs = Tensor::zeros(plan.lhs_shape.clone());
+        group.bench_with_input(BenchmarkId::new("scatter_identity", n), &n, |b, _| {
+            let mut dst = vec![0.0f32; n * n];
+            b.iter(|| {
+                plan.scatter(black_box(&lhs), black_box(&mut dst)).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bridge
+}
+criterion_main!(benches);

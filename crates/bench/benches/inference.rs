@@ -1,0 +1,55 @@
+//! Criterion: inference-engine latency vs model size — the model-size axis
+//! of the paper's Figs. 7 and 8 (larger models are slower).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpacml_nn::spec::{Activation, LayerSpec, ModelSpec};
+use hpacml_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp_inference");
+    let batch = 1024usize;
+    for &width in &[32usize, 128, 512] {
+        let spec = ModelSpec::mlp(6, &[width, width / 2], 1, Activation::ReLU, 0.0);
+        let model = spec.build(1).unwrap();
+        let x = Tensor::full([batch, 6], 0.3f32);
+        group.bench_with_input(
+            BenchmarkId::new(format!("w{width}_params{}", spec.param_count()), batch),
+            &batch,
+            |b, _| {
+                b.iter(|| black_box(model.forward(black_box(&x)).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cnn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnn_inference");
+    for &(ch, k) in &[(4usize, 3usize), (8, 5)] {
+        let spec = ModelSpec::new(
+            vec![4, 24, 48],
+            vec![
+                LayerSpec::Conv2d { in_ch: 4, out_ch: ch, kernel: k, stride: 1, pad: k / 2 },
+                LayerSpec::Tanh,
+                LayerSpec::Conv2d { in_ch: ch, out_ch: 4, kernel: k, stride: 1, pad: k / 2 },
+            ],
+        );
+        let model = spec.build(2).unwrap();
+        let x = Tensor::full([1, 4, 24, 48], 0.1f32);
+        group.bench_function(
+            BenchmarkId::new("conv", format!("ch{ch}_k{k}_params{}", spec.param_count())),
+            |b| {
+                b.iter(|| black_box(model.forward(black_box(&x)).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mlp, bench_cnn
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion: the accurate-path kernels of every benchmark — the
+//! denominators of every speedup the paper reports.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpacml_apps::binomial::{price_batch, OptionBatch};
+use hpacml_apps::bonds::{bonds_kernel, BondBatch};
+use hpacml_apps::minibude::{energies, Deck, PoseBatch};
+use hpacml_apps::miniweather::Sim;
+use hpacml_apps::particlefilter::{particle_filter, Video};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accurate_kernels");
+
+    // MiniBUDE: 256 poses against a reduced deck.
+    let deck = Deck::generate(128, 12, 1);
+    let poses = PoseBatch::generate(256, 2);
+    group.throughput(Throughput::Elements(poses.n as u64));
+    group.bench_function("minibude_energies", |b| {
+        let mut out = vec![0.0f32; poses.n];
+        b.iter(|| {
+            energies(black_box(&deck), black_box(&poses), &mut out);
+            black_box(&out);
+        });
+    });
+
+    // Binomial: 256 options, 128-step trees.
+    let options = OptionBatch::generate(256, 3);
+    group.throughput(Throughput::Elements(options.n as u64));
+    group.bench_function("binomial_crr128", |b| {
+        let mut out = vec![0.0f32; options.n];
+        b.iter(|| {
+            price_batch(black_box(&options), 128, &mut out);
+            black_box(&out);
+        });
+    });
+
+    // Bonds: 256 bonds with schedule walking + yield solving.
+    let bonds = BondBatch::generate(256, 4);
+    group.throughput(Throughput::Elements(bonds.n as u64));
+    group.bench_function("bonds_analytics", |b| {
+        let mut out = vec![0.0f32; bonds.n];
+        b.iter(|| {
+            bonds_kernel(black_box(&bonds), &mut out);
+            black_box(&out);
+        });
+    });
+
+    // MiniWeather: one full timestep on a 48x24 grid.
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("miniweather_step_48x24", |b| {
+        let mut sim = Sim::new(48, 24);
+        b.iter(|| {
+            sim.step();
+            black_box(sim.steps_taken);
+        });
+    });
+
+    // ParticleFilter: 2048 particles over an 8-frame 48x48 video.
+    let video = Video::generate(8, 48, 48, 5);
+    group.bench_function("particlefilter_2048p", |b| {
+        b.iter(|| black_box(particle_filter(black_box(&video), 2048, 6)));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figure 5 — end-to-end application speedup and QoI error of HPAC-ML
+//! enhanced applications, using the best (default) surrogate per benchmark.
+//!
+//! The full pipeline per benchmark: collect training data through the
+//! annotated region, train the surrogate, deploy it via the same region and
+//! measure end-to-end speedup (accurate vs surrogate, including all layout
+//! transformations) and QoI error.
+
+use hpacml_bench::fmt_secs;
+
+fn main() {
+    let args = hpacml_bench::parse_args("fig5");
+    println!(
+        "\nFigure 5: End-to-end speedup and error of HPAC-ML enhanced applications \
+         ({:?} scale).\n",
+        args.cfg.scale
+    );
+    println!(
+        "{:<16} {:>12} {:>12} {:>9} {:>14} {:>8} {:>12}",
+        "Benchmark", "Accurate", "Surrogate", "Speedup", "Error", "Metric", "Model params"
+    );
+    println!("{}", "-".repeat(90));
+    let mut rows = Vec::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    for b in hpacml_apps::all_benchmarks() {
+        match b.pipeline(&args.cfg) {
+            Ok((_collect, train, eval)) => {
+                println!(
+                    "{:<16} {:>12} {:>12} {:>8.2}x {:>14.4} {:>8} {:>12}",
+                    b.name(),
+                    fmt_secs(eval.accurate_time),
+                    fmt_secs(eval.surrogate_time),
+                    eval.speedup,
+                    eval.qoi_error,
+                    b.qoi_metric(),
+                    train.params
+                );
+                speedups.push(eval.speedup);
+                rows.push(format!(
+                    "{},{:.6},{:.6},{:.3},{:.6},{},{}",
+                    b.name(),
+                    eval.accurate_time.as_secs_f64(),
+                    eval.surrogate_time.as_secs_f64(),
+                    eval.speedup,
+                    eval.qoi_error,
+                    b.qoi_metric(),
+                    train.params
+                ));
+            }
+            Err(e) => eprintln!("{:<16} FAILED: {e}", b.name()),
+        }
+    }
+    if !speedups.is_empty() {
+        let geo = speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
+        println!("{}", "-".repeat(90));
+        println!(
+            "Geometric-mean speedup: {:.2}x (paper: 13.0x geomean, up to 83.6x max \
+             on A100s; who-wins and ordering are the reproduced shape)",
+            geo.exp()
+        );
+    }
+    hpacml_bench::write_csv(
+        &args.results_dir,
+        "fig5.csv",
+        "benchmark,accurate_s,surrogate_s,speedup,qoi_error,metric,params",
+        &rows,
+    );
+}

@@ -1,0 +1,60 @@
+//! Figure 6 — proportion of time spent in each primary HPAC-ML runtime
+//! operation in inference mode: To-Tensor, Inference Engine, From-Tensor.
+//!
+//! Reuses the models trained by the fig5 pipeline (training them first if
+//! absent), then reads the per-phase breakdown off the region statistics.
+
+fn main() {
+    let args = hpacml_bench::parse_args("fig6");
+    println!(
+        "\nFigure 6: Proportion of time per HPAC-ML inference-mode operation \
+         ({:?} scale).\n",
+        args.cfg.scale
+    );
+    println!(
+        "{:<16} {:>12} {:>18} {:>13} {:>18}",
+        "Benchmark", "To Tensor", "Inference Engine", "From Tensor", "Bridge/Engine"
+    );
+    println!("{}", "-".repeat(82));
+    let mut rows = Vec::new();
+    for b in hpacml_apps::all_benchmarks() {
+        let model_path = args.cfg.model_path(b.name());
+        let eval = if model_path.exists() {
+            b.evaluate(&args.cfg, &model_path)
+        } else {
+            b.pipeline(&args.cfg).map(|(_, _, e)| e)
+        };
+        match eval {
+            Ok(eval) => {
+                let (to, inf, from) = eval.region.breakdown();
+                println!(
+                    "{:<16} {:>11.2}% {:>17.2}% {:>12.2}% {:>17.3}%",
+                    b.name(),
+                    to * 100.0,
+                    inf * 100.0,
+                    from * 100.0,
+                    eval.region.bridge_overhead_ratio() * 100.0
+                );
+                rows.push(format!(
+                    "{},{:.5},{:.5},{:.5},{:.5}",
+                    b.name(),
+                    to,
+                    inf,
+                    from,
+                    eval.region.bridge_overhead_ratio()
+                ));
+            }
+            Err(e) => eprintln!("{:<16} FAILED: {e}", b.name()),
+        }
+    }
+    println!(
+        "\nPaper's claim: layout transformation overhead is 0.01%-8% of the \
+         inference-engine latency."
+    );
+    hpacml_bench::write_csv(
+        &args.results_dir,
+        "fig6.csv",
+        "benchmark,to_tensor_frac,inference_frac,from_tensor_frac,bridge_over_engine",
+        &rows,
+    );
+}

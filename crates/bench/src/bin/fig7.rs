@@ -1,0 +1,76 @@
+//! Figure 7 — ParticleFilter: RMSE vs end-to-end speedup for the models
+//! found by the nested BO campaign, colored (here: tabulated) by relative
+//! model size. The "original approximation" line is the particle filter's
+//! own RMSE.
+//!
+//! Reproduces the paper's Observation 1: surrogate models that are both
+//! faster and more accurate than the original algorithmic approximation.
+
+use hpacml_apps::particlefilter::ParticleFilter;
+use hpacml_bench::{nested_budget, run_campaign};
+
+fn main() {
+    let args = hpacml_bench::parse_args("fig7");
+    let bench = ParticleFilter;
+    println!(
+        "\nFigure 7: ParticleFilter RMSE vs speedup scatter ({:?} scale).\n",
+        args.cfg.scale
+    );
+
+    let original_rmse = bench.original_approximation_rmse(&args.cfg);
+    println!("Original particle-filter approximation RMSE: {original_rmse:.3} (the vertical line)\n");
+
+    let nested = nested_budget(args.cfg.scale, args.cfg.seed);
+    let points = match run_campaign(&bench, &args.cfg, &nested) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let min_params =
+        points.iter().map(|p| p.params).min().unwrap_or(1).max(1) as f64;
+    println!(
+        "{:>10} {:>9} {:>12} {:>10} {:>10}",
+        "RMSE", "Speedup", "Params", "RelSize", "ValLoss"
+    );
+    println!("{}", "-".repeat(56));
+    let mut rows = Vec::new();
+    let mut shown = points.clone();
+    shown.sort_by(|a, b| a.qoi_error.total_cmp(&b.qoi_error));
+    for p in &shown {
+        println!(
+            "{:>10.3} {:>8.2}x {:>12} {:>10.1} {:>10.4}",
+            p.qoi_error,
+            p.speedup,
+            p.params,
+            p.params as f64 / min_params,
+            p.val_loss
+        );
+        rows.push(format!(
+            "{:.5},{:.4},{},{:.2},{:.6}",
+            p.qoi_error,
+            p.speedup,
+            p.params,
+            p.params as f64 / min_params,
+            p.val_loss
+        ));
+    }
+
+    let better: Vec<_> = points.iter().filter(|p| p.qoi_error < original_rmse).collect();
+    println!("{}", "-".repeat(56));
+    println!(
+        "{} of {} models beat the original approximation's RMSE ({original_rmse:.3}); \
+         paper: surrogates reach RMSE 0.12 vs the PF's 0.5, at 8.67-9.60x end-to-end speedup.",
+        better.len(),
+        points.len()
+    );
+    rows.push(format!("# original_pf_rmse,{original_rmse:.5},,,"));
+    hpacml_bench::write_csv(
+        &args.results_dir,
+        "fig7.csv",
+        "rmse,speedup,params,rel_size,val_loss",
+        &rows,
+    );
+}

@@ -1,0 +1,80 @@
+//! Figure 8 — speedup vs accuracy scatter for MiniBUDE (a), Binomial
+//! Options (b) and Bonds (c), colored (tabulated) by relative model size.
+//!
+//! Reproduces the paper's Observations 2 and 3: larger models are usually
+//! slower and more accurate (MiniBUDE, Binomial), but not always (Bonds,
+//! where overfitting can invert the trend).
+
+use hpacml_bench::{nested_budget, run_campaign};
+
+fn main() {
+    let args = hpacml_bench::parse_args("fig8");
+    println!(
+        "\nFigure 8: Speedup vs accuracy per model, three benchmarks ({:?} scale).\n",
+        args.cfg.scale
+    );
+
+    let mut rows = Vec::new();
+    for b in hpacml_apps::all_benchmarks() {
+        if !matches!(b.name(), "minibude" | "binomial" | "bonds") {
+            continue;
+        }
+        println!("--- {} (error metric: {}) ---", b.name(), b.qoi_metric());
+        let nested = nested_budget(args.cfg.scale, args.cfg.seed);
+        let points = match run_campaign(b.as_ref(), &args.cfg, &nested) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("campaign for {} failed: {e}", b.name());
+                continue;
+            }
+        };
+        let min_params = points.iter().map(|p| p.params).min().unwrap_or(1).max(1) as f64;
+        println!(
+            "{:>12} {:>9} {:>12} {:>10}",
+            b.qoi_metric(),
+            "Speedup",
+            "Params",
+            "RelSize"
+        );
+        let mut shown = points.clone();
+        shown.sort_by(|a, b| a.qoi_error.total_cmp(&b.qoi_error));
+        for p in &shown {
+            println!(
+                "{:>12.4} {:>8.2}x {:>12} {:>10.1}",
+                p.qoi_error,
+                p.speedup,
+                p.params,
+                p.params as f64 / min_params
+            );
+            rows.push(format!(
+                "{},{:.6},{:.4},{},{:.2}",
+                b.name(),
+                p.qoi_error,
+                p.speedup,
+                p.params,
+                p.params as f64 / min_params
+            ));
+        }
+        // The paper's trade-off statement: fastest vs most accurate model.
+        if let (Some(fastest), Some(most_acc)) = (
+            points.iter().max_by(|a, b| a.speedup.total_cmp(&b.speedup)),
+            points.iter().min_by(|a, b| a.qoi_error.total_cmp(&b.qoi_error)),
+        ) {
+            println!(
+                "  fastest: {:.2}x at error {:.4} ({} params); most accurate: {:.2}x at error {:.4} ({} params)\n",
+                fastest.speedup,
+                fastest.qoi_error,
+                fastest.params,
+                most_acc.speedup,
+                most_acc.qoi_error,
+                most_acc.params
+            );
+        }
+    }
+    hpacml_bench::write_csv(
+        &args.results_dir,
+        "fig8.csv",
+        "benchmark,qoi_error,speedup,params,rel_size",
+        &rows,
+    );
+}

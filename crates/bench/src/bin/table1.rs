@@ -1,0 +1,15 @@
+//! Table I — the benchmarks used to evaluate HPAC-ML: description, QoI and
+//! error metric per benchmark, generated from the implementations.
+
+fn main() {
+    let args = hpacml_bench::parse_args("table1");
+    println!("\nTable I: The benchmarks used to evaluate HPAC-ML.\n");
+    println!("{:<16} {:<8} {}", "Benchmark", "Metric", "Description");
+    println!("{}", "-".repeat(100));
+    let mut rows = Vec::new();
+    for b in hpacml_apps::all_benchmarks() {
+        println!("{:<16} {:<8} {}", b.name(), b.qoi_metric(), b.description());
+        rows.push(format!("{},{},\"{}\"", b.name(), b.qoi_metric(), b.description()));
+    }
+    hpacml_bench::write_csv(&args.results_dir, "table1.csv", "benchmark,metric,description", &rows);
+}

@@ -1,0 +1,53 @@
+//! Table III — data-collection overhead: original runtime, runtime with
+//! data collection enabled, and collected data size, per benchmark.
+
+use hpacml_bench::fmt_secs;
+
+fn main() {
+    let args = hpacml_bench::parse_args("table3");
+    println!("\nTable III: Data collection overhead ({:?} scale).\n", args.cfg.scale);
+    println!(
+        "{:<16} {:>16} {:>22} {:>12} {:>16} {:>8}",
+        "Benchmark", "Original Runtime", "With Data Collection", "Overhead", "Data Size (MB)", "Rows"
+    );
+    println!("{}", "-".repeat(96));
+    let mut rows = Vec::new();
+    for b in hpacml_apps::all_benchmarks() {
+        match b.collect(&args.cfg) {
+            Ok(stats) => {
+                let overhead =
+                    stats.collect_runtime.as_secs_f64() / stats.plain_runtime.as_secs_f64().max(1e-12);
+                let mb = stats.db_bytes as f64 / 1e6;
+                println!(
+                    "{:<16} {:>16} {:>22} {:>11.2}x {:>16.2} {:>8}",
+                    b.name(),
+                    fmt_secs(stats.plain_runtime),
+                    fmt_secs(stats.collect_runtime),
+                    overhead,
+                    mb,
+                    stats.rows
+                );
+                rows.push(format!(
+                    "{},{:.6},{:.6},{:.3},{:.3},{}",
+                    b.name(),
+                    stats.plain_runtime.as_secs_f64(),
+                    stats.collect_runtime.as_secs_f64(),
+                    overhead,
+                    mb,
+                    stats.rows
+                ));
+            }
+            Err(e) => eprintln!("{:<16} FAILED: {e}", b.name()),
+        }
+    }
+    println!(
+        "\nPaper's shape: overhead between 1.01x and 44.6x; iterative stencil apps \
+         (MiniWeather) pay the most, batch apps the least."
+    );
+    hpacml_bench::write_csv(
+        &args.results_dir,
+        "table3.csv",
+        "benchmark,original_s,with_collection_s,overhead_x,data_mb,rows",
+        &rows,
+    );
+}

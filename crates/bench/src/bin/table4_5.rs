@@ -1,0 +1,40 @@
+//! Tables IV & V — the neural-architecture search spaces per benchmark and
+//! the BO hyperparameter-tuning space, printed from the live definitions in
+//! `hpacml-search::spaces`.
+
+use hpacml_search::spaces;
+use hpacml_search::{Param, Space};
+
+fn print_space(name: &str, space: &Space, rows: &mut Vec<String>) {
+    println!("{name}:");
+    for p in space.params() {
+        let desc = match p {
+            Param::Float { name, lo, hi, log } => {
+                format!("{name}: [{lo}, {hi}]{}", if *log { " (log)" } else { "" })
+            }
+            Param::Int { name, lo, hi } => format!("{name}: [{lo}, {hi}]"),
+            Param::Choice { name, options } => {
+                let opts: Vec<String> = options.iter().map(|o| format!("{o}")).collect();
+                format!("{name}: {{{}}}", opts.join(", "))
+            }
+        };
+        println!("    {desc}");
+        rows.push(format!("{name},\"{desc}\""));
+    }
+}
+
+fn main() {
+    let args = hpacml_bench::parse_args("table4_5");
+    let mut rows = Vec::new();
+
+    println!("\nTable IV: Search space used for neural architecture search.\n");
+    print_space("MiniBUDE", &spaces::minibude_arch_space(), &mut rows);
+    print_space("Binomial Options, Bonds", &spaces::binomial_bonds_arch_space(), &mut rows);
+    print_space("MiniWeather", &spaces::miniweather_arch_space(), &mut rows);
+    print_space("ParticleFilter", &spaces::particlefilter_arch_space(), &mut rows);
+
+    println!("\nTable V: Search space used for BO hyperparameter tuning.\n");
+    print_space("Hyperparameters", &spaces::hyper_space(), &mut rows);
+
+    hpacml_bench::write_csv(&args.results_dir, "table4_5.csv", "space,parameter", &rows);
+}

@@ -1,0 +1,123 @@
+//! Step 4 — tensor composition (and its inverse for the `from` direction).
+//!
+//! Per-slice gathered tensors have shape `[sweep..., added-dims...]`. The
+//! added dimensions are flattened, the slices concatenated along the feature
+//! axis, and the result reshaped into the LHS tensor ("if more than one
+//! dimension was added ... they are flattened ... then the RHS tensors are
+//! concatenated", §IV-A). `decompose` is the exact inverse, used before
+//! scattering model output back through the views.
+
+use crate::{BridgeError, Result};
+use hpacml_tensor::Tensor;
+
+/// Compose per-slice dense tensors into the LHS tensor.
+///
+/// `parts[k]` must hold `sweep_prod * elem_counts[k]` elements laid out
+/// `[sweep..., added...]` row-major; the result has shape `lhs_shape`.
+pub fn compose(
+    parts: &[Tensor],
+    sweep_counts: &[usize],
+    elem_counts: &[usize],
+    lhs_shape: &[usize],
+) -> Result<Tensor> {
+    let sweep_prod: usize = sweep_counts.iter().product::<usize>().max(1);
+    if parts.len() != elem_counts.len() {
+        return Err(BridgeError::Plan(format!(
+            "compose: {} parts vs {} element counts",
+            parts.len(),
+            elem_counts.len()
+        )));
+    }
+    let feature_total: usize = elem_counts.iter().sum();
+    let lhs_numel: usize = lhs_shape.iter().product();
+    if sweep_prod * feature_total != lhs_numel {
+        return Err(BridgeError::Plan(format!(
+            "compose: sweep {sweep_prod} × features {feature_total} != LHS numel {lhs_numel}"
+        )));
+    }
+    // Flatten each part to [sweep_prod, elems_k] and concatenate the rows.
+    let mut out = Vec::with_capacity(lhs_numel);
+    for row in 0..sweep_prod {
+        for (part, &count) in parts.iter().zip(elem_counts) {
+            if part.numel() != sweep_prod * count {
+                return Err(BridgeError::Plan(format!(
+                    "compose: part has {} elements, expected {}",
+                    part.numel(),
+                    sweep_prod * count
+                )));
+            }
+            out.extend_from_slice(&part.data()[row * count..(row + 1) * count]);
+        }
+    }
+    Ok(Tensor::from_vec(out, lhs_shape.to_vec())?)
+}
+
+/// Split an LHS tensor back into per-slice raw chunks (row-major, shaped
+/// `[sweep..., added...]` implicitly) — the inverse of [`compose`].
+pub fn decompose(
+    lhs: &Tensor,
+    sweep_counts: &[usize],
+    elem_counts: &[usize],
+) -> Result<Vec<Vec<f32>>> {
+    let sweep_prod: usize = sweep_counts.iter().product::<usize>().max(1);
+    let feature_total: usize = elem_counts.iter().sum();
+    if lhs.numel() != sweep_prod * feature_total {
+        return Err(BridgeError::Plan(format!(
+            "decompose: LHS has {} elements, expected {}",
+            lhs.numel(),
+            sweep_prod * feature_total
+        )));
+    }
+    let mut chunks: Vec<Vec<f32>> =
+        elem_counts.iter().map(|c| Vec::with_capacity(sweep_prod * c)).collect();
+    let data = lhs.data();
+    let mut cursor = 0usize;
+    for _ in 0..sweep_prod {
+        for (k, &count) in elem_counts.iter().enumerate() {
+            chunks[k].extend_from_slice(&data[cursor..cursor + count]);
+            cursor += count;
+        }
+    }
+    Ok(chunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_concatenates_features_per_point() {
+        // Two sweep points; slice A contributes 1 element, slice B 2.
+        let a = Tensor::from_vec(vec![10.0, 20.0], [2, 1]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        let lhs = compose(&[a, b], &[2], &[1, 2], &[2, 3]).unwrap();
+        assert_eq!(lhs.data(), &[10.0, 1.0, 2.0, 20.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn decompose_inverts_compose() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), [3, 2]).unwrap();
+        let b = Tensor::from_vec((10..13).map(|i| i as f32).collect(), [3, 1]).unwrap();
+        let lhs = compose(&[a.clone(), b.clone()], &[3], &[2, 1], &[3, 3]).unwrap();
+        let chunks = decompose(&lhs, &[3], &[2, 1]).unwrap();
+        assert_eq!(chunks[0], a.data());
+        assert_eq!(chunks[1], b.data());
+    }
+
+    #[test]
+    fn multi_sweep_dims_flatten_row_major() {
+        // 2x2 sweep, single slice of 1 element: compose is identity.
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2, 1]).unwrap();
+        let lhs = compose(&[a], &[2, 2], &[1], &[2, 2, 1]).unwrap();
+        assert_eq!(lhs.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn mismatched_sizes_rejected() {
+        let a = Tensor::from_vec(vec![0.0; 4], [2, 2]).unwrap();
+        assert!(compose(&[a.clone()], &[2], &[2], &[2, 3]).is_err());
+        assert!(compose(&[a.clone()], &[3], &[2], &[3, 2]).is_err());
+        let lhs = Tensor::from_vec(vec![0.0; 6], [2, 3]).unwrap();
+        assert!(decompose(&lhs, &[2], &[2]).is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! Compiled bridge plans: the runtime-facing API.
+//!
+//! [`compile`] runs steps 1–3 once per (functor, map, array-shape, bindings)
+//! combination; the resulting [`CompiledMap`] is reused on every region
+//! invocation — `gather` for `map(to: ...)`, `scatter` for `map(from: ...)`.
+
+use crate::compose::{compose, decompose};
+use crate::extract::extract;
+use crate::resolve::{resolve_slice, resolve_sweep, ResolvedView};
+use crate::wrap::{to_view_parts, wrap, wrap_mut};
+use crate::{BridgeError, Result};
+use hpacml_directive::ast::{Direction, MapDirective};
+use hpacml_directive::sema::{Bindings, FunctorInfo, LhsDim};
+use hpacml_tensor::Tensor;
+
+/// A fully resolved tensor map, ready to move data.
+#[derive(Debug, Clone)]
+pub struct CompiledMap {
+    pub direction: Direction,
+    /// Name of the application array this map targets.
+    pub array: String,
+    /// Expected array shape (validated against buffers at gather/scatter).
+    pub array_dims: Vec<usize>,
+    /// Concrete extent of each sweep symbol, in LHS order.
+    pub sweep_counts: Vec<usize>,
+    /// Concrete LHS tensor shape.
+    pub lhs_shape: Vec<usize>,
+    /// Elements contributed per sweep point by each RHS slice.
+    pub elem_counts: Vec<usize>,
+    views: Vec<ResolvedView>,
+}
+
+impl CompiledMap {
+    /// Elements of the LHS tensor.
+    pub fn numel(&self) -> usize {
+        self.lhs_shape.iter().product()
+    }
+
+    /// Expected element count of the target application buffer.
+    pub fn array_numel(&self) -> usize {
+        self.array_dims.iter().product()
+    }
+
+    fn check_buffer(&self, len: usize) -> Result<()> {
+        if len != self.array_numel() {
+            return Err(BridgeError::Plan(format!(
+                "array `{}`: buffer has {len} elements, map was compiled for {:?} = {}",
+                self.array,
+                self.array_dims,
+                self.array_numel()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Memory concretization, application → tensor space: wrap each RHS
+    /// slice, gather, and compose into the LHS tensor.
+    pub fn gather(&self, data: &[f32]) -> Result<Tensor> {
+        self.check_buffer(data.len())?;
+        let parts = self
+            .views
+            .iter()
+            .map(|rv| Ok(wrap(rv, data)?.gather()))
+            .collect::<Result<Vec<_>>>()?;
+        compose(&parts, &self.sweep_counts, &self.elem_counts, &self.lhs_shape)
+    }
+
+    /// Memory concretization, tensor space → application: split the LHS
+    /// tensor per slice and scatter through the mutable views.
+    pub fn scatter(&self, lhs: &Tensor, data: &mut [f32]) -> Result<()> {
+        self.check_buffer(data.len())?;
+        if lhs.numel() != self.numel() {
+            return Err(BridgeError::Plan(format!(
+                "scatter: tensor has {} elements, map produces {}",
+                lhs.numel(),
+                self.numel()
+            )));
+        }
+        let chunks = decompose(lhs, &self.sweep_counts, &self.elem_counts)?;
+        for (rv, chunk) in self.views.iter().zip(&chunks) {
+            wrap_mut(rv, data)?.scatter_from(chunk);
+        }
+        Ok(())
+    }
+}
+
+/// Compile a tensor map against an analyzed functor, a concrete array shape
+/// and integer-variable bindings.
+pub fn compile(
+    info: &FunctorInfo,
+    map: &MapDirective,
+    array_dims: &[usize],
+    binds: &Bindings,
+) -> Result<CompiledMap> {
+    if map.functor != info.decl.name {
+        return Err(BridgeError::Plan(format!(
+            "map names functor `{}` but `{}` was supplied",
+            map.functor, info.decl.name
+        )));
+    }
+    // LHS must list every sweep dimension before any feature dimension so the
+    // composed tensor is a plain reshape away from [sweep..., features...].
+    let mut seen_feature = false;
+    for d in &info.lhs_dims {
+        match d {
+            LhsDim::Feature(_) => seen_feature = true,
+            LhsDim::Sweep(sym) if seen_feature => {
+                return Err(BridgeError::Plan(format!(
+                    "functor `{}`: sweep dimension `{sym}` appears after a feature dimension; \
+                     declare sweep dimensions first",
+                    info.decl.name
+                )));
+            }
+            LhsDim::Sweep(_) => {}
+        }
+    }
+
+    let sweep = resolve_sweep(&info.sweep_syms, &map.target, binds)?;
+    let extracts = extract(info)?;
+    let array_numel: usize = array_dims.iter().product();
+    let mut views = Vec::with_capacity(extracts.len());
+    for ex in &extracts {
+        let rv = resolve_slice(ex, array_dims, &sweep)?;
+        // Validate bounds now, at compile time.
+        to_view_parts(&rv, array_numel)?;
+        views.push(rv);
+    }
+
+    let sweep_counts: Vec<usize> = sweep.iter().map(|s| s.count).collect();
+    let mut lhs_shape = Vec::with_capacity(info.lhs_dims.len());
+    let mut sweep_iter = sweep_counts.iter();
+    for d in &info.lhs_dims {
+        lhs_shape.push(match d {
+            LhsDim::Sweep(_) => *sweep_iter.next().expect("sweep counts match sweep dims"),
+            LhsDim::Feature(e) => *e,
+        });
+    }
+
+    Ok(CompiledMap {
+        direction: map.direction,
+        array: map.target.array.clone(),
+        array_dims: array_dims.to_vec(),
+        sweep_counts,
+        lhs_shape,
+        elem_counts: info.rhs_elem_counts.clone(),
+        views,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpacml_directive::parse::parse_directive;
+    use hpacml_directive::sema::analyze;
+    use hpacml_directive::Directive;
+
+    fn functor_info(src: &str) -> FunctorInfo {
+        match parse_directive(src).unwrap() {
+            Directive::Functor(f) => analyze(&f).unwrap(),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn map_dir(src: &str) -> MapDirective {
+        match parse_directive(src).unwrap() {
+            Directive::Map(m) => m,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// The full Fig. 2 input bridge on a 6×7 grid, checked element by element
+    /// against the 5-point stencil it describes.
+    #[test]
+    fn fig2_stencil_gather_matches_manual() {
+        let (n, m) = (6usize, 7usize);
+        let info = functor_info(
+            "tensor functor(ifnctr: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))",
+        );
+        let map = map_dir("tensor map(to: ifnctr(t[1:N-1, 1:M-1]))");
+        let binds = Bindings::new().with("N", n as i64).with("M", m as i64);
+        let plan = compile(&info, &map, &[n, m], &binds).unwrap();
+        assert_eq!(plan.lhs_shape, vec![n - 2, m - 2, 5]);
+
+        let grid: Vec<f32> = (0..n * m).map(|k| k as f32).collect();
+        let t = plan.gather(&grid).unwrap();
+        for i in 1..n - 1 {
+            for j in 1..m - 1 {
+                let point = |ii: usize, jj: usize| grid[ii * m + jj];
+                let expect = [
+                    point(i - 1, j),
+                    point(i + 1, j),
+                    point(i, j - 1),
+                    point(i, j),
+                    point(i, j + 1),
+                ];
+                for (f, e) in expect.iter().enumerate() {
+                    assert_eq!(
+                        t.at(&[i - 1, j - 1, f]),
+                        *e,
+                        "stencil feature {f} at ({i}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_output_scatter_writes_interior_only() {
+        let (n, m) = (5usize, 5usize);
+        let info = functor_info("tensor functor(ofnctr: [i, j, 0:1] = ([i, j]))");
+        let map = map_dir("tensor map(from: ofnctr(tnew[1:N-1, 1:M-1]))");
+        let binds = Bindings::new().with("N", n as i64).with("M", m as i64);
+        let plan = compile(&info, &map, &[n, m], &binds).unwrap();
+
+        let lhs = Tensor::from_shape_fn(plan.lhs_shape.clone(), |ix| {
+            (100 + ix[0] * 10 + ix[1]) as f32
+        });
+        let mut grid = vec![0.0f32; n * m];
+        plan.scatter(&lhs, &mut grid).unwrap();
+        for i in 0..n {
+            for j in 0..m {
+                let v = grid[i * m + j];
+                if i == 0 || i == n - 1 || j == 0 || j == m - 1 {
+                    assert_eq!(v, 0.0, "boundary ({i},{j}) must be untouched");
+                } else {
+                    assert_eq!(v, (100 + (i - 1) * 10 + (j - 1)) as f32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_through_identity_functor() {
+        let info = functor_info("tensor functor(id: [i, j, 0:1] = ([i, j]))");
+        let to = map_dir("tensor map(to: id(a[0:N, 0:M]))");
+        let from = map_dir("tensor map(from: id(a[0:N, 0:M]))");
+        let binds = Bindings::new().with("N", 4).with("M", 3);
+        let plan_to = compile(&info, &to, &[4, 3], &binds).unwrap();
+        let plan_from = compile(&info, &from, &[4, 3], &binds).unwrap();
+
+        let src: Vec<f32> = (0..12).map(|k| (k * k) as f32).collect();
+        let t = plan_to.gather(&src).unwrap();
+        let mut dst = vec![0.0f32; 12];
+        plan_from.scatter(&t, &mut dst).unwrap();
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn flat_rows_functor_gathers_blocks() {
+        // MiniBUDE-style: 6 features per pose from a flat array.
+        let info = functor_info("tensor functor(rows: [i, 0:6] = ([6*i : 6*i+6]))");
+        let map = map_dir("tensor map(to: rows(poses[0:N]))");
+        let binds = Bindings::new().with("N", 4);
+        let plan = compile(&info, &map, &[24], &binds).unwrap();
+        assert_eq!(plan.lhs_shape, vec![4, 6]);
+        let data: Vec<f32> = (0..24).map(|k| k as f32).collect();
+        let t = plan.gather(&data).unwrap();
+        assert_eq!(t.data(), data.as_slice());
+    }
+
+    #[test]
+    fn out_of_bounds_functor_rejected_at_compile() {
+        // Sweeping i over 0..N with [i-1] reaches index -1.
+        let info = functor_info("tensor functor(back: [i, 0:1] = ([i-1]))");
+        let map = map_dir("tensor map(to: back(x[0:N]))");
+        let binds = Bindings::new().with("N", 4);
+        let err = compile(&info, &map, &[4], &binds).unwrap_err();
+        assert!(matches!(err, BridgeError::Plan(s) if s.contains("before the start")));
+        // Narrowing the sweep fixes it.
+        let map = map_dir("tensor map(to: back(x[1:N]))");
+        assert!(compile(&info, &map, &[4], &binds).is_ok());
+    }
+
+    #[test]
+    fn wrong_functor_name_rejected() {
+        let info = functor_info("tensor functor(f: [i, 0:1] = ([i]))");
+        let map = map_dir("tensor map(to: g(x[0:4]))");
+        assert!(compile(&info, &map, &[4], &Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn sweep_after_feature_dim_rejected() {
+        let info = functor_info("tensor functor(odd: [0:2, i] = ([i, 0:2]))");
+        let map = map_dir("tensor map(to: odd(x[0:3]))");
+        // Array rank is 2 for RHS [i, 0:2].
+        let err = compile(&info, &map, &[3, 2], &Bindings::new().with("N", 3)).unwrap_err();
+        assert!(matches!(err, BridgeError::Plan(s) if s.contains("sweep dimensions first")));
+    }
+
+    #[test]
+    fn buffer_length_validated_at_gather() {
+        let info = functor_info("tensor functor(id1: [i, 0:1] = ([i]))");
+        let map = map_dir("tensor map(to: id1(x[0:4]))");
+        let plan = compile(&info, &map, &[4], &Bindings::new()).unwrap();
+        assert!(plan.gather(&[0.0; 3]).is_err());
+        assert!(plan.gather(&[0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn scatter_tensor_size_validated() {
+        let info = functor_info("tensor functor(id2: [i, 0:1] = ([i]))");
+        let map = map_dir("tensor map(from: id2(x[0:4]))");
+        let plan = compile(&info, &map, &[4], &Bindings::new()).unwrap();
+        let wrong = Tensor::zeros([2, 1]);
+        let mut buf = vec![0.0f32; 4];
+        assert!(plan.scatter(&wrong, &mut buf).is_err());
+    }
+
+    /// Channel-major functor for CNN-style inputs: sweep (c, i, j) with a
+    /// trailing feature dim of 1, as used by the MiniWeather annotation.
+    #[test]
+    fn channel_functor_is_copy_in_channel_order() {
+        let info = functor_info("tensor functor(st: [c, i, j, 0:1] = ([c, i, j]))");
+        let map = map_dir("tensor map(to: st(state[0:4, 0:H, 0:W]))");
+        let binds = Bindings::new().with("H", 3).with("W", 2);
+        let plan = compile(&info, &map, &[4, 3, 2], &binds).unwrap();
+        assert_eq!(plan.lhs_shape, vec![4, 3, 2, 1]);
+        let data: Vec<f32> = (0..24).map(|k| k as f32).collect();
+        let t = plan.gather(&data).unwrap();
+        assert_eq!(t.data(), data.as_slice());
+    }
+}

@@ -1,0 +1,99 @@
+//! Step 3 — tensor wrapping.
+//!
+//! Convert a [`ResolvedView`](crate::resolve::ResolvedView) into a validated,
+//! zero-copy strided view over the application buffer. No memory moves here
+//! ("code generation creates lightweight wrappers around existing memory",
+//! §IV-A); out-of-bounds functor/map combinations are rejected at this point,
+//! where the buffer length is finally known.
+
+use crate::resolve::ResolvedView;
+use crate::{BridgeError, Result};
+use hpacml_tensor::{Shape, View, ViewMut};
+
+/// Check the resolved descriptor against a buffer of `len` elements and
+/// return `(offset, shape, strides)` in the form the tensor layer accepts.
+pub fn to_view_parts(rv: &ResolvedView, len: usize) -> Result<(usize, Vec<usize>, Vec<usize>)> {
+    if rv.offset < 0 {
+        return Err(BridgeError::Plan(format!(
+            "view base offset {} is before the start of the array (functor reaches outside the mapped region)",
+            rv.offset
+        )));
+    }
+    let mut shape = Vec::with_capacity(rv.dims.len());
+    let mut strides = Vec::with_capacity(rv.dims.len());
+    for (count, stride) in &rv.dims {
+        if *stride < 0 {
+            return Err(BridgeError::Plan(format!(
+                "negative stride {stride} is not supported by the tensor layer"
+            )));
+        }
+        shape.push(*count);
+        strides.push(*stride as usize);
+    }
+    // Bounds: highest reachable element must fit.
+    let mut last = rv.offset as usize;
+    for (count, stride) in shape.iter().zip(&strides) {
+        last += (count - 1) * stride;
+    }
+    if shape.iter().product::<usize>() > 0 && last >= len {
+        return Err(BridgeError::Plan(format!(
+            "functor reaches element {last} but the array has only {len} elements"
+        )));
+    }
+    Ok((rv.offset as usize, shape, strides))
+}
+
+/// Wrap a read-only view (the `to` direction).
+pub fn wrap<'a>(rv: &ResolvedView, data: &'a [f32]) -> Result<View<'a, f32>> {
+    let (offset, shape, strides) = to_view_parts(rv, data.len())?;
+    Ok(View::strided(data, offset, Shape::new(shape), strides)?)
+}
+
+/// Wrap a mutable view (the `from` direction).
+pub fn wrap_mut<'a>(rv: &ResolvedView, data: &'a mut [f32]) -> Result<ViewMut<'a, f32>> {
+    let (offset, shape, strides) = to_view_parts(rv, data.len())?;
+    Ok(ViewMut::strided(data, offset, Shape::new(shape), strides)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_in_bounds_view() {
+        let rv = ResolvedView { offset: 1, dims: vec![(2, 4), (3, 1)], sweep_rank: 1 };
+        let data: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let v = wrap(&rv, &data).unwrap();
+        assert_eq!(v.gather().data(), &[1.0, 2.0, 3.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn negative_offset_rejected_with_message() {
+        let rv = ResolvedView { offset: -1, dims: vec![(2, 1)], sweep_rank: 1 };
+        let err = wrap(&rv, &[0.0; 4]).unwrap_err();
+        assert!(matches!(err, BridgeError::Plan(s) if s.contains("before the start")));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let rv = ResolvedView { offset: 0, dims: vec![(5, 2)], sweep_rank: 1 };
+        assert!(wrap(&rv, &[0.0; 8]).is_err());
+        assert!(wrap(&rv, &[0.0; 9]).is_ok());
+    }
+
+    #[test]
+    fn negative_stride_rejected() {
+        let rv = ResolvedView { offset: 4, dims: vec![(3, -1)], sweep_rank: 1 };
+        assert!(matches!(wrap(&rv, &[0.0; 8]), Err(BridgeError::Plan(_))));
+    }
+
+    #[test]
+    fn wrap_mut_scatters() {
+        let rv = ResolvedView { offset: 2, dims: vec![(2, 3)], sweep_rank: 1 };
+        let mut data = vec![0.0f32; 8];
+        let mut v = wrap_mut(&rv, &mut data).unwrap();
+        v.scatter_from(&[9.0, 8.0]);
+        assert_eq!(data[2], 9.0);
+        assert_eq!(data[5], 8.0);
+    }
+}

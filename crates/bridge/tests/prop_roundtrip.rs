@@ -1,0 +1,128 @@
+//! Property-based tests of the data bridge: for arbitrary affine functors
+//! and grid sizes, gather must agree with direct evaluation of the functor,
+//! and gather→scatter through the same functor must roundtrip.
+
+use hpacml_bridge::compile;
+use hpacml_directive::parse::parse_directive;
+use hpacml_directive::sema::{analyze, Bindings};
+use hpacml_directive::Directive;
+use hpacml_tensor::Tensor;
+use proptest::prelude::*;
+
+fn functor_info(src: &str) -> hpacml_directive::sema::FunctorInfo {
+    match parse_directive(src).unwrap() {
+        Directive::Functor(f) => analyze(&f).unwrap(),
+        other => panic!("{other:?}"),
+    }
+}
+
+fn map_dir(src: &str) -> hpacml_directive::ast::MapDirective {
+    match parse_directive(src).unwrap() {
+        Directive::Map(m) => m,
+        other => panic!("{other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random symmetric stencil radius + grid: gathered features equal the
+    /// directly indexed neighborhood at every interior sweep point.
+    #[test]
+    fn stencil_gather_matches_direct_indexing(
+        n in 4usize..12,
+        m in 4usize..12,
+        radius in 1usize..3,
+    ) {
+        prop_assume!(n > 2 * radius && m > 2 * radius);
+        let r = radius as i64;
+        let functor = format!(
+            "tensor functor(st: [i, j, 0:3] = (([i-{r}, j], [i, j], [i+{r}, j])))"
+        );
+        let map = format!("tensor map(to: st(t[{r}:N-{r}, 0:M]))");
+        let info = functor_info(&functor);
+        let map = map_dir(&map);
+        let binds = Bindings::new().with("N", n as i64).with("M", m as i64);
+        let plan = compile(&info, &map, &[n, m], &binds).unwrap();
+        let grid: Vec<f32> = (0..n * m).map(|k| (k * k % 97) as f32).collect();
+        let t = plan.gather(&grid).unwrap();
+        let sweep_i = n - 2 * radius;
+        prop_assert_eq!(t.dims(), &[sweep_i, m, 3]);
+        for si in 0..sweep_i {
+            for j in 0..m {
+                let i = si + radius;
+                prop_assert_eq!(t.at(&[si, j, 0]), grid[(i - radius) * m + j]);
+                prop_assert_eq!(t.at(&[si, j, 1]), grid[i * m + j]);
+                prop_assert_eq!(t.at(&[si, j, 2]), grid[(i + radius) * m + j]);
+            }
+        }
+    }
+
+    /// Flat row-block functors (the MiniBUDE/Binomial/Bonds pattern) with a
+    /// random feature width: gather is exactly the identity on the block.
+    #[test]
+    fn row_block_gather_is_identity(
+        rows in 1usize..20,
+        width in 1usize..9,
+    ) {
+        let functor = format!(
+            "tensor functor(rows: [i, 0:{width}] = ([{width}*i : {width}*i+{width}]))"
+        );
+        let info = functor_info(&functor);
+        let map = map_dir("tensor map(to: rows(x[0:N]))");
+        let binds = Bindings::new().with("N", rows as i64);
+        let plan = compile(&info, &map, &[rows * width], &binds).unwrap();
+        let data: Vec<f32> = (0..rows * width).map(|k| k as f32 * 0.5).collect();
+        let t = plan.gather(&data).unwrap();
+        prop_assert_eq!(t.data(), data.as_slice());
+    }
+
+    /// Gather → scatter through the identity functor restores the interior
+    /// and never touches anything outside the mapped region.
+    #[test]
+    fn interior_roundtrip_never_touches_boundary(
+        n in 3usize..10,
+        m in 3usize..10,
+    ) {
+        let info = functor_info("tensor functor(id: [i, j, 0:1] = ([i, j]))");
+        let to = map_dir("tensor map(to: id(a[1:N-1, 1:M-1]))");
+        let from = map_dir("tensor map(from: id(a[1:N-1, 1:M-1]))");
+        let binds = Bindings::new().with("N", n as i64).with("M", m as i64);
+        let plan_to = compile(&info, &to, &[n, m], &binds).unwrap();
+        let plan_from = compile(&info, &from, &[n, m], &binds).unwrap();
+
+        let src: Vec<f32> = (0..n * m).map(|k| (k % 13) as f32 - 6.0).collect();
+        let t = plan_to.gather(&src).unwrap();
+        let mut dst = vec![f32::NAN; n * m];
+        plan_from.scatter(&t, &mut dst).unwrap();
+        for i in 0..n {
+            for j in 0..m {
+                let v = dst[i * m + j];
+                if i == 0 || i == n - 1 || j == 0 || j == m - 1 {
+                    prop_assert!(v.is_nan(), "boundary ({i},{j}) was written");
+                } else {
+                    prop_assert_eq!(v, src[i * m + j]);
+                }
+            }
+        }
+    }
+
+    /// The compiled LHS element count always equals sweep × feature extents.
+    #[test]
+    fn lhs_numel_invariant(n in 2usize..16, feat in 1usize..6) {
+        let functor = format!(
+            "tensor functor(f: [i, 0:{feat}] = ([{feat}*i : {feat}*i+{feat}]))"
+        );
+        let info = functor_info(&functor);
+        let map = map_dir("tensor map(to: f(x[0:N]))");
+        let binds = Bindings::new().with("N", n as i64);
+        let plan = compile(&info, &map, &[n * feat], &binds).unwrap();
+        prop_assert_eq!(plan.numel(), n * feat);
+        prop_assert_eq!(plan.sweep_counts.iter().product::<usize>(), n);
+        prop_assert_eq!(plan.elem_counts.iter().sum::<usize>(), feat);
+        // Scatter rejects any wrong-size tensor.
+        let wrong = Tensor::zeros([plan.numel() + 1]);
+        let mut buf = vec![0.0f32; n * feat];
+        prop_assert!(plan.scatter(&wrong, &mut buf).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type unifying the runtime's failure modes.
+
+use hpacml_bridge::BridgeError;
+use hpacml_directive::DirectiveError;
+use hpacml_nn::NnError;
+use hpacml_store::StoreError;
+use hpacml_tensor::TensorError;
+
+/// Errors raised by the HPAC-ML runtime.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Directive parsing or semantic analysis failed.
+    Directive(DirectiveError),
+    /// Data-bridge compilation or execution failed.
+    Bridge(BridgeError),
+    /// Tensor manipulation failed.
+    Tensor(TensorError),
+    /// Model load/inference failed.
+    Nn(NnError),
+    /// Data-collection store failure.
+    Store(StoreError),
+    /// Region construction or invocation misuse.
+    Region(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Directive(e) => write!(f, "{e}"),
+            CoreError::Bridge(e) => write!(f, "{e}"),
+            CoreError::Tensor(e) => write!(f, "{e}"),
+            CoreError::Nn(e) => write!(f, "{e}"),
+            CoreError::Store(e) => write!(f, "{e}"),
+            CoreError::Region(s) => write!(f, "region error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<DirectiveError> for CoreError {
+    fn from(e: DirectiveError) -> Self {
+        CoreError::Directive(e)
+    }
+}
+
+impl From<BridgeError> for CoreError {
+    fn from(e: BridgeError) -> Self {
+        CoreError::Bridge(e)
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}

@@ -1,0 +1,278 @@
+//! Invocation-time execution control: the accurate path, the surrogate path,
+//! data collection and the per-phase timers.
+
+use crate::region::Region;
+use crate::timing::timed;
+use crate::{CoreError, Result};
+use hpacml_directive::ast::{Direction, MlMode};
+use hpacml_directive::sema::Bindings;
+use hpacml_nn::InferenceEngine;
+use hpacml_tensor::Tensor;
+
+/// Which execution path an invocation took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathTaken {
+    /// The surrogate model produced the outputs.
+    Surrogate,
+    /// The original code ran (with data collection if enabled).
+    Accurate,
+}
+
+impl Region {
+    /// Begin an invocation of this region with concrete integer bindings.
+    pub fn invoke(&self, binds: &Bindings) -> Invocation<'_> {
+        Invocation {
+            region: self,
+            binds: binds.clone(),
+            surrogate_override: None,
+            inputs: Vec::new(),
+            to_ns: 0,
+        }
+    }
+}
+
+/// The input-gathering phase of one region invocation.
+pub struct Invocation<'r> {
+    region: &'r Region,
+    binds: Bindings,
+    surrogate_override: Option<bool>,
+    inputs: Vec<(String, Tensor)>,
+    to_ns: u64,
+}
+
+impl<'r> Invocation<'r> {
+    /// Host-side value for the `predicated`/`if` decision: `true` runs the
+    /// surrogate, `false` runs the accurate path (collecting data). This is
+    /// how the Fig. 9 interleaving experiments toggle per timestep.
+    pub fn use_surrogate(mut self, value: bool) -> Self {
+        self.surrogate_override = Some(value);
+        self
+    }
+
+    /// Gather one input array into tensor space (steps 1–2 of Fig. 1).
+    pub fn input(mut self, name: &str, data: &[f32], dims: &[usize]) -> Result<Self> {
+        if !self.region.input_order().iter().any(|n| n == name) {
+            return Err(CoreError::Region(format!(
+                "region `{}`: `{name}` is not declared in(...)/inout(...)",
+                self.region.name()
+            )));
+        }
+        if self.inputs.iter().any(|(n, _)| n == name) {
+            return Err(CoreError::Region(format!(
+                "region `{}`: input `{name}` supplied twice",
+                self.region.name()
+            )));
+        }
+        let plan = self.region.plan_for(name, Direction::To, dims, &self.binds)?;
+        let (tensor, ns) = timed(|| plan.gather(data));
+        self.to_ns += ns;
+        self.inputs.push((name.to_string(), tensor?));
+        Ok(self)
+    }
+
+    fn decide_surrogate(&self) -> Result<bool> {
+        Ok(match self.region.ml_mode() {
+            MlMode::Infer => self.surrogate_override.unwrap_or(true),
+            MlMode::Collect => false,
+            MlMode::Predicated => match self
+                .surrogate_override
+                .or_else(|| self.region.default_predicate())
+            {
+                Some(v) => v,
+                None => {
+                    return Err(CoreError::Region(format!(
+                        "region `{}`: predicated mode needs use_surrogate(...) \
+                         (the directive condition `{}` is not a literal)",
+                        self.region.name(),
+                        self.region.ml().cond.as_deref().unwrap_or("")
+                    )))
+                }
+            },
+        })
+    }
+
+    /// Assemble the model input batch from the gathered tensors: each input
+    /// is flattened to `[sweep, features]`, inputs are concatenated along the
+    /// feature axis, and the batch is reshaped to the model's declared
+    /// per-sample input shape.
+    fn model_input(&self, sample_shape: &[usize]) -> Result<Tensor> {
+        if self.inputs.is_empty() {
+            return Err(CoreError::Region(format!(
+                "region `{}`: surrogate path needs gathered inputs",
+                self.region.name()
+            )));
+        }
+        let flat: Vec<Tensor> = self
+            .inputs
+            .iter()
+            .map(|(_, t)| t.clone().flatten_to_2d(1))
+            .collect::<std::result::Result<_, _>>()?;
+        let joined = if flat.len() == 1 {
+            flat.into_iter().next().expect("one element")
+        } else {
+            let rows = flat[0].dims()[0];
+            for t in &flat {
+                if t.dims()[0] != rows {
+                    return Err(CoreError::Region(format!(
+                        "region `{}`: inputs disagree on sweep size ({} vs {rows})",
+                        self.region.name(),
+                        t.dims()[0]
+                    )));
+                }
+            }
+            let refs: Vec<&Tensor> = flat.iter().collect();
+            Tensor::concat(&refs, 1)?
+        };
+        let per_sample: usize = sample_shape.iter().product::<usize>().max(1);
+        if joined.numel() % per_sample != 0 {
+            return Err(CoreError::Region(format!(
+                "region `{}`: gathered {} elements do not tile the model input shape {sample_shape:?}",
+                self.region.name(),
+                joined.numel()
+            )));
+        }
+        let batch = joined.numel() / per_sample;
+        let mut dims = vec![batch];
+        dims.extend_from_slice(sample_shape);
+        Ok(joined.reshape(dims)?)
+    }
+
+    /// Run the region (steps 3–4 of Fig. 1): either invoke the surrogate or
+    /// execute the accurate closure.
+    pub fn run(self, accurate: impl FnOnce()) -> Result<Outcome<'r>> {
+        let surrogate = self.decide_surrogate()?;
+        let (model_out, inference_ns, accurate_ns) = if surrogate {
+            let model_path = self.region.model_path().ok_or_else(|| {
+                CoreError::Region(format!(
+                    "region `{}`: surrogate path requires a model(...) clause or set_model_path",
+                    self.region.name()
+                ))
+            })?;
+            let saved = InferenceEngine::global().load(&model_path)?;
+            let x = self.model_input(&saved.spec.input_shape)?;
+            let (y, inference_ns) = timed(|| saved.infer(&x));
+            (Some(y?), inference_ns, 0)
+        } else {
+            let ((), accurate_ns) = timed(accurate);
+            (None, 0, accurate_ns)
+        };
+        Ok(Outcome {
+            region: self.region,
+            binds: self.binds,
+            path: if surrogate { PathTaken::Surrogate } else { PathTaken::Accurate },
+            model_out,
+            out_cursor: 0,
+            inputs: self.inputs,
+            gathered_outputs: Vec::new(),
+            accurate_ns,
+            inference_ns,
+            to_ns: self.to_ns,
+            from_ns: 0,
+            collection_ns: 0,
+        })
+    }
+}
+
+/// The output phase of an invocation: scatter surrogate results or gather
+/// accurate outputs for collection, then finalize.
+pub struct Outcome<'r> {
+    region: &'r Region,
+    binds: Bindings,
+    path: PathTaken,
+    /// Flat surrogate output, consumed in `out()` declaration order.
+    model_out: Option<Tensor>,
+    out_cursor: usize,
+    inputs: Vec<(String, Tensor)>,
+    gathered_outputs: Vec<(String, Tensor)>,
+    accurate_ns: u64,
+    inference_ns: u64,
+    to_ns: u64,
+    from_ns: u64,
+    collection_ns: u64,
+}
+
+impl Outcome<'_> {
+    pub fn path(&self) -> PathTaken {
+        self.path
+    }
+
+    /// Handle one output array (steps 5–6 of Fig. 1).
+    ///
+    /// Surrogate path: the next `plan.numel()` elements of the model output
+    /// are scattered into `data` through the `from` map. Outputs must be
+    /// supplied in `out()` declaration order. Accurate path: the produced
+    /// values are gathered for data collection.
+    pub fn output(&mut self, name: &str, data: &mut [f32], dims: &[usize]) -> Result<&mut Self> {
+        if !self.region.output_order().iter().any(|n| n == name) {
+            return Err(CoreError::Region(format!(
+                "region `{}`: `{name}` is not declared out(...)/inout(...)",
+                self.region.name()
+            )));
+        }
+        let plan = self.region.plan_for(name, Direction::From, dims, &self.binds)?;
+        match self.path {
+            PathTaken::Surrogate => {
+                let model_out = self.model_out.as_ref().expect("surrogate path has output");
+                let need = plan.numel();
+                let available = model_out.numel() - self.out_cursor;
+                if available < need {
+                    return Err(CoreError::Region(format!(
+                        "region `{}`: model produced {} elements but output `{name}` needs {need} \
+                         (already consumed {})",
+                        self.region.name(),
+                        model_out.numel(),
+                        self.out_cursor
+                    )));
+                }
+                let chunk =
+                    model_out.data()[self.out_cursor..self.out_cursor + need].to_vec();
+                self.out_cursor += need;
+                let lhs = Tensor::from_vec(chunk, plan.lhs_shape.clone())?;
+                let (res, ns) = timed(|| plan.scatter(&lhs, data));
+                self.from_ns += ns;
+                res?;
+                Ok(self)
+            }
+            PathTaken::Accurate => {
+                let should_collect = self.region.db_path().is_some();
+                if should_collect {
+                    let (tensor, ns) = timed(|| plan.gather(data));
+                    self.collection_ns += ns;
+                    self.gathered_outputs.push((name.to_string(), tensor?));
+                }
+                Ok(self)
+            }
+        }
+    }
+
+    /// Finalize: persist collected data, fold timings into the region stats.
+    pub fn finish(self) -> Result<PathTaken> {
+        let path = self.path;
+        let mut collection_ns = self.collection_ns;
+        if path == PathTaken::Accurate && self.region.db_path().is_some() {
+            let ((), ns) = {
+                let (res, ns) = timed(|| {
+                    self.region.record_collection(
+                        &self.inputs,
+                        &self.gathered_outputs,
+                        self.accurate_ns,
+                    )
+                });
+                (res?, ns)
+            };
+            collection_ns += ns;
+        }
+        self.region.update_stats(|s| {
+            s.invocations += 1;
+            if path == PathTaken::Surrogate {
+                s.surrogate_invocations += 1;
+            }
+            s.to_tensor_ns += self.to_ns;
+            s.inference_ns += self.inference_ns;
+            s.from_tensor_ns += self.from_ns;
+            s.accurate_ns += self.accurate_ns;
+            s.collection_ns += collection_ns;
+        });
+        Ok(path)
+    }
+}

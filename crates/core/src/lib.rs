@@ -1,0 +1,42 @@
+//! HPAC-ML execution control and the public programming model.
+//!
+//! This crate is the runtime the paper's §IV-B describes. An application
+//! annotates a code region with directive strings (the pragmas of Fig. 2);
+//! the [`region::Region`] built from them owns the compiled data-bridge
+//! plans, the ml-mode decision logic, the persistent-store handle and the
+//! per-phase timers.
+//!
+//! An invocation is phase-structured to satisfy Rust's aliasing rules (and,
+//! incidentally, to mirror the numbered steps of the paper's Fig. 1):
+//!
+//! ```text
+//! let mut inv = region.invoke(&bindings);         //
+//! inv.input("t", &t, &[n, m])?;                   // steps 1–2: gather inputs
+//! let mut out = inv.run(|| do_timestep(...))?;    // steps 3–4: accurate path
+//!                                                 //   or model inference
+//! out.output("tnew", &mut tnew, &[n, m])?;        // steps 5–6: scatter or
+//!                                                 //   gather outputs
+//! out.finish()?;                                  // step 7: persist, time
+//! ```
+//!
+//! In `collect` mode the accurate closure runs and the gathered input/output
+//! tensors plus the region's execution time are appended to an h5lite file
+//! (one group per region, datasets `inputs`, `outputs`, `region_time_ns` —
+//! the layout §IV-B specifies). In `infer` mode the closure is skipped and
+//! the surrogate loaded from the `model` clause produces the outputs.
+//! `predicated` chooses per invocation from a host boolean.
+
+pub mod error;
+pub mod exec;
+pub mod region;
+pub mod registry;
+pub mod timing;
+
+pub use error::CoreError;
+pub use exec::{Invocation, Outcome, PathTaken};
+pub use region::{Region, RegionBuilder};
+pub use registry::{registered_regions, RegionRecord};
+pub use timing::RegionStats;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

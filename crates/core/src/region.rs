@@ -1,0 +1,507 @@
+//! Approx regions: construction, validation, plan caching and persistence.
+
+use crate::registry::{register, RegionRecord};
+use crate::timing::RegionStats;
+use crate::{CoreError, Result};
+use hpacml_bridge::CompiledMap;
+use hpacml_directive::ast::{Direction, Directive, MapDirective, MlDirective, MlMode};
+use hpacml_directive::parse::parse_directives;
+use hpacml_directive::sema::{analyze, Bindings, FunctorInfo};
+use hpacml_store::H5File;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// An annotated code region — the unit HPAC-ML can replace with a surrogate.
+///
+/// Built once from directive strings, then invoked many times. All interior
+/// state (plan cache, store handle, statistics) is behind locks so a region
+/// can be shared by reference.
+#[derive(Debug)]
+pub struct Region {
+    name: String,
+    functors: BTreeMap<String, FunctorInfo>,
+    to_maps: BTreeMap<String, MapDirective>,
+    from_maps: BTreeMap<String, MapDirective>,
+    ml: MlDirective,
+    /// Arrays the model consumes, in `in()`/`inout()` declaration order.
+    input_order: Vec<String>,
+    /// Arrays the model produces, in `out()`/`inout()` declaration order.
+    output_order: Vec<String>,
+    model_path: Mutex<Option<PathBuf>>,
+    db_path: Mutex<Option<PathBuf>>,
+    db: Mutex<Option<H5File>>,
+    stats: Mutex<RegionStats>,
+    plans: Mutex<HashMap<String, Arc<CompiledMap>>>,
+}
+
+impl Region {
+    /// Start building a region.
+    pub fn builder(name: impl Into<String>) -> RegionBuilder {
+        RegionBuilder { name: name.into(), sources: Vec::new(), model: None, database: None }
+    }
+
+    /// Build a region straight from a block of directive text (the shape of
+    /// the paper's Fig. 2 program).
+    pub fn from_source(name: impl Into<String>, source: &str) -> Result<Region> {
+        Region::builder(name).directive(source).build()
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn ml_mode(&self) -> MlMode {
+        self.ml.mode
+    }
+
+    pub(crate) fn ml(&self) -> &MlDirective {
+        &self.ml
+    }
+
+    pub(crate) fn input_order(&self) -> &[String] {
+        &self.input_order
+    }
+
+    pub(crate) fn output_order(&self) -> &[String] {
+        &self.output_order
+    }
+
+    /// Default surrogate decision for `predicated` mode, parsed from the
+    /// directive's condition text when it is a literal.
+    pub(crate) fn default_predicate(&self) -> Option<bool> {
+        match self.ml.cond.as_deref().map(str::trim) {
+            Some("true") | Some("1") => Some(true),
+            Some("false") | Some("0") => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Path of the surrogate model (from the `model` clause unless overridden).
+    pub fn model_path(&self) -> Option<PathBuf> {
+        self.model_path.lock().clone()
+    }
+
+    /// Point the region at a (new) model file, e.g. after a training round.
+    pub fn set_model_path(&self, path: impl Into<PathBuf>) {
+        let path = path.into();
+        hpacml_nn::InferenceEngine::global().evict(&path);
+        *self.model_path.lock() = Some(path);
+    }
+
+    /// Path of the data-collection database.
+    pub fn db_path(&self) -> Option<PathBuf> {
+        self.db_path.lock().clone()
+    }
+
+    /// Redirect data collection to a different file.
+    pub fn set_db_path(&self, path: impl Into<PathBuf>) {
+        *self.db_path.lock() = Some(path.into());
+        *self.db.lock() = None;
+    }
+
+    /// Snapshot of accumulated phase timings.
+    pub fn stats(&self) -> RegionStats {
+        *self.stats.lock()
+    }
+
+    /// Zero the timing counters (e.g. between measurement runs).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = RegionStats::default();
+    }
+
+    pub(crate) fn update_stats(&self, f: impl FnOnce(&mut RegionStats)) {
+        f(&mut self.stats.lock());
+    }
+
+    /// Fetch (or compile and cache) the bridge plan for `array` in the given
+    /// direction, for a concrete shape and bindings.
+    pub(crate) fn plan_for(
+        &self,
+        array: &str,
+        direction: Direction,
+        dims: &[usize],
+        binds: &Bindings,
+    ) -> Result<Arc<CompiledMap>> {
+        let map = match direction {
+            Direction::To => self.to_maps.get(array),
+            Direction::From => self.from_maps.get(array),
+        }
+        .ok_or_else(|| {
+            CoreError::Region(format!(
+                "region `{}`: no {} tensor map for array `{array}`",
+                self.name,
+                match direction {
+                    Direction::To => "`to`",
+                    Direction::From => "`from`",
+                }
+            ))
+        })?;
+        let key = format!(
+            "{array}|{dims:?}|{:?}|{binds:?}",
+            match direction {
+                Direction::To => "to",
+                Direction::From => "from",
+            }
+        );
+        if let Some(plan) = self.plans.lock().get(&key) {
+            return Ok(Arc::clone(plan));
+        }
+        let info = self.functors.get(&map.functor).ok_or_else(|| {
+            CoreError::Region(format!(
+                "region `{}`: map references undeclared functor `{}`",
+                self.name, map.functor
+            ))
+        })?;
+        let plan = Arc::new(hpacml_bridge::compile(info, map, dims, binds)?);
+        self.plans.lock().insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Append one collected sample to the region's database group.
+    pub(crate) fn record_collection(
+        &self,
+        inputs: &[(String, hpacml_tensor::Tensor)],
+        outputs: &[(String, hpacml_tensor::Tensor)],
+        region_time_ns: u64,
+    ) -> Result<()> {
+        let path = match self.db_path() {
+            Some(p) => p,
+            None => return Ok(()), // no database clause: collection is a no-op
+        };
+        let mut guard = self.db.lock();
+        if guard.is_none() {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).map_err(hpacml_store::StoreError::Io)?;
+                }
+            }
+            *guard = Some(if path.exists() {
+                H5File::open(&path)?
+            } else {
+                H5File::create(&path)
+            });
+        }
+        let file = guard.as_mut().expect("db initialized above");
+        let group = file.root_mut().group_mut(&self.name);
+        for (kind, tensors) in [("inputs", inputs), ("outputs", outputs)] {
+            let sub = group.group_mut(kind);
+            for (name, tensor) in tensors {
+                sub.dataset_mut(name, hpacml_store::DType::F32, tensor.dims())?
+                    .append_f32(tensor.data())?;
+            }
+        }
+        group
+            .dataset_mut("region_time_ns", hpacml_store::DType::F64, &[])?
+            .append_f64(&[region_time_ns as f64])?;
+        Ok(())
+    }
+
+    /// Persist collected data to disk.
+    pub fn flush_db(&self) -> Result<()> {
+        if let Some(db) = self.db.lock().as_mut() {
+            db.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Bytes of collected data currently held (Table III's data-size column).
+    pub fn db_size_bytes(&self) -> usize {
+        self.db.lock().as_ref().map(|d| d.size_bytes()).unwrap_or(0)
+    }
+}
+
+/// Builder accumulating directive strings for a region.
+pub struct RegionBuilder {
+    name: String,
+    sources: Vec<String>,
+    model: Option<PathBuf>,
+    database: Option<PathBuf>,
+}
+
+impl RegionBuilder {
+    /// Add one or more directives (a string may contain several
+    /// `#pragma approx ...` lines, with `\` continuations).
+    pub fn directive(mut self, src: impl Into<String>) -> Self {
+        self.sources.push(src.into());
+        self
+    }
+
+    /// Override the model path (otherwise taken from the `model` clause).
+    pub fn model(mut self, path: impl Into<PathBuf>) -> Self {
+        self.model = Some(path.into());
+        self
+    }
+
+    /// Override the database path (otherwise taken from the `db` clause).
+    pub fn database(mut self, path: impl Into<PathBuf>) -> Self {
+        self.database = Some(path.into());
+        self
+    }
+
+    /// Parse, analyze and validate everything; register the annotation.
+    pub fn build(self) -> Result<Region> {
+        let mut functors = BTreeMap::new();
+        let mut to_maps = BTreeMap::new();
+        let mut from_maps = BTreeMap::new();
+        let mut ml: Option<MlDirective> = None;
+
+        for src in &self.sources {
+            for d in parse_directives(src)? {
+                match d {
+                    Directive::Functor(f) => {
+                        let info = analyze(&f)?;
+                        if functors.insert(f.name.clone(), info).is_some() {
+                            return Err(CoreError::Region(format!(
+                                "functor `{}` declared twice",
+                                f.name
+                            )));
+                        }
+                    }
+                    Directive::Map(m) => {
+                        let slot = match m.direction {
+                            Direction::To => &mut to_maps,
+                            Direction::From => &mut from_maps,
+                        };
+                        if slot.insert(m.target.array.clone(), m.clone()).is_some() {
+                            return Err(CoreError::Region(format!(
+                                "array `{}` mapped twice in the same direction",
+                                m.target.array
+                            )));
+                        }
+                    }
+                    Directive::Ml(m) => {
+                        if ml.replace(m).is_some() {
+                            return Err(CoreError::Region(
+                                "region has more than one ml directive".into(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        let ml = ml.ok_or_else(|| {
+            CoreError::Region(format!("region `{}` has no `ml` directive", self.name))
+        })?;
+
+        // Functor applications embedded in in/out/inout clauses (the
+        // grammar's `fa-expr` form of mapped-memory) synthesize tensor maps.
+        for m in &ml.embedded_maps {
+            let slot = match m.direction {
+                Direction::To => &mut to_maps,
+                Direction::From => &mut from_maps,
+            };
+            slot.entry(m.target.array.clone()).or_insert_with(|| m.clone());
+        }
+
+        // inout arrays reuse the `to` map for the `from` direction when no
+        // explicit `from` map exists (this is what lets MiniWeather get away
+        // with 3 directives in the paper's Table II).
+        for name in &ml.inouts {
+            if !from_maps.contains_key(name) {
+                if let Some(to) = to_maps.get(name) {
+                    let mut derived = to.clone();
+                    derived.direction = Direction::From;
+                    from_maps.insert(name.clone(), derived);
+                }
+            }
+            if !to_maps.contains_key(name) {
+                if let Some(from) = from_maps.get(name) {
+                    let mut derived = from.clone();
+                    derived.direction = Direction::To;
+                    to_maps.insert(name.clone(), derived);
+                }
+            }
+        }
+
+        // Validate the data flow: every in/out name must have a map, and
+        // every map must reference a declared functor.
+        let mut input_order = ml.inputs.clone();
+        input_order.extend(ml.inouts.iter().cloned());
+        let mut output_order = ml.outputs.clone();
+        output_order.extend(ml.inouts.iter().cloned());
+        if input_order.is_empty() && output_order.is_empty() {
+            return Err(CoreError::Region(format!(
+                "region `{}`: ml directive declares no in/out/inout arrays",
+                self.name
+            )));
+        }
+        for name in &input_order {
+            if !to_maps.contains_key(name) {
+                return Err(CoreError::Region(format!(
+                    "region `{}`: `in({name})` has no `map(to: ...)` directive",
+                    self.name
+                )));
+            }
+        }
+        for name in &output_order {
+            if !from_maps.contains_key(name) {
+                return Err(CoreError::Region(format!(
+                    "region `{}`: `out({name})` has no `map(from: ...)` directive",
+                    self.name
+                )));
+            }
+        }
+        for m in to_maps.values().chain(from_maps.values()) {
+            if !functors.contains_key(&m.functor) {
+                return Err(CoreError::Region(format!(
+                    "region `{}`: map references undeclared functor `{}`",
+                    self.name, m.functor
+                )));
+            }
+        }
+
+        let model_path = self.model.or_else(|| ml.model.clone().map(PathBuf::from));
+        let db_path = self.database.or_else(|| ml.database.clone().map(PathBuf::from));
+
+        register(RegionRecord { region: self.name.clone(), directives: self.sources.clone() });
+
+        Ok(Region {
+            name: self.name,
+            functors,
+            to_maps,
+            from_maps,
+            ml,
+            input_order,
+            output_order,
+            model_path: Mutex::new(model_path),
+            db_path: Mutex::new(db_path),
+            db: Mutex::new(None),
+            stats: Mutex::new(RegionStats::default()),
+            plans: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+impl Drop for Region {
+    fn drop(&mut self) {
+        let _ = self.flush_db();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STENCIL: &str = r#"
+        #pragma approx tensor functor(ifnctr: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))
+        #pragma approx tensor functor(ofnctr: [i, j, 0:1] = ([i, j]))
+        #pragma approx tensor map(to: ifnctr(t[1:N-1, 1:M-1]))
+        #pragma approx tensor map(from: ofnctr(tnew[1:N-1, 1:M-1]))
+        #pragma approx ml(predicated:true) in(t) out(tnew) db("/tmp/hpacml-region-test/d.h5") model("/tmp/hpacml-region-test/m.hml")
+    "#;
+
+    #[test]
+    fn builds_fig2_region() {
+        let r = Region::from_source("stencil", STENCIL).unwrap();
+        assert_eq!(r.name(), "stencil");
+        assert_eq!(r.ml_mode(), MlMode::Predicated);
+        assert_eq!(r.default_predicate(), Some(true));
+        assert_eq!(r.input_order(), &["t".to_string()]);
+        assert_eq!(r.output_order(), &["tnew".to_string()]);
+        assert!(r.model_path().unwrap().ends_with("m.hml"));
+        assert!(r.db_path().unwrap().ends_with("d.h5"));
+    }
+
+    #[test]
+    fn plan_cache_reuses_compilations() {
+        let r = Region::from_source("stencil2", STENCIL).unwrap();
+        let binds = Bindings::new().with("N", 8).with("M", 8);
+        let p1 = r.plan_for("t", Direction::To, &[8, 8], &binds).unwrap();
+        let p2 = r.plan_for("t", Direction::To, &[8, 8], &binds).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        // Different shape -> different plan.
+        let binds2 = Bindings::new().with("N", 10).with("M", 8);
+        let p3 = r.plan_for("t", Direction::To, &[10, 8], &binds2).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3));
+    }
+
+    #[test]
+    fn missing_ml_directive_rejected() {
+        let err = Region::from_source(
+            "no-ml",
+            "#pragma approx tensor functor(f: [i, 0:1] = ([i]))",
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Region(s) if s.contains("no `ml` directive")));
+    }
+
+    #[test]
+    fn unmapped_in_array_rejected() {
+        let err = Region::from_source(
+            "bad-in",
+            r#"
+            #pragma approx tensor functor(f: [i, 0:1] = ([i]))
+            #pragma approx ml(infer) in(x) out(y) model("m.hml")
+            "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Region(s) if s.contains("in(x)")));
+    }
+
+    #[test]
+    fn inout_derives_reverse_map() {
+        let r = Region::from_source(
+            "inout",
+            r#"
+            #pragma approx tensor functor(st: [c, i, 0:1] = ([c, i]))
+            #pragma approx tensor map(to: st(state[0:4, 0:W]))
+            #pragma approx ml(collect) inout(state) db("/tmp/hpacml-region-test/io.h5")
+            "#,
+        )
+        .unwrap();
+        let binds = Bindings::new().with("W", 5);
+        assert!(r.plan_for("state", Direction::To, &[4, 5], &binds).is_ok());
+        assert!(r.plan_for("state", Direction::From, &[4, 5], &binds).is_ok());
+    }
+
+    #[test]
+    fn duplicate_functor_rejected() {
+        let err = Region::from_source(
+            "dup",
+            r#"
+            #pragma approx tensor functor(f: [i, 0:1] = ([i]))
+            #pragma approx tensor functor(f: [i, 0:1] = ([i]))
+            #pragma approx ml(collect) in(x) out(y)
+            "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Region(s) if s.contains("declared twice")));
+    }
+
+    #[test]
+    fn map_with_unknown_functor_rejected() {
+        let err = Region::from_source(
+            "ghost",
+            r#"
+            #pragma approx tensor functor(f: [i, 0:1] = ([i]))
+            #pragma approx tensor map(to: ghost(x[0:4]))
+            #pragma approx tensor map(from: f(y[0:4]))
+            #pragma approx ml(infer) in(x) out(y) model("m.hml")
+            "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Region(s) if s.contains("ghost")));
+    }
+
+    #[test]
+    fn builder_overrides_paths() {
+        let r = Region::builder("override")
+            .directive(
+                r#"
+                #pragma approx tensor functor(f: [i, 0:1] = ([i]))
+                #pragma approx tensor map(to: f(x[0:4]))
+                #pragma approx tensor map(from: f(y[0:4]))
+                #pragma approx ml(infer) in(x) out(y) model("original.hml")
+                "#,
+            )
+            .model("/elsewhere/better.hml")
+            .database("/elsewhere/data.h5")
+            .build()
+            .unwrap();
+        assert_eq!(r.model_path().unwrap(), PathBuf::from("/elsewhere/better.hml"));
+        assert_eq!(r.db_path().unwrap(), PathBuf::from("/elsewhere/data.h5"));
+    }
+}

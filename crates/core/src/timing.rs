@@ -1,0 +1,97 @@
+//! Per-phase wall-clock accounting.
+//!
+//! The paper's Fig. 6 breaks inference-mode runtime into "To Tensor",
+//! "Inference Engine" and "From Tensor"; Table III measures the overhead of
+//! data collection. [`RegionStats`] accumulates all of those per region.
+
+use std::time::Instant;
+
+/// Accumulated phase timings (nanoseconds) and invocation counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    pub invocations: u64,
+    pub surrogate_invocations: u64,
+    /// Application memory → tensor space (gather + compose).
+    pub to_tensor_ns: u64,
+    /// Model forward pass inside the inference engine.
+    pub inference_ns: u64,
+    /// Tensor space → application memory (decompose + scatter).
+    pub from_tensor_ns: u64,
+    /// Accurate-path execution.
+    pub accurate_ns: u64,
+    /// Data-collection bookkeeping (output gathering + store appends).
+    pub collection_ns: u64,
+}
+
+impl RegionStats {
+    /// Total time spent inside the runtime for surrogate invocations.
+    pub fn surrogate_total_ns(&self) -> u64 {
+        self.to_tensor_ns + self.inference_ns + self.from_tensor_ns
+    }
+
+    /// Fractions (to-tensor, inference, from-tensor) of surrogate runtime —
+    /// the three bars of the paper's Fig. 6.
+    pub fn breakdown(&self) -> (f64, f64, f64) {
+        let total = self.surrogate_total_ns().max(1) as f64;
+        (
+            self.to_tensor_ns as f64 / total,
+            self.inference_ns as f64 / total,
+            self.from_tensor_ns as f64 / total,
+        )
+    }
+
+    /// Bridge overhead relative to inference-engine latency (paper: "the
+    /// overhead of HPAC-ML is between 0.01% and 8%, compared to the latency
+    /// of the inference engine").
+    pub fn bridge_overhead_ratio(&self) -> f64 {
+        (self.to_tensor_ns + self.from_tensor_ns) as f64 / self.inference_ns.max(1) as f64
+    }
+}
+
+/// Measure one closure, returning its result and elapsed nanoseconds.
+#[inline]
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_nanos() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_something() {
+        let (v, ns) = timed(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(v > 0);
+        assert!(ns > 0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let s = RegionStats {
+            to_tensor_ns: 10,
+            inference_ns: 80,
+            from_tensor_ns: 10,
+            ..Default::default()
+        };
+        let (a, b, c) = s.breakdown();
+        assert!((a + b + c - 1.0).abs() < 1e-12);
+        assert!((b - 0.8).abs() < 1e-12);
+        assert!((s.bridge_overhead_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let s = RegionStats::default();
+        let (a, b, c) = s.breakdown();
+        assert_eq!((a, b, c), (0.0, 0.0, 0.0));
+        assert_eq!(s.bridge_overhead_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,590 @@
+//! Layers with hand-derived backward passes.
+//!
+//! Each layer offers two forward entry points: a pure `forward` used by the
+//! inference engine (no mutation, shareable across threads) and a caching
+//! `forward_train` used by the training loop, whose cached activations feed
+//! `backward`.
+
+use crate::{NnError, Result};
+use hpacml_tensor::ops::{self, Conv2dGeom};
+use hpacml_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A trainable tensor together with its gradient accumulator.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub value: Tensor,
+    pub grad: Tensor,
+}
+
+impl Param {
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims().to_vec());
+        Param { value, grad }
+    }
+
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.data_mut() {
+            *g = 0.0;
+        }
+    }
+}
+
+/// A differentiable network layer.
+pub trait Layer: Send + Sync {
+    fn name(&self) -> &'static str;
+
+    /// Pure forward pass (inference). Must not mutate the layer.
+    fn forward(&self, x: &Tensor) -> Result<Tensor>;
+
+    /// Caching forward pass (training). Default: same as `forward`.
+    fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.forward(x)
+    }
+
+    /// Backward pass: gradient w.r.t. the layer input, accumulating parameter
+    /// gradients. Requires a preceding `forward_train`.
+    fn backward(&mut self, dy: &Tensor) -> Result<Tensor>;
+
+    /// Visit every trainable parameter (deterministic order).
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Number of scalar parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+fn missing_cache(layer: &'static str) -> NnError {
+    NnError::Train(format!("{layer}: backward called without forward_train"))
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+/// Fully connected layer: `y = x·Wᵀ + b`, weights stored `[out, in]`.
+pub struct Linear {
+    pub w: Param,
+    pub b: Param,
+    cache_x: Option<Tensor>,
+}
+
+impl Linear {
+    pub fn new(in_features: usize, out_features: usize, rng: &mut SmallRng) -> Self {
+        let w = crate::init::kaiming_uniform(rng, in_features, out_features * in_features);
+        let b = crate::init::bias_uniform(rng, in_features, out_features);
+        Linear {
+            w: Param::new(Tensor::from_vec(w, [out_features, in_features]).expect("init size")),
+            b: Param::new(Tensor::from_vec(b, [out_features]).expect("init size")),
+            cache_x: None,
+        }
+    }
+
+    pub fn from_params(w: Tensor, b: Tensor) -> Self {
+        Linear { w: Param::new(w), b: Param::new(b), cache_x: None }
+    }
+
+    pub fn in_features(&self) -> usize {
+        self.w.value.dims()[1]
+    }
+
+    pub fn out_features(&self) -> usize {
+        self.w.value.dims()[0]
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let mut y = ops::matmul_transb(x, &self.w.value)?;
+        ops::add_bias_rows(&mut y, self.b.value.data())?;
+        Ok(y)
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.cache_x = Some(x.clone());
+        self.forward(x)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        let x = self.cache_x.as_ref().ok_or_else(|| missing_cache("linear"))?;
+        // dW[out, in] += dyᵀ[out, N] · x[N, in]
+        let dw = ops::matmul_transa(dy, x)?;
+        for (g, d) in self.w.grad.data_mut().iter_mut().zip(dw.data()) {
+            *g += *d;
+        }
+        // db[out] += column sums of dy.
+        let out = self.out_features();
+        for row in dy.data().chunks_exact(out) {
+            for (g, d) in self.b.grad.data_mut().iter_mut().zip(row) {
+                *g += *d;
+            }
+        }
+        // dx[N, in] = dy[N, out] · W[out, in]
+        Ok(ops::matmul(dy, &self.w.value)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.value.numel() + self.b.value.numel()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct ReLU {
+    cache_x: Option<Tensor>,
+}
+
+impl Layer for ReLU {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        Ok(x.map(|v| v.max(0.0)))
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.cache_x = Some(x.clone());
+        self.forward(x)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        let x = self.cache_x.as_ref().ok_or_else(|| missing_cache("relu"))?;
+        let mut dx = dy.clone();
+        for (d, xv) in dx.data_mut().iter_mut().zip(x.data()) {
+            if *xv <= 0.0 {
+                *d = 0.0;
+            }
+        }
+        Ok(dx)
+    }
+}
+
+/// Hyperbolic tangent.
+#[derive(Default)]
+pub struct Tanh {
+    cache_y: Option<Tensor>,
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        Ok(x.map(|v| v.tanh()))
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        let y = self.forward(x)?;
+        self.cache_y = Some(y.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        let y = self.cache_y.as_ref().ok_or_else(|| missing_cache("tanh"))?;
+        let mut dx = dy.clone();
+        for (d, yv) in dx.data_mut().iter_mut().zip(y.data()) {
+            *d *= 1.0 - yv * yv;
+        }
+        Ok(dx)
+    }
+}
+
+/// Logistic sigmoid.
+#[derive(Default)]
+pub struct Sigmoid {
+    cache_y: Option<Tensor>,
+}
+
+impl Layer for Sigmoid {
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        Ok(x.map(|v| 1.0 / (1.0 + (-v).exp())))
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        let y = self.forward(x)?;
+        self.cache_y = Some(y.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        let y = self.cache_y.as_ref().ok_or_else(|| missing_cache("sigmoid"))?;
+        let mut dx = dy.clone();
+        for (d, yv) in dx.data_mut().iter_mut().zip(y.data()) {
+            *d *= yv * (1.0 - yv);
+        }
+        Ok(dx)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dropout
+// ---------------------------------------------------------------------------
+
+/// Inverted dropout: active only in training; identity at inference.
+pub struct Dropout {
+    pub p: f32,
+    rng: SmallRng,
+    cache_mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    pub fn new(p: f32, seed: u64) -> Self {
+        Dropout { p: p.clamp(0.0, 0.95), rng: crate::init::rng(seed), cache_mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        Ok(x.clone())
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        if self.p == 0.0 {
+            self.cache_mask = None;
+            return Ok(x.clone());
+        }
+        let keep = 1.0 - self.p;
+        let mask: Vec<f32> = (0..x.numel())
+            .map(|_| if self.rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        let mut y = x.clone();
+        for (v, m) in y.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.cache_mask = Some(mask);
+        Ok(y)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        match &self.cache_mask {
+            None => Ok(dy.clone()),
+            Some(mask) => {
+                let mut dx = dy.clone();
+                for (d, m) in dx.data_mut().iter_mut().zip(mask) {
+                    *d *= m;
+                }
+                Ok(dx)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flatten
+// ---------------------------------------------------------------------------
+
+/// Collapse `[N, ...]` to `[N, prod(...)]`.
+#[derive(Default)]
+pub struct Flatten {
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let n = x.dims()[0];
+        let rest: usize = x.dims()[1..].iter().product();
+        Ok(x.clone().reshape([n, rest])?)
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.cache_shape = Some(x.dims().to_vec());
+        self.forward(x)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        let shape = self.cache_shape.as_ref().ok_or_else(|| missing_cache("flatten"))?;
+        Ok(dy.clone().reshape(shape.clone())?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+/// 2-D convolution over `[N, C, H, W]`.
+pub struct Conv2d {
+    pub w: Param,
+    pub b: Param,
+    pub geom: Conv2dGeom,
+    cache_x: Option<Tensor>,
+}
+
+impl Conv2d {
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        geom: Conv2dGeom,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let (kh, kw) = geom.kernel;
+        let fan_in = in_ch * kh * kw;
+        let w = crate::init::kaiming_uniform(rng, fan_in, out_ch * fan_in);
+        let b = crate::init::bias_uniform(rng, fan_in, out_ch);
+        Conv2d {
+            w: Param::new(Tensor::from_vec(w, [out_ch, in_ch, kh, kw]).expect("init size")),
+            b: Param::new(Tensor::from_vec(b, [out_ch]).expect("init size")),
+            geom,
+            cache_x: None,
+        }
+    }
+
+    pub fn from_params(w: Tensor, b: Tensor, geom: Conv2dGeom) -> Self {
+        Conv2d { w: Param::new(w), b: Param::new(b), geom, cache_x: None }
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        Ok(ops::conv2d(x, &self.w.value, self.b.value.data(), self.geom)?)
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.cache_x = Some(x.clone());
+        self.forward(x)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        let x = self.cache_x.as_ref().ok_or_else(|| missing_cache("conv2d"))?;
+        let (dx, dw, db) = ops::conv2d_backward(x, &self.w.value, dy, self.geom)?;
+        for (g, d) in self.w.grad.data_mut().iter_mut().zip(dw.data()) {
+            *g += *d;
+        }
+        for (g, d) in self.b.grad.data_mut().iter_mut().zip(&db) {
+            *g += *d;
+        }
+        Ok(dx)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.value.numel() + self.b.value.numel()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool2d
+// ---------------------------------------------------------------------------
+
+/// 2-D max pooling over `[N, C, H, W]`.
+pub struct MaxPool2d {
+    pub geom: Conv2dGeom,
+    cache: Option<(Vec<u32>, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    pub fn new(geom: Conv2dGeom) -> Self {
+        MaxPool2d { geom, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        Ok(ops::maxpool2d(x, self.geom)?.0)
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        let (y, arg) = ops::maxpool2d(x, self.geom)?;
+        self.cache = Some((arg, x.dims().to_vec()));
+        Ok(y)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        let (arg, in_shape) = self.cache.as_ref().ok_or_else(|| missing_cache("maxpool2d"))?;
+        Ok(ops::maxpool2d_backward(dy, arg, in_shape)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::rng;
+
+    fn fd_check_input<L: Layer>(layer: &mut L, x: &Tensor, tol: f64) {
+        // Loss = sum of outputs; analytic dx vs central differences.
+        let y = layer.forward_train(x).unwrap();
+        let dy = Tensor::full(y.dims().to_vec(), 1.0f32);
+        let dx = layer.backward(&dy).unwrap();
+        let eps = 1e-3f32;
+        for flat in (0..x.numel()).step_by((x.numel() / 7).max(1)) {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let fp = layer.forward(&xp).unwrap().sum();
+            let fm = layer.forward(&xm).unwrap().sum();
+            let fd = (fp - fm) / (2.0 * eps as f64);
+            assert!(
+                (fd - dx.data()[flat] as f64).abs() < tol,
+                "input grad at {flat}: fd={fd}, analytic={}",
+                dx.data()[flat]
+            );
+        }
+    }
+
+    fn sample_x(n: usize, f: usize, seed: u64) -> Tensor {
+        let mut r = rng(seed);
+        Tensor::from_shape_fn([n, f], |_| r.gen_range(-1.0f32..1.0))
+    }
+
+    #[test]
+    fn linear_shapes_and_param_count() {
+        let mut l = Linear::new(8, 3, &mut rng(1));
+        let y = l.forward(&sample_x(5, 8, 2)).unwrap();
+        assert_eq!(y.dims(), &[5, 3]);
+        assert_eq!(l.param_count(), 8 * 3 + 3);
+        let mut n = 0;
+        l.visit_params(&mut |_| n += 1);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn linear_input_gradient_matches_fd() {
+        let mut l = Linear::new(6, 4, &mut rng(3));
+        fd_check_input(&mut l, &sample_x(3, 6, 4), 1e-2);
+    }
+
+    #[test]
+    fn linear_weight_gradient_matches_fd() {
+        let mut l = Linear::new(4, 2, &mut rng(5));
+        let x = sample_x(3, 4, 6);
+        let y = l.forward_train(&x).unwrap();
+        let dy = Tensor::full(y.dims().to_vec(), 1.0f32);
+        l.backward(&dy).unwrap();
+        let eps = 1e-3f32;
+        for flat in 0..l.w.value.numel() {
+            let orig = l.w.value.data()[flat];
+            l.w.value.data_mut()[flat] = orig + eps;
+            let fp = l.forward(&x).unwrap().sum();
+            l.w.value.data_mut()[flat] = orig - eps;
+            let fm = l.forward(&x).unwrap().sum();
+            l.w.value.data_mut()[flat] = orig;
+            let fd = (fp - fm) / (2.0 * eps as f64);
+            assert!((fd - l.w.grad.data()[flat] as f64).abs() < 1e-2, "w[{flat}]");
+        }
+        // Bias gradient of a sum-loss is the batch size.
+        for g in l.b.grad.data() {
+            assert!((*g - 3.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn activations_match_fd() {
+        fd_check_input(&mut ReLU::default(), &sample_x(4, 5, 7), 2e-2);
+        fd_check_input(&mut Tanh::default(), &sample_x(4, 5, 8), 1e-2);
+        fd_check_input(&mut Sigmoid::default(), &sample_x(4, 5, 9), 1e-2);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let x = Tensor::from_vec(vec![-1.0f32, 0.0, 2.0], [1, 3]).unwrap();
+        let y = ReLU::default().forward(&x).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn dropout_train_scales_and_infer_is_identity() {
+        let x = Tensor::full([1, 10_000], 1.0f32);
+        let mut d = Dropout::new(0.4, 42);
+        let y = d.forward_train(&x).unwrap();
+        // Kept entries are scaled by 1/keep; mean stays ~1.
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean={mean}");
+        let zeros = y.data().iter().filter(|v| **v == 0.0).count();
+        assert!((zeros as f64 / 10_000.0 - 0.4).abs() < 0.05);
+        // Inference path: identity.
+        let yi = d.forward(&x).unwrap();
+        assert_eq!(yi.data(), x.data());
+        // Backward applies the same mask.
+        let dx = d.backward(&Tensor::full([1, 10_000], 1.0f32)).unwrap();
+        assert_eq!(
+            dx.data().iter().filter(|v| **v == 0.0).count(),
+            zeros
+        );
+    }
+
+    #[test]
+    fn dropout_p_zero_is_identity_in_train() {
+        let x = sample_x(2, 8, 10);
+        let mut d = Dropout::new(0.0, 1);
+        assert_eq!(d.forward_train(&x).unwrap().data(), x.data());
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let x = Tensor::<f32>::from_shape_fn([2, 3, 4], |ix| (ix[0] + ix[1] + ix[2]) as f32);
+        let mut f = Flatten::default();
+        let y = f.forward_train(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let back = f.backward(&y).unwrap();
+        assert_eq!(back.dims(), &[2, 3, 4]);
+        assert_eq!(back.data(), x.data());
+    }
+
+    #[test]
+    fn conv2d_layer_input_gradient_matches_fd() {
+        let mut c = Conv2d::new(2, 3, Conv2dGeom::square(3, 1, 1), &mut rng(11));
+        let mut r = rng(12);
+        let x = Tensor::from_shape_fn([1, 2, 5, 5], |_| r.gen_range(-1.0f32..1.0));
+        fd_check_input(&mut c, &x, 3e-2);
+        assert_eq!(c.param_count(), 3 * 2 * 9 + 3);
+    }
+
+    #[test]
+    fn maxpool_layer_backward_routes_gradient() {
+        let mut r = rng(13);
+        let x = Tensor::from_shape_fn([1, 1, 4, 4], |_| r.gen_range(-1.0f32..1.0));
+        let mut p = MaxPool2d::new(Conv2dGeom::square(2, 2, 0));
+        let y = p.forward_train(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        let dx = p.backward(&Tensor::full([1, 1, 2, 2], 1.0f32)).unwrap();
+        assert_eq!(dx.sum(), 4.0);
+    }
+
+    #[test]
+    fn backward_without_forward_train_errors() {
+        let mut l = Linear::new(2, 2, &mut rng(14));
+        let dy = Tensor::zeros([1, 2]);
+        assert!(matches!(l.backward(&dy), Err(NnError::Train(_))));
+    }
+}

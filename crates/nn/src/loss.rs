@@ -1,0 +1,95 @@
+//! Regression losses: value and gradient.
+
+use crate::{NnError, Result};
+use hpacml_tensor::Tensor;
+
+/// Loss selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Mean squared error — the training objective for all five benchmarks.
+    Mse,
+    /// Mean absolute error.
+    Mae,
+}
+
+impl Loss {
+    /// Loss value plus gradient w.r.t. `pred`.
+    pub fn eval(self, pred: &Tensor, target: &Tensor) -> Result<(f64, Tensor)> {
+        if pred.dims() != target.dims() {
+            return Err(NnError::Train(format!(
+                "loss: pred {:?} vs target {:?}",
+                pred.dims(),
+                target.dims()
+            )));
+        }
+        let n = pred.numel().max(1) as f64;
+        let mut grad = pred.clone();
+        let mut total = 0.0f64;
+        match self {
+            Loss::Mse => {
+                for (g, t) in grad.data_mut().iter_mut().zip(target.data()) {
+                    let d = (*g - *t) as f64;
+                    total += d * d;
+                    *g = (2.0 * d / n) as f32;
+                }
+                Ok((total / n, grad))
+            }
+            Loss::Mae => {
+                for (g, t) in grad.data_mut().iter_mut().zip(target.data()) {
+                    let d = (*g - *t) as f64;
+                    total += d.abs();
+                    *g = (d.signum() / n) as f32;
+                }
+                Ok((total / n, grad))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let pred = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        let target = Tensor::from_vec(vec![1.0f32, 1.0, 1.0, 1.0], [2, 2]).unwrap();
+        let (v, g) = Loss::Mse.eval(&pred, &target).unwrap();
+        assert!((v - (0.0 + 1.0 + 4.0 + 9.0) / 4.0).abs() < 1e-12);
+        assert_eq!(g.data(), &[0.0, 0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn mae_value_and_gradient() {
+        let pred = Tensor::from_vec(vec![2.0f32, -2.0], [2]).unwrap();
+        let target = Tensor::from_vec(vec![0.0f32, 0.0], [2]).unwrap();
+        let (v, g) = Loss::Mae.eval(&pred, &target).unwrap();
+        assert!((v - 2.0).abs() < 1e-12);
+        assert_eq!(g.data(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn mse_gradient_matches_fd() {
+        let pred = Tensor::from_vec(vec![0.3f32, -0.7, 1.2], [3]).unwrap();
+        let target = Tensor::from_vec(vec![0.1f32, 0.4, -0.5], [3]).unwrap();
+        let (_, g) = Loss::Mse.eval(&pred, &target).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut pp = pred.clone();
+            pp.data_mut()[i] += eps;
+            let mut pm = pred.clone();
+            pm.data_mut()[i] -= eps;
+            let fd = (Loss::Mse.eval(&pp, &target).unwrap().0
+                - Loss::Mse.eval(&pm, &target).unwrap().0)
+                / (2.0 * eps as f64);
+            assert!((fd - g.data()[i] as f64).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Tensor::<f32>::zeros([2, 2]);
+        let b = Tensor::<f32>::zeros([4]);
+        assert!(Loss::Mse.eval(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,364 @@
+//! `.hml` model files — the reproduction's TorchScript.
+//!
+//! A saved model is self-contained: architecture spec, trained weights, and
+//! the input/output normalizers fitted during training, so a deployed model
+//! maps *raw application values* to *raw application values*. The HPAC-ML
+//! runtime loads these by path (the `model("...")` clause).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "HMLMODEL", version u8 = 1
+//! spec    : rank:u32, input_dims:u64*, n_layers:u32, layer*
+//! layer   : tag:u8 + per-variant fields (u64 ints / f32 floats)
+//! norm_in : present:u8 [axis:u8, len:u32, mean:f32*, std:f32*]
+//! norm_out: same
+//! weights : n:u32, { len:u64, f32* }*
+//! ```
+
+use crate::data::{NormAxis, Normalizer};
+use crate::model::Sequential;
+use crate::spec::{LayerSpec, ModelSpec};
+use crate::{NnError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hpacml_tensor::Tensor;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"HMLMODEL";
+const VERSION: u8 = 1;
+
+/// A deserialized, inference-ready model.
+pub struct SavedModel {
+    pub spec: ModelSpec,
+    pub model: Sequential,
+    pub in_norm: Option<Normalizer>,
+    pub out_norm: Option<Normalizer>,
+}
+
+impl SavedModel {
+    /// End-to-end inference on raw application-space data: normalize input,
+    /// run the network, denormalize output.
+    pub fn infer(&self, x: &Tensor) -> Result<Tensor> {
+        let xin = match &self.in_norm {
+            Some(n) => n.transform(x),
+            None => x.clone(),
+        };
+        let y = self.model.forward(&xin)?;
+        Ok(match &self.out_norm {
+            Some(n) => n.inverse(&y),
+            None => y,
+        })
+    }
+
+    /// Scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.spec.param_count()
+    }
+}
+
+/// Serialize a trained model (plus normalizers) to `path`.
+pub fn save_model(
+    path: impl AsRef<Path>,
+    spec: &ModelSpec,
+    model: &mut Sequential,
+    in_norm: Option<&Normalizer>,
+    out_norm: Option<&Normalizer>,
+) -> Result<()> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    encode_spec(&mut buf, spec);
+    encode_norm(&mut buf, in_norm);
+    encode_norm(&mut buf, out_norm);
+    let weights = model.export_weights();
+    buf.put_u32_le(weights.len() as u32);
+    for w in &weights {
+        buf.put_u64_le(w.len() as u64);
+        for v in w {
+            buf.put_f32_le(*v);
+        }
+    }
+    if let Some(dir) = path.as_ref().parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(&buf)?;
+    f.flush()?;
+    Ok(())
+}
+
+/// Load a `.hml` model from disk and rebuild the network with its weights.
+pub fn load_model(path: impl AsRef<Path>) -> Result<SavedModel> {
+    let mut raw = Vec::new();
+    std::fs::File::open(path.as_ref())?.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    let mut magic = [0u8; 8];
+    if buf.remaining() < 9 {
+        return Err(NnError::Serialize("file too short".into()));
+    }
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(NnError::Serialize("not an .hml model (bad magic)".into()));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(NnError::Serialize(format!("unsupported .hml version {version}")));
+    }
+    let spec = decode_spec(&mut buf)?;
+    let in_norm = decode_norm(&mut buf)?;
+    let out_norm = decode_norm(&mut buf)?;
+    let n = need_u32(&mut buf)? as usize;
+    let mut weights = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = need_u64(&mut buf)? as usize;
+        if buf.remaining() < len * 4 {
+            return Err(NnError::Serialize("truncated weight payload".into()));
+        }
+        let mut w = Vec::with_capacity(len);
+        for _ in 0..len {
+            w.push(buf.get_f32_le());
+        }
+        weights.push(w);
+    }
+    // Build with an arbitrary seed, then overwrite every parameter.
+    let mut model = spec.build(0)?;
+    model.import_weights(&weights)?;
+    Ok(SavedModel { spec, model, in_norm, out_norm })
+}
+
+fn encode_spec(buf: &mut BytesMut, spec: &ModelSpec) {
+    buf.put_u32_le(spec.input_shape.len() as u32);
+    for d in &spec.input_shape {
+        buf.put_u64_le(*d as u64);
+    }
+    buf.put_u32_le(spec.layers.len() as u32);
+    for l in &spec.layers {
+        match l {
+            LayerSpec::Linear { in_features, out_features } => {
+                buf.put_u8(0);
+                buf.put_u64_le(*in_features as u64);
+                buf.put_u64_le(*out_features as u64);
+            }
+            LayerSpec::ReLU => buf.put_u8(1),
+            LayerSpec::Tanh => buf.put_u8(2),
+            LayerSpec::Sigmoid => buf.put_u8(3),
+            LayerSpec::Dropout { p } => {
+                buf.put_u8(4);
+                buf.put_f32_le(*p);
+            }
+            LayerSpec::Flatten => buf.put_u8(5),
+            LayerSpec::Conv2d { in_ch, out_ch, kernel, stride, pad } => {
+                buf.put_u8(6);
+                for v in [in_ch, out_ch, kernel, stride, pad] {
+                    buf.put_u64_le(*v as u64);
+                }
+            }
+            LayerSpec::MaxPool2d { kernel, stride } => {
+                buf.put_u8(7);
+                buf.put_u64_le(*kernel as u64);
+                buf.put_u64_le(*stride as u64);
+            }
+        }
+    }
+}
+
+fn decode_spec(buf: &mut Bytes) -> Result<ModelSpec> {
+    let rank = need_u32(buf)? as usize;
+    if rank > 8 {
+        return Err(NnError::Serialize(format!("implausible input rank {rank}")));
+    }
+    let mut input_shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        input_shape.push(need_u64(buf)? as usize);
+    }
+    let n = need_u32(buf)? as usize;
+    let mut layers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = need_u8(buf)?;
+        layers.push(match tag {
+            0 => LayerSpec::Linear {
+                in_features: need_u64(buf)? as usize,
+                out_features: need_u64(buf)? as usize,
+            },
+            1 => LayerSpec::ReLU,
+            2 => LayerSpec::Tanh,
+            3 => LayerSpec::Sigmoid,
+            4 => LayerSpec::Dropout { p: need_f32(buf)? },
+            5 => LayerSpec::Flatten,
+            6 => LayerSpec::Conv2d {
+                in_ch: need_u64(buf)? as usize,
+                out_ch: need_u64(buf)? as usize,
+                kernel: need_u64(buf)? as usize,
+                stride: need_u64(buf)? as usize,
+                pad: need_u64(buf)? as usize,
+            },
+            7 => LayerSpec::MaxPool2d {
+                kernel: need_u64(buf)? as usize,
+                stride: need_u64(buf)? as usize,
+            },
+            other => return Err(NnError::Serialize(format!("bad layer tag {other}"))),
+        });
+    }
+    Ok(ModelSpec::new(input_shape, layers))
+}
+
+fn encode_norm(buf: &mut BytesMut, norm: Option<&Normalizer>) {
+    match norm {
+        None => buf.put_u8(0),
+        Some(n) => {
+            buf.put_u8(1);
+            buf.put_u8(n.axis.tag());
+            buf.put_u32_le(n.mean.len() as u32);
+            for v in &n.mean {
+                buf.put_f32_le(*v);
+            }
+            for v in &n.std {
+                buf.put_f32_le(*v);
+            }
+        }
+    }
+}
+
+fn decode_norm(buf: &mut Bytes) -> Result<Option<Normalizer>> {
+    match need_u8(buf)? {
+        0 => Ok(None),
+        1 => {
+            let axis = NormAxis::from_tag(need_u8(buf)?)?;
+            let len = need_u32(buf)? as usize;
+            if buf.remaining() < len * 8 {
+                return Err(NnError::Serialize("truncated normalizer".into()));
+            }
+            let mut mean = Vec::with_capacity(len);
+            for _ in 0..len {
+                mean.push(buf.get_f32_le());
+            }
+            let mut std = Vec::with_capacity(len);
+            for _ in 0..len {
+                std.push(buf.get_f32_le());
+            }
+            Ok(Some(Normalizer { axis, mean, std }))
+        }
+        other => Err(NnError::Serialize(format!("bad normalizer tag {other}"))),
+    }
+}
+
+fn need_u8(buf: &mut Bytes) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(NnError::Serialize("truncated file".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+fn need_u32(buf: &mut Bytes) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(NnError::Serialize("truncated file".into()));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn need_u64(buf: &mut Bytes) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(NnError::Serialize("truncated file".into()));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn need_f32(buf: &mut Bytes) -> Result<f32> {
+    if buf.remaining() < 4 {
+        return Err(NnError::Serialize("truncated file".into()));
+    }
+    Ok(buf.get_f32_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Activation;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("hpacml-nn-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn mlp_roundtrip_preserves_predictions() {
+        let spec = ModelSpec::mlp(3, &[16, 8], 2, Activation::Tanh, 0.2);
+        let mut model = spec.build(5).unwrap();
+        let x = Tensor::from_shape_fn([4, 3], |ix| (ix[0] as f32 - ix[1] as f32) * 0.3);
+        let before = model.forward(&x).unwrap();
+
+        let in_norm = Normalizer::fit(&x, NormAxis::PerFeature).unwrap();
+        let path = tmp("mlp.hml");
+        save_model(&path, &spec, &mut model, Some(&in_norm), None).unwrap();
+
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.spec, spec);
+        assert_eq!(loaded.param_count(), spec.param_count());
+        assert_eq!(loaded.in_norm, Some(in_norm.clone()));
+        assert_eq!(loaded.out_norm, None);
+        // Raw forward (no norm) must match exactly.
+        let after = loaded.model.forward(&x).unwrap();
+        assert_eq!(before.data(), after.data());
+        // infer() applies the input normalizer.
+        let normed = loaded.model.forward(&in_norm.transform(&x)).unwrap();
+        assert_eq!(loaded.infer(&x).unwrap().data(), normed.data());
+    }
+
+    #[test]
+    fn cnn_roundtrip() {
+        let spec = ModelSpec::new(
+            vec![2, 8, 8],
+            vec![
+                LayerSpec::Conv2d { in_ch: 2, out_ch: 3, kernel: 3, stride: 1, pad: 1 },
+                LayerSpec::ReLU,
+                LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+                LayerSpec::Flatten,
+                LayerSpec::Linear { in_features: 3 * 4 * 4, out_features: 2 },
+            ],
+        );
+        let mut model = spec.build(9).unwrap();
+        let x = Tensor::from_shape_fn([2, 2, 8, 8], |ix| (ix[2] * 8 + ix[3]) as f32 * 0.01);
+        let before = model.forward(&x).unwrap();
+        let path = tmp("cnn.hml");
+        save_model(&path, &spec, &mut model, None, None).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.model.forward(&x).unwrap().data(), before.data());
+    }
+
+    #[test]
+    fn output_norm_applied_on_infer() {
+        let spec = ModelSpec::mlp(1, &[], 1, Activation::ReLU, 0.0);
+        let mut model = spec.build(1).unwrap();
+        let out_norm =
+            Normalizer { axis: NormAxis::PerFeature, mean: vec![100.0], std: vec![10.0] };
+        let path = tmp("outnorm.hml");
+        save_model(&path, &spec, &mut model, None, Some(&out_norm)).unwrap();
+        let loaded = load_model(&path).unwrap();
+        let x = Tensor::full([1, 1], 0.5f32);
+        let raw = loaded.model.forward(&x).unwrap().data()[0];
+        let scaled = loaded.infer(&x).unwrap().data()[0];
+        assert!((scaled - (raw * 10.0 + 100.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn corrupt_files_rejected() {
+        let path = tmp("bad.hml");
+        std::fs::write(&path, b"NOTMODEL").unwrap();
+        assert!(load_model(&path).is_err());
+        std::fs::write(&path, b"HM").unwrap();
+        assert!(load_model(&path).is_err());
+        // Truncated real model.
+        let spec = ModelSpec::mlp(2, &[4], 1, Activation::ReLU, 0.0);
+        let mut model = spec.build(2).unwrap();
+        let good = tmp("good.hml");
+        save_model(&good, &spec, &mut model, None, None).unwrap();
+        let bytes = std::fs::read(&good).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 6]).unwrap();
+        assert!(load_model(&path).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Parallel runtime substrate for the HPAC-ML reproduction.
+//!
+//! The paper's evaluation runs both the *accurate* benchmark kernels and the
+//! surrogate inference engine on NVIDIA A100 GPUs. This crate is the
+//! corresponding substrate in the reproduction: a persistent, work-distributing
+//! thread pool on which both execution paths run, so that measured speedups
+//! compare like against like.
+//!
+//! Design (following the idioms of Rayon and *Rust Atomics and Locks*):
+//!
+//! * one persistent pool of workers that **park** between jobs
+//!   ([`parking_lot::Condvar`]), so repeated small dispatches stay cheap;
+//! * a job is a lifetime-erased `Fn(Range<usize>)` plus an atomic cursor;
+//!   workers (and the caller, which always participates) claim grain-sized
+//!   chunks with `fetch_add` until the range is exhausted;
+//! * the caller blocks on a completion barrier before returning, which is what
+//!   makes the lifetime erasure sound — borrowed data outlives the job;
+//! * nested calls from inside a worker run sequentially inline (no deadlock,
+//!   no oversubscription).
+//!
+//! The only `unsafe` in the whole workspace outside of disjoint slice
+//! splitting lives here; see the safety comments on [`TaskPtr`].
+
+pub mod pool;
+pub mod slice;
+
+pub use pool::{global, join, parallel_for, parallel_reduce, Pool};
+pub use slice::{par_chunks_mut, par_map_inplace, par_zip_apply};
+
+/// Statistics snapshot for a pool, used by ablation benchmarks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Number of `parallel_for` jobs dispatched so far.
+    pub jobs: u64,
+    /// Number of worker threads (excluding callers).
+    pub workers: usize,
+}

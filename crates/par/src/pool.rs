@@ -1,0 +1,410 @@
+//! Persistent worker pool with atomic range-splitting dispatch.
+
+use parking_lot::{Condvar, Mutex};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Lifetime-erased pointer to the task closure of an in-flight job.
+///
+/// # Safety
+///
+/// The pointee is a `dyn Fn(Range<usize>) + Sync` borrowed from the caller's
+/// stack. It is only dereferenced while the job it belongs to is live, and the
+/// caller of [`Pool::parallel_for`] blocks until the job's completion barrier
+/// trips (`remaining == 0`), so the borrow is never outlived. `Sync` on the
+/// closure makes concurrent invocation sound; the raw pointer itself is made
+/// `Send + Sync` here because those invariants are upheld by construction.
+struct TaskPtr(*const (dyn Fn(Range<usize>) + Sync));
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+struct Job {
+    task: TaskPtr,
+    /// Next index to hand out.
+    cursor: AtomicUsize,
+    /// One past the last index of the iteration space.
+    end: usize,
+    /// Chunk size handed to each claim.
+    grain: usize,
+    /// Chunks not yet completed; the completion barrier.
+    remaining: AtomicUsize,
+    /// Set if any chunk panicked.
+    panicked: AtomicBool,
+}
+
+impl Job {
+    /// Claim and run chunks until the cursor passes `end`.
+    fn drain(&self) {
+        loop {
+            let start = self.cursor.fetch_add(self.grain, Ordering::Relaxed);
+            if start >= self.end {
+                return;
+            }
+            let stop = (start + self.grain).min(self.end);
+            let task = unsafe { &*self.task.0 };
+            let res = catch_unwind(AssertUnwindSafe(|| task(start..stop)));
+            if res.is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            self.remaining.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+}
+
+#[derive(Default)]
+struct DispatchState {
+    job: Option<Arc<Job>>,
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<DispatchState>,
+    /// Workers park here waiting for a new epoch.
+    work_cv: Condvar,
+    jobs_dispatched: AtomicU64,
+}
+
+thread_local! {
+    /// True while this thread is executing inside a pool worker; nested
+    /// `parallel_for` calls then run sequentially inline.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A persistent pool of worker threads.
+///
+/// All parallel work in the workspace — accurate benchmark kernels, NN
+/// matmul/conv kernels, data-bridge sweeps — is dispatched through one of
+/// these (normally the [`global`] pool).
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl Pool {
+    /// Create a pool with `workers` worker threads (callers participate too,
+    /// so total parallelism is `workers + 1`).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(DispatchState::default()),
+            work_cv: Condvar::new(),
+            jobs_dispatched: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hpacml-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Pool { shared, handles, workers }
+    }
+
+    /// Number of worker threads (not counting the caller).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> crate::PoolStats {
+        crate::PoolStats {
+            jobs: self.shared.jobs_dispatched.load(Ordering::Relaxed),
+            workers: self.workers,
+        }
+    }
+
+    /// Run `task` over `0..len` in parallel, handing out `grain`-sized chunks.
+    ///
+    /// The caller participates in the work and returns only after every chunk
+    /// has completed. Panics in any chunk are re-raised on the caller after
+    /// the barrier (so the pool itself never deadlocks on a panicked task).
+    pub fn parallel_for<F>(&self, len: usize, grain: usize, task: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if len == 0 {
+            return;
+        }
+        let grain = grain.max(1);
+        // Sequential fast paths: tiny jobs and nested calls. Chunking is
+        // preserved even inline — callers (e.g. `par_chunks_mut`) rely on
+        // every range starting at a multiple of `grain` with length <= grain.
+        let nested = IN_WORKER.with(|f| f.get());
+        if nested || self.workers == 0 || len <= grain {
+            let mut s = 0;
+            while s < len {
+                let e = (s + grain).min(len);
+                task(s..e);
+                s = e;
+            }
+            return;
+        }
+
+        let chunks = len.div_ceil(grain);
+        // SAFETY: erase the closure's lifetime. The completion barrier below
+        // guarantees every worker is done with `task` before this frame ends.
+        let erased: &'static (dyn Fn(Range<usize>) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(Range<usize>) + Sync), _>(&task)
+        };
+        let job = Arc::new(Job {
+            task: TaskPtr(erased as *const _),
+            cursor: AtomicUsize::new(0),
+            end: len,
+            grain,
+            remaining: AtomicUsize::new(chunks),
+            panicked: AtomicBool::new(false),
+        });
+
+        {
+            let mut st = self.shared.state.lock();
+            st.job = Some(Arc::clone(&job));
+            st.epoch += 1;
+            self.shared.jobs_dispatched.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.work_cv.notify_all();
+
+        // The caller works too.
+        job.drain();
+
+        // Completion barrier: spin briefly, then yield. Chunks are sized so
+        // that the tail wait is short; yielding avoids burning a core when a
+        // single long chunk straggles.
+        let mut spins = 0u32;
+        while !job.is_done() {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+
+        // Drop the job from the dispatch slot if it is still ours, so workers
+        // park instead of re-inspecting an exhausted job.
+        {
+            let mut st = self.shared.state.lock();
+            if let Some(current) = &st.job {
+                if Arc::ptr_eq(current, &job) {
+                    st.job = None;
+                }
+            }
+        }
+
+        if job.panicked.load(Ordering::Relaxed) {
+            panic!("hpacml-par: a parallel_for task panicked");
+        }
+    }
+
+    /// Parallel map-reduce over `0..len`: `map` produces a partial result per
+    /// chunk, `fold` combines partials (in unspecified order), starting from
+    /// `identity`.
+    pub fn parallel_reduce<T, M, R>(&self, len: usize, grain: usize, identity: T, map: M, fold: R) -> T
+    where
+        T: Send,
+        M: Fn(Range<usize>) -> T + Sync,
+        R: Fn(T, T) -> T,
+    {
+        let partials = Mutex::new(Vec::new());
+        self.parallel_for(len, grain, |r| {
+            let part = map(r);
+            partials.lock().push(part);
+        });
+        partials.into_inner().into_iter().fold(identity, fold)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            st.epoch += 1;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IN_WORKER.with(|f| f.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            while st.epoch == seen_epoch && !st.shutdown {
+                shared.work_cv.wait(&mut st);
+            }
+            if st.shutdown {
+                return;
+            }
+            seen_epoch = st.epoch;
+            st.job.clone()
+        };
+        if let Some(job) = job {
+            job.drain();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-wide pool. Thread count comes from `HPACML_THREADS` if set,
+/// otherwise `available_parallelism() - 1` workers (the caller participates).
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| {
+        let n = std::env::var("HPACML_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            });
+        Pool::new(n.saturating_sub(1))
+    })
+}
+
+/// Convenience: `parallel_for` on the global pool.
+pub fn parallel_for<F>(len: usize, grain: usize, task: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    global().parallel_for(len, grain, task)
+}
+
+/// Convenience: `parallel_reduce` on the global pool.
+pub fn parallel_reduce<T, M, R>(len: usize, grain: usize, identity: T, map: M, fold: R) -> T
+where
+    T: Send,
+    M: Fn(Range<usize>) -> T + Sync,
+    R: Fn(T, T) -> T,
+{
+    global().parallel_reduce(len, grain, identity, map, fold)
+}
+
+/// Run two independent closures, potentially in parallel, returning both
+/// results. Uses a scoped thread for the second closure; falls back to
+/// sequential execution inside pool workers.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if IN_WORKER.with(|f| f.get()) {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("join: second closure panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_covers_every_index_exactly_once() {
+        let pool = Pool::new(3);
+        let n = 10_001;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(n, 64, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_reduce_matches_sequential_sum() {
+        let pool = Pool::new(4);
+        let data: Vec<u64> = (0..100_000).collect();
+        let total = pool.parallel_reduce(
+            data.len(),
+            1024,
+            0u64,
+            |r| r.map(|i| data[i]).sum::<u64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn zero_len_and_tiny_jobs_run_inline() {
+        let pool = Pool::new(2);
+        pool.parallel_for(0, 16, |_| panic!("must not run"));
+        let count = AtomicU64::new(0);
+        pool.parallel_for(3, 16, |r| {
+            count.fetch_add(r.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn nested_calls_run_sequentially_without_deadlock() {
+        let pool = Pool::new(2);
+        let count = AtomicU64::new(0);
+        pool.parallel_for(8, 1, |outer| {
+            for _ in outer {
+                // Nested dispatch inside a task must not deadlock.
+                crate::pool::global().parallel_for(100, 10, |inner| {
+                    count.fetch_add(inner.len() as u64, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 800);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_jobs() {
+        let pool = Pool::new(3);
+        for round in 1..50usize {
+            let acc = AtomicUsize::new(0);
+            pool.parallel_for(round * 37, 8, |r| {
+                acc.fetch_add(r.len(), Ordering::Relaxed);
+            });
+            assert_eq!(acc.load(Ordering::Relaxed), round * 37);
+        }
+        assert!(pool.stats().jobs > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel_for task panicked")]
+    fn task_panic_propagates_to_caller() {
+        let pool = Pool::new(2);
+        pool.parallel_for(1000, 10, |r| {
+            if r.start == 500 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn join_runs_both_and_returns_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn dropping_pool_joins_workers() {
+        let pool = Pool::new(4);
+        pool.parallel_for(100, 10, |_| {});
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,116 @@
+//! Safe slice-oriented parallel helpers built on the pool.
+//!
+//! The soundness argument for the `unsafe` below is the classic disjoint-
+//! chunks one: each task receives a sub-slice reconstructed from the base
+//! pointer over a range that no other task overlaps (ranges are handed out by
+//! the pool's atomic cursor in `grain` multiples), and the caller of
+//! `parallel_for` does not return until every task has finished, so no task
+//! outlives the `&mut [T]` borrow.
+
+use crate::pool::global;
+
+/// Process `data` in parallel, `chunk`-elements at a time. The closure
+/// receives the chunk's starting element index and the mutable chunk.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let chunk = chunk.max(1);
+    let base = data.as_mut_ptr() as usize;
+    global().parallel_for(len, chunk, |r| {
+        // SAFETY: `r` ranges handed out by the pool are disjoint and within
+        // `0..len`; the borrow of `data` outlives the job (completion barrier).
+        let sub = unsafe {
+            std::slice::from_raw_parts_mut((base as *mut T).add(r.start), r.len())
+        };
+        f(r.start, sub);
+    });
+}
+
+/// Map every element of `data` in place: `data[i] = f(i, data[i])`.
+pub fn par_map_inplace<T, F>(data: &mut [T], grain: usize, f: F)
+where
+    T: Send + Sync + Copy,
+    F: Fn(usize, T) -> T + Sync,
+{
+    par_chunks_mut(data, grain, |start, sub| {
+        for (k, v) in sub.iter_mut().enumerate() {
+            *v = f(start + k, *v);
+        }
+    });
+}
+
+/// Element-wise combine: `out[i] = f(a[i], b[i])`. Panics on length mismatch.
+pub fn par_zip_apply<T, F>(out: &mut [T], a: &[T], b: &[T], grain: usize, f: F)
+where
+    T: Send + Sync + Copy,
+    F: Fn(T, T) -> T + Sync,
+{
+    assert_eq!(out.len(), a.len(), "par_zip_apply: length mismatch (out vs a)");
+    assert_eq!(out.len(), b.len(), "par_zip_apply: length mismatch (out vs b)");
+    par_chunks_mut(out, grain, |start, sub| {
+        for (k, v) in sub.iter_mut().enumerate() {
+            *v = f(a[start + k], b[start + k]);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_chunks_mut_writes_every_element() {
+        let mut v = vec![0usize; 5000];
+        par_chunks_mut(&mut v, 37, |start, sub| {
+            for (k, x) in sub.iter_mut().enumerate() {
+                *x = start + k;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+
+    #[test]
+    fn par_map_inplace_matches_sequential() {
+        let mut a = (0..10_000).map(|i| i as f64).collect::<Vec<_>>();
+        let mut b = a.clone();
+        par_map_inplace(&mut a, 128, |i, x| x * 2.0 + i as f64);
+        for (i, x) in b.iter_mut().enumerate() {
+            *x = *x * 2.0 + i as f64;
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_zip_apply_adds() {
+        let a: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..1000).map(|i| (i * 2) as f32).collect();
+        let mut out = vec![0.0f32; 1000];
+        par_zip_apply(&mut out, &a, &b, 64, |x, y| x + y);
+        for i in 0..1000 {
+            assert_eq!(out[i], (i * 3) as f32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn par_zip_apply_length_mismatch_panics() {
+        let a = vec![0.0f32; 4];
+        let b = vec![0.0f32; 5];
+        let mut out = vec![0.0f32; 4];
+        par_zip_apply(&mut out, &a, &b, 2, |x, y| x + y);
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut v: Vec<u8> = vec![];
+        par_chunks_mut(&mut v, 8, |_, _| panic!("must not run"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Bayesian optimization: single-objective EI and ParEGO-style
+//! multi-objective scalarization.
+
+use crate::gp::Gp;
+use crate::space::{Config, Space};
+use crate::Result;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Budget and knobs of a BO run.
+#[derive(Debug, Clone, Copy)]
+pub struct BoConfig {
+    /// Total objective evaluations (including initial random ones).
+    pub iterations: usize,
+    /// Random evaluations before the GP takes over.
+    pub init_samples: usize,
+    /// Random candidates scored by the acquisition per iteration.
+    pub candidates: usize,
+    pub seed: u64,
+}
+
+impl Default for BoConfig {
+    fn default() -> Self {
+        BoConfig { iterations: 30, init_samples: 6, candidates: 512, seed: 0 }
+    }
+}
+
+/// One evaluated trial.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    pub unit: Vec<f64>,
+    pub config: Config,
+    /// Objective values (one entry for single-objective runs).
+    pub values: Vec<f64>,
+}
+
+/// Result of a BO run.
+#[derive(Debug, Clone)]
+pub struct BoResult {
+    pub trials: Vec<Trial>,
+    /// Index of the best trial (single-objective: minimum value).
+    pub best: usize,
+}
+
+impl BoResult {
+    pub fn best_trial(&self) -> &Trial {
+        &self.trials[self.best]
+    }
+
+    /// Pareto-optimal trials under minimization of every objective.
+    pub fn pareto_front(&self) -> Vec<&Trial> {
+        self.trials
+            .iter()
+            .filter(|t| {
+                !self.trials.iter().any(|o| {
+                    !std::ptr::eq(*t, o)
+                        && o.values.iter().zip(&t.values).all(|(a, b)| a <= b)
+                        && o.values.iter().zip(&t.values).any(|(a, b)| a < b)
+                })
+            })
+            .collect()
+    }
+}
+
+/// Minimize a scalar objective over `space`.
+pub fn minimize(
+    space: &Space,
+    mut objective: impl FnMut(&Config) -> f64,
+    cfg: &BoConfig,
+) -> Result<BoResult> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut trials: Vec<Trial> = Vec::with_capacity(cfg.iterations);
+
+    for it in 0..cfg.iterations {
+        let unit = if it < cfg.init_samples.max(2) || trials.len() < 2 {
+            space.sample_unit(&mut rng)
+        } else {
+            propose_ei(space, &trials, |t| t.values[0], cfg, &mut rng)?
+        };
+        let config = space.decode(&unit)?;
+        let value = objective(&config);
+        trials.push(Trial { unit, config, values: vec![value] });
+    }
+    let best = argmin(&trials, |t| t.values[0]);
+    Ok(BoResult { trials, best })
+}
+
+/// Minimize a vector objective (both coordinates minimized) with
+/// random-weight Tchebycheff scalarization per iteration (ParEGO).
+pub fn minimize_multi(
+    space: &Space,
+    mut objective: impl FnMut(&Config) -> Vec<f64>,
+    cfg: &BoConfig,
+) -> Result<BoResult> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut trials: Vec<Trial> = Vec::with_capacity(cfg.iterations);
+
+    for it in 0..cfg.iterations {
+        let unit = if it < cfg.init_samples.max(2) || trials.len() < 2 {
+            space.sample_unit(&mut rng)
+        } else {
+            // Fresh random weights each iteration explore the whole front.
+            let w: f64 = rng.gen();
+            let weights = [w, 1.0 - w];
+            let scalarized = scalarize(&trials, &weights);
+            propose_ei_values(space, &trials, &scalarized, cfg, &mut rng)?
+        };
+        let config = space.decode(&unit)?;
+        let values = objective(&config);
+        trials.push(Trial { unit, config, values });
+    }
+    // "Best" for multi-objective: minimum error (second axis convention is
+    // decided by the caller; we use values[0]).
+    let best = argmin(&trials, |t| t.values[0]);
+    Ok(BoResult { trials, best })
+}
+
+fn argmin(trials: &[Trial], key: impl Fn(&Trial) -> f64) -> usize {
+    let mut best = 0usize;
+    for (i, t) in trials.iter().enumerate() {
+        if key(t) < key(&trials[best]) {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Augmented Tchebycheff scalarization over min-max-normalized objectives.
+fn scalarize(trials: &[Trial], weights: &[f64]) -> Vec<f64> {
+    let k = trials[0].values.len();
+    let mut lo = vec![f64::INFINITY; k];
+    let mut hi = vec![f64::NEG_INFINITY; k];
+    for t in trials {
+        for (j, v) in t.values.iter().enumerate() {
+            lo[j] = lo[j].min(*v);
+            hi[j] = hi[j].max(*v);
+        }
+    }
+    trials
+        .iter()
+        .map(|t| {
+            let mut worst = f64::NEG_INFINITY;
+            let mut sum = 0.0;
+            for (j, v) in t.values.iter().enumerate() {
+                let norm = (v - lo[j]) / (hi[j] - lo[j]).max(1e-12);
+                let w = weights.get(j).copied().unwrap_or(1.0 / k as f64);
+                worst = worst.max(w * norm);
+                sum += w * norm;
+            }
+            worst + 0.05 * sum
+        })
+        .collect()
+}
+
+fn propose_ei(
+    space: &Space,
+    trials: &[Trial],
+    key: impl Fn(&Trial) -> f64,
+    cfg: &BoConfig,
+    rng: &mut SmallRng,
+) -> Result<Vec<f64>> {
+    let values: Vec<f64> = trials.iter().map(key).collect();
+    propose_ei_values(space, trials, &values, cfg, rng)
+}
+
+fn propose_ei_values(
+    space: &Space,
+    trials: &[Trial],
+    values: &[f64],
+    cfg: &BoConfig,
+    rng: &mut SmallRng,
+) -> Result<Vec<f64>> {
+    let xs: Vec<Vec<f64>> = trials.iter().map(|t| t.unit.clone()).collect();
+    let gp = match Gp::fit_auto(xs, values, 1e-3) {
+        Ok(gp) => gp,
+        // Degenerate data (e.g. all-equal objectives): fall back to random.
+        Err(_) => return Ok(space.sample_unit(rng)),
+    };
+    let best = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut best_cand = space.sample_unit(rng);
+    let mut best_ei = f64::NEG_INFINITY;
+    for _ in 0..cfg.candidates {
+        let cand = space.sample_unit(rng);
+        let ei = gp.expected_improvement(&cand, best);
+        if ei > best_ei {
+            best_ei = ei;
+            best_cand = cand;
+        }
+    }
+    Ok(best_cand)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// BO must beat random search on a smooth bowl within the same budget.
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let space = Space::new().float("x", -2.0, 2.0).float("y", -2.0, 2.0);
+        let objective = |c: &Config| {
+            let x = c.get("x").unwrap();
+            let y = c.get("y").unwrap();
+            (x - 0.7).powi(2) + (y + 0.3).powi(2)
+        };
+        let cfg = BoConfig { iterations: 40, init_samples: 8, candidates: 256, seed: 3 };
+        let res = minimize(&space, objective, &cfg).unwrap();
+        let best = res.best_trial();
+        assert!(best.values[0] < 0.05, "best={}", best.values[0]);
+        assert!((best.config.get("x").unwrap() - 0.7).abs() < 0.4);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let space = Space::new().float("x", 0.0, 1.0);
+        let run = |seed| {
+            let cfg = BoConfig { iterations: 12, seed, ..Default::default() };
+            minimize(&space, |c| (c.get("x").unwrap() - 0.5).abs(), &cfg)
+                .unwrap()
+                .best_trial()
+                .values[0]
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn multi_objective_finds_tradeoff_front() {
+        // f1 = x, f2 = 1 - x: every x is Pareto-optimal; the front should
+        // span a wide range of x.
+        let space = Space::new().float("x", 0.0, 1.0);
+        let cfg = BoConfig { iterations: 25, init_samples: 6, candidates: 128, seed: 5 };
+        let res = minimize_multi(
+            &space,
+            |c| {
+                let x = c.get("x").unwrap();
+                vec![x, 1.0 - x]
+            },
+            &cfg,
+        )
+        .unwrap();
+        let front = res.pareto_front();
+        assert!(front.len() >= 5, "front of {} points", front.len());
+        let xs: Vec<f64> = front.iter().map(|t| t.config.get("x").unwrap()).collect();
+        let span = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(span > 0.5, "front should spread along the trade-off: span {span}");
+    }
+
+    #[test]
+    fn pareto_front_filters_dominated_points() {
+        let t = |v: Vec<f64>| Trial { unit: vec![], config: Config::default(), values: v };
+        let res = BoResult {
+            trials: vec![t(vec![1.0, 1.0]), t(vec![0.5, 2.0]), t(vec![2.0, 2.0])],
+            best: 0,
+        };
+        let front = res.pareto_front();
+        assert_eq!(front.len(), 2);
+        assert!(front.iter().all(|t| t.values != vec![2.0, 2.0]));
+    }
+
+    #[test]
+    fn constant_objective_does_not_crash() {
+        let space = Space::new().float("x", 0.0, 1.0);
+        let cfg = BoConfig { iterations: 10, ..Default::default() };
+        let res = minimize(&space, |_| 1.0, &cfg).unwrap();
+        assert_eq!(res.trials.len(), 10);
+    }
+}

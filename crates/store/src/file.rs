@@ -1,0 +1,304 @@
+//! Single-file binary codec for an h5lite tree.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   : 8 bytes  = b"H5LITE01"
+//! root    : group
+//! group   : n_attrs:u32, { name:str, tag:u8, value }*,
+//!           n_children:u32, { name:str, kind:u8, payload }*
+//! kind    : 0 = group, 1 = dataset
+//! dataset : dtype:u8, rank:u32, inner_dims:u64*, rows:u64,
+//!           payload_len:u64, raw bytes
+//! str     : len:u32, utf-8 bytes
+//! ```
+
+use crate::codec::*;
+use crate::dataset::{DType, Dataset};
+use crate::group::{Attr, Group, Node};
+use crate::{Result, StoreError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"H5LITE01";
+
+/// An h5lite file: an in-memory group tree bound to a path, persisted on
+/// [`H5File::flush`] (and on drop, best-effort).
+#[derive(Debug)]
+pub struct H5File {
+    path: PathBuf,
+    root: Group,
+    dirty: bool,
+}
+
+impl H5File {
+    /// Create a new, empty file (truncating any existing one on flush).
+    pub fn create(path: impl Into<PathBuf>) -> Self {
+        H5File { path: path.into(), root: Group::new(), dirty: true }
+    }
+
+    /// Open and parse an existing file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let mut f = std::fs::File::open(path.as_ref())?;
+        let mut raw = Vec::new();
+        f.read_to_end(&mut raw)?;
+        let mut buf = Bytes::from(raw);
+        if buf.remaining() < 8 {
+            return Err(StoreError::BadMagic);
+        }
+        let mut magic = [0u8; 8];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let root = decode_group(&mut buf)?;
+        Ok(H5File { path: path.as_ref().to_path_buf(), root, dirty: false })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn root(&self) -> &Group {
+        &self.root
+    }
+
+    pub fn root_mut(&mut self) -> &mut Group {
+        self.dirty = true;
+        &mut self.root
+    }
+
+    /// Total dataset payload bytes (Table III's "Collected Data Size").
+    pub fn size_bytes(&self) -> usize {
+        self.root.size_bytes()
+    }
+
+    /// Serialize and write the tree to `self.path` atomically (write to a
+    /// temp file, then rename).
+    pub fn flush(&mut self) -> Result<()> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        encode_group(&mut buf, &self.root);
+        let tmp = self.path.with_extension("h5lite.tmp");
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            f.write_all(&buf)?;
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.dirty = false;
+        Ok(())
+    }
+}
+
+impl Drop for H5File {
+    fn drop(&mut self) {
+        if self.dirty {
+            let _ = self.flush();
+        }
+    }
+}
+
+fn encode_attr(buf: &mut BytesMut, attr: &Attr) {
+    match attr {
+        Attr::Int(v) => {
+            buf.put_u8(0);
+            buf.put_i64_le(*v);
+        }
+        Attr::Float(v) => {
+            buf.put_u8(1);
+            buf.put_f64_le(*v);
+        }
+        Attr::Str(s) => {
+            buf.put_u8(2);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn decode_attr(buf: &mut Bytes) -> Result<Attr> {
+    match get_u8(buf)? {
+        0 => Ok(Attr::Int(get_i64(buf)?)),
+        1 => Ok(Attr::Float(get_f64(buf)?)),
+        2 => Ok(Attr::Str(get_str(buf)?)),
+        t => Err(StoreError::Corrupt(format!("bad attr tag {t}"))),
+    }
+}
+
+fn encode_dataset(buf: &mut BytesMut, d: &Dataset) {
+    buf.put_u8(d.dtype().tag());
+    buf.put_u32_le(d.inner_shape().len() as u32);
+    for dim in d.inner_shape() {
+        buf.put_u64_le(*dim as u64);
+    }
+    buf.put_u64_le(d.rows() as u64);
+    buf.put_u64_le(d.raw().len() as u64);
+    buf.put_slice(d.raw());
+}
+
+fn decode_dataset(buf: &mut Bytes) -> Result<Dataset> {
+    let dtype = DType::from_tag(get_u8(buf)?)?;
+    let rank = get_u32(buf)? as usize;
+    if rank > 64 {
+        return Err(StoreError::Corrupt(format!("implausible dataset rank {rank}")));
+    }
+    let mut inner = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        inner.push(get_u64(buf)? as usize);
+    }
+    let rows = get_u64(buf)? as usize;
+    let len = get_u64(buf)? as usize;
+    let data = get_bytes(buf, len)?;
+    Dataset::from_parts(dtype, inner, rows, data)
+}
+
+fn encode_group(buf: &mut BytesMut, g: &Group) {
+    buf.put_u32_le(g.attrs_map().len() as u32);
+    for (name, attr) in g.attrs_map() {
+        put_str(buf, name);
+        encode_attr(buf, attr);
+    }
+    buf.put_u32_le(g.children().len() as u32);
+    for (name, node) in g.children() {
+        put_str(buf, name);
+        match node {
+            Node::Group(child) => {
+                buf.put_u8(0);
+                encode_group(buf, child);
+            }
+            Node::Dataset(d) => {
+                buf.put_u8(1);
+                encode_dataset(buf, d);
+            }
+        }
+    }
+}
+
+fn decode_group(buf: &mut Bytes) -> Result<Group> {
+    let mut g = Group::new();
+    let n_attrs = get_u32(buf)?;
+    for _ in 0..n_attrs {
+        let name = get_str(buf)?;
+        let attr = decode_attr(buf)?;
+        g.set_attr(name, attr);
+    }
+    let n_children = get_u32(buf)?;
+    for _ in 0..n_children {
+        let name = get_str(buf)?;
+        match get_u8(buf)? {
+            0 => {
+                let child = decode_group(buf)?;
+                g.insert_child(name, Node::Group(child));
+            }
+            1 => {
+                let d = decode_dataset(buf)?;
+                g.insert_child(name, Node::Dataset(d));
+            }
+            t => return Err(StoreError::Corrupt(format!("bad node kind {t}"))),
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("hpacml-store-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_tree() -> Group {
+        let mut root = Group::new();
+        root.set_attr("created_by", Attr::Str("hpacml".into()));
+        let region = root.group_mut("stencil_region");
+        region.set_attr("invocations", Attr::Int(3));
+        region.set_attr("mean_time", Attr::Float(1.25));
+        region
+            .dataset_mut("inputs", DType::F32, &[2, 5])
+            .unwrap()
+            .append_f32(&(0..30).map(|i| i as f32).collect::<Vec<_>>())
+            .unwrap();
+        region
+            .dataset_mut("outputs", DType::F32, &[2, 1])
+            .unwrap()
+            .append_f32(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .unwrap();
+        region
+            .dataset_mut("region_time_ns", DType::F64, &[])
+            .unwrap()
+            .append_f64(&[100.0, 110.0, 90.0])
+            .unwrap();
+        root
+    }
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let path = tmp("roundtrip.h5lite");
+        {
+            let mut f = H5File::create(&path);
+            *f.root_mut() = sample_tree();
+            f.flush().unwrap();
+        }
+        let f = H5File::open(&path).unwrap();
+        assert_eq!(f.root(), &sample_tree());
+        let region = f.root().group("stencil_region").unwrap();
+        assert_eq!(region.dataset("inputs").unwrap().rows(), 3);
+        assert_eq!(region.dataset("inputs").unwrap().shape(), vec![3, 2, 5]);
+        assert_eq!(
+            region.dataset("region_time_ns").unwrap().read_f64().unwrap(),
+            vec![100.0, 110.0, 90.0]
+        );
+    }
+
+    #[test]
+    fn drop_flushes_dirty_file() {
+        let path = tmp("dropflush.h5lite");
+        {
+            let mut f = H5File::create(&path);
+            f.root_mut().dataset_mut("d", DType::I64, &[]).unwrap().append_i64(&[7]).unwrap();
+            // no explicit flush
+        }
+        let f = H5File::open(&path).unwrap();
+        assert_eq!(f.root().dataset("d").unwrap().read_i64().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("badmagic.h5lite");
+        std::fs::write(&path, b"NOTAFILE....").unwrap();
+        assert!(matches!(H5File::open(&path), Err(StoreError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let path = tmp("trunc.h5lite");
+        {
+            let mut f = H5File::create(&path);
+            *f.root_mut() = sample_tree();
+            f.flush().unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        assert!(matches!(H5File::open(&path), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn size_bytes_reports_payload() {
+        let mut f = H5File::create(tmp("size.h5lite"));
+        *f.root_mut() = sample_tree();
+        assert_eq!(f.size_bytes(), 30 * 4 + 6 * 4 + 3 * 8);
+        f.flush().unwrap();
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let path = tmp("empty.h5lite");
+        H5File::create(&path).flush().unwrap();
+        let f = H5File::open(&path).unwrap();
+        assert_eq!(f.root().child_names().count(), 0);
+    }
+}

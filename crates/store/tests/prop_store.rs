@@ -1,0 +1,106 @@
+//! Property-based tests for h5lite: arbitrary trees of groups, datasets and
+//! attributes must roundtrip through the binary codec bit-exactly.
+
+use hpacml_store::{Attr, DType, Group, H5File};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum NodePlan {
+    DatasetF32 { inner: Vec<usize>, rows: usize },
+    DatasetF64 { rows: usize },
+    DatasetI64 { rows: usize },
+}
+
+fn node_plan() -> impl Strategy<Value = NodePlan> {
+    prop_oneof![
+        (proptest::collection::vec(1usize..4, 0..3), 0usize..5)
+            .prop_map(|(inner, rows)| NodePlan::DatasetF32 { inner, rows }),
+        (0usize..5).prop_map(|rows| NodePlan::DatasetF64 { rows }),
+        (0usize..5).prop_map(|rows| NodePlan::DatasetI64 { rows }),
+    ]
+}
+
+fn attr() -> impl Strategy<Value = Attr> {
+    prop_oneof![
+        any::<i64>().prop_map(Attr::Int),
+        (-1e12f64..1e12).prop_map(Attr::Float),
+        "[a-z0-9 _/.-]{0,24}".prop_map(Attr::Str),
+    ]
+}
+
+fn build_group(plans: &[(String, NodePlan)], attrs: &[(String, Attr)]) -> Group {
+    let mut g = Group::new();
+    for (name, a) in attrs {
+        g.set_attr(name.clone(), a.clone());
+    }
+    for (idx, (name, plan)) in plans.iter().enumerate() {
+        // Spread children across a couple of nested groups.
+        let target =
+            if idx % 3 == 0 { g.group_mut("nested") } else { &mut g };
+        match plan {
+            NodePlan::DatasetF32 { inner, rows } => {
+                let d = target.dataset_mut(name, DType::F32, inner).unwrap();
+                let entry: usize = inner.iter().product::<usize>().max(1);
+                let payload: Vec<f32> =
+                    (0..rows * entry).map(|i| i as f32 * 0.25 - 3.0).collect();
+                d.append_f32(&payload).unwrap();
+            }
+            NodePlan::DatasetF64 { rows } => {
+                let d = target.dataset_mut(name, DType::F64, &[]).unwrap();
+                let payload: Vec<f64> = (0..*rows).map(|i| i as f64 * 1.5).collect();
+                d.append_f64(&payload).unwrap();
+            }
+            NodePlan::DatasetI64 { rows } => {
+                let d = target.dataset_mut(name, DType::I64, &[]).unwrap();
+                let payload: Vec<i64> = (0..*rows).map(|i| i as i64 - 2).collect();
+                d.append_i64(&payload).unwrap();
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn arbitrary_trees_roundtrip(
+        plans in proptest::collection::vec(("[a-z][a-z0-9]{0,8}", node_plan()), 0..6),
+        attrs in proptest::collection::vec(("[a-z][a-z0-9]{0,8}", attr()), 0..4),
+        file_tag in 0u32..1_000_000,
+    ) {
+        // Dedup names (BTreeMap children can't collide across kinds).
+        let mut seen = std::collections::BTreeSet::new();
+        let plans: Vec<_> = plans
+            .into_iter()
+            .filter(|(n, _)| n != "nested" && seen.insert(n.clone()))
+            .collect();
+        let tree = build_group(&plans, &attrs);
+
+        let dir = std::env::temp_dir().join("hpacml-store-prop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t{file_tag}.h5lite"));
+        {
+            let mut f = H5File::create(&path);
+            *f.root_mut() = tree.clone();
+            f.flush().unwrap();
+        }
+        let loaded = H5File::open(&path).unwrap();
+        prop_assert_eq!(loaded.root(), &tree);
+        prop_assert_eq!(loaded.size_bytes(), tree.size_bytes());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn appends_accumulate_rows(batches in proptest::collection::vec(0usize..6, 1..6)) {
+        let mut g = Group::new();
+        let d = g.dataset_mut("acc", DType::F32, &[3]).unwrap();
+        let mut expected = 0usize;
+        for b in &batches {
+            d.append_f32(&vec![1.0; b * 3]).unwrap();
+            expected += b;
+            prop_assert_eq!(d.rows(), expected);
+        }
+        prop_assert_eq!(d.read_f32().unwrap().len(), expected * 3);
+    }
+}

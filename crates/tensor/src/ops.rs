@@ -1,0 +1,757 @@
+//! Compute kernels: matmul family, im2col convolution, pooling.
+//!
+//! These are the dense-linear-algebra operations the paper's Observation 2
+//! is about: NN inference is implemented by dense kernels that use hardware
+//! efficiently. All kernels parallelize over the [`hpacml_par`] pool and fall
+//! back to inline execution for small problems.
+
+use crate::scalar::Scalar;
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+/// Parallelism threshold: below this many multiply-adds, run inline.
+const PAR_FLOPS_MIN: usize = 1 << 15;
+
+#[inline]
+fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    // Plain mul+add (not `mul_add`): on targets without FMA the fused form
+    // lowers to a libm call per element, which is ruinous in this hot loop;
+    // mul+add autovectorizes everywhere.
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+pub fn matmul<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
+    let (m, k) = mat_dims(a, "matmul lhs")?;
+    let (kb, n) = mat_dims(b, "matmul rhs")?;
+    if k != kb {
+        return Err(TensorError::DimMismatch(format!(
+            "matmul: lhs is [{m}, {k}], rhs is [{kb}, {n}]"
+        )));
+    }
+    let mut c = Tensor::zeros([m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let body = |row0: usize, rows: &mut [T]| {
+        for (r, crow) in rows.chunks_exact_mut(n).enumerate() {
+            let i = row0 / n + r;
+            let arow = &ad[i * k..(i + 1) * k];
+            for (kk, &aik) in arow.iter().enumerate() {
+                axpy(aik, &bd[kk * n..(kk + 1) * n], crow);
+            }
+        }
+    };
+    dispatch_rows(c.data_mut(), m, n, k, body);
+    Ok(c)
+}
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ` (dot products of rows — cache friendly).
+pub fn matmul_transb<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
+    let (m, k) = mat_dims(a, "matmul_transb lhs")?;
+    let (n, kb) = mat_dims(b, "matmul_transb rhs")?;
+    if k != kb {
+        return Err(TensorError::DimMismatch(format!(
+            "matmul_transb: lhs is [{m}, {k}], rhs is [{n}, {kb}]"
+        )));
+    }
+    let mut c = Tensor::zeros([m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let body = |row0: usize, rows: &mut [T]| {
+        for (r, crow) in rows.chunks_exact_mut(n).enumerate() {
+            let i = row0 / n + r;
+            let arow = &ad[i * k..(i + 1) * k];
+            for (j, cij) in crow.iter_mut().enumerate() {
+                let brow = &bd[j * k..(j + 1) * k];
+                let mut acc = T::ZERO;
+                for (x, y) in arow.iter().zip(brow) {
+                    acc += *x * *y;
+                }
+                *cij = acc;
+            }
+        }
+    };
+    dispatch_rows(c.data_mut(), m, n, k, body);
+    Ok(c)
+}
+
+/// `C[m,n] = A[k,m]ᵀ · B[k,n]`.
+pub fn matmul_transa<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
+    let (k, m) = mat_dims(a, "matmul_transa lhs")?;
+    let (kb, n) = mat_dims(b, "matmul_transa rhs")?;
+    if k != kb {
+        return Err(TensorError::DimMismatch(format!(
+            "matmul_transa: lhs is [{k}, {m}], rhs is [{kb}, {n}]"
+        )));
+    }
+    let mut c = Tensor::zeros([m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let body = |row0: usize, rows: &mut [T]| {
+        for (r, crow) in rows.chunks_exact_mut(n).enumerate() {
+            let i = row0 / n + r;
+            for kk in 0..k {
+                let aki = ad[kk * m + i];
+                axpy(aki, &bd[kk * n..(kk + 1) * n], crow);
+            }
+        }
+    };
+    dispatch_rows(c.data_mut(), m, n, k, body);
+    Ok(c)
+}
+
+fn mat_dims<T: Scalar>(t: &Tensor<T>, what: &str) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::DimMismatch(format!(
+            "{what}: expected rank 2, got {}",
+            t.rank()
+        )));
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// Run `body(row_start_elem, row_block)` over the `m` rows of an `[m, n]`
+/// output, in parallel if the problem is big enough.
+fn dispatch_rows<T, F>(c: &mut [T], m: usize, n: usize, k: usize, body: F)
+where
+    T: Scalar,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let flops = m * n * k;
+    if flops < PAR_FLOPS_MIN || m == 1 {
+        body(0, c);
+        return;
+    }
+    // Block rows so each task is a few hundred kiloflops.
+    let rows_per_block = ((PAR_FLOPS_MIN * 8) / (n * k).max(1)).clamp(1, m);
+    hpacml_par::par_chunks_mut(c, rows_per_block * n, body);
+}
+
+/// `out[i, :] += bias` for every row of a rank-2 tensor.
+pub fn add_bias_rows<T: Scalar>(out: &mut Tensor<T>, bias: &[T]) -> Result<()> {
+    let (m, n) = mat_dims(out, "add_bias_rows")?;
+    if bias.len() != n {
+        return Err(TensorError::DimMismatch(format!(
+            "bias has {} entries for {} columns",
+            bias.len(),
+            n
+        )));
+    }
+    let _ = m;
+    for row in out.data_mut().chunks_exact_mut(n) {
+        for (o, b) in row.iter_mut().zip(bias) {
+            *o += *b;
+        }
+    }
+    Ok(())
+}
+
+/// Convolution geometry helper: output extent for one spatial dim.
+#[inline]
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    let padded = input + 2 * pad;
+    if padded < kernel {
+        return 0;
+    }
+    (padded - kernel) / stride + 1
+}
+
+/// Parameters of a 2-D convolution / pooling window sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeom {
+    pub kernel: (usize, usize),
+    pub stride: (usize, usize),
+    pub pad: (usize, usize),
+}
+
+impl Conv2dGeom {
+    pub fn square(kernel: usize, stride: usize, pad: usize) -> Self {
+        Conv2dGeom { kernel: (kernel, kernel), stride: (stride, stride), pad: (pad, pad) }
+    }
+
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            conv_out_dim(h, self.kernel.0, self.stride.0, self.pad.0),
+            conv_out_dim(w, self.kernel.1, self.stride.1, self.pad.1),
+        )
+    }
+}
+
+/// im2col for one sample: input `[C, H, W]` slice → col `[C*KH*KW, OH*OW]`.
+pub fn im2col<T: Scalar>(
+    input: &[T],
+    c: usize,
+    h: usize,
+    w: usize,
+    g: Conv2dGeom,
+    col: &mut [T],
+) {
+    let (kh, kw) = g.kernel;
+    let (sh, sw) = g.stride;
+    let (ph, pw) = g.pad;
+    let (oh, ow) = g.out_hw(h, w);
+    assert_eq!(col.len(), c * kh * kw * oh * ow, "im2col: bad col buffer size");
+    let l = oh * ow;
+    // Row r of col corresponds to (ch, ki, kj); column to (oy, ox).
+    for ch in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ch * kh + ki) * kw + kj;
+                let dst = &mut col[row * l..(row + 1) * l];
+                for oy in 0..oh {
+                    let iy = (oy * sh + ki) as isize - ph as isize;
+                    let drow = &mut dst[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy as usize >= h {
+                        for v in drow.iter_mut() {
+                            *v = T::ZERO;
+                        }
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    let src_row = &input[(ch * h + iy) * w..(ch * h + iy + 1) * w];
+                    for (ox, v) in drow.iter_mut().enumerate() {
+                        let ix = (ox * sw + kj) as isize - pw as isize;
+                        *v = if ix < 0 || ix as usize >= w {
+                            T::ZERO
+                        } else {
+                            src_row[ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reverse of [`im2col`]: accumulate col `[C*KH*KW, OH*OW]` back into the
+/// input gradient `[C, H, W]`.
+pub fn col2im<T: Scalar>(
+    col: &[T],
+    c: usize,
+    h: usize,
+    w: usize,
+    g: Conv2dGeom,
+    dinput: &mut [T],
+) {
+    let (kh, kw) = g.kernel;
+    let (sh, sw) = g.stride;
+    let (ph, pw) = g.pad;
+    let (oh, ow) = g.out_hw(h, w);
+    assert_eq!(col.len(), c * kh * kw * oh * ow, "col2im: bad col buffer size");
+    let l = oh * ow;
+    for ch in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ch * kh + ki) * kw + kj;
+                let src = &col[row * l..(row + 1) * l];
+                for oy in 0..oh {
+                    let iy = (oy * sh + ki) as isize - ph as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * sw + kj) as isize - pw as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        dinput[(ch * h + iy) * w + ix as usize] += src[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward 2-D convolution.
+///
+/// `input [N, C, H, W]`, `weight [F, C, KH, KW]`, `bias [F]` → `[N, F, OH, OW]`.
+///
+/// Stride-1 convolutions take a direct row-span path (one `axpy` per
+/// (filter, channel, tap, row)) that avoids materializing the im2col matrix;
+/// strided convolutions fall back to im2col + matmul.
+pub fn conv2d<T: Scalar>(
+    input: &Tensor<T>,
+    weight: &Tensor<T>,
+    bias: &[T],
+    g: Conv2dGeom,
+) -> Result<Tensor<T>> {
+    let [n, c, h, w] = rank4(input, "conv2d input")?;
+    let [f, cw, kh, kw] = rank4(weight, "conv2d weight")?;
+    if cw != c || (kh, kw) != g.kernel {
+        return Err(TensorError::DimMismatch(format!(
+            "conv2d: weight [{f}, {cw}, {kh}, {kw}] does not match input channels {c} / kernel {:?}",
+            g.kernel
+        )));
+    }
+    if bias.len() != f {
+        return Err(TensorError::DimMismatch(format!(
+            "conv2d: bias len {} vs {f} filters",
+            bias.len()
+        )));
+    }
+    let (oh, ow) = g.out_hw(h, w);
+    let l = oh * ow;
+    let ckk = c * kh * kw;
+    let mut out = Tensor::zeros([n, f, oh, ow]);
+    let in_sample = c * h * w;
+    let out_sample = f * l;
+    let wd = weight.data();
+    let id = input.data();
+    let direct = g.stride == (1, 1);
+
+    hpacml_par::par_chunks_mut(out.data_mut(), out_sample, |start, out_n| {
+        let sample = start / out_sample;
+        let inp = &id[sample * in_sample..(sample + 1) * in_sample];
+        if direct {
+            conv2d_sample_direct_s1(inp, c, h, w, wd, bias, g, oh, ow, out_n);
+        } else {
+            let mut col = vec![T::ZERO; ckk * l];
+            im2col(inp, c, h, w, g, &mut col);
+            // out_n[f, l] = W[f, ckk] · col[ckk, l]
+            for (fi, orow) in out_n.chunks_exact_mut(l).enumerate() {
+                let wrow = &wd[fi * ckk..(fi + 1) * ckk];
+                for v in orow.iter_mut() {
+                    *v = bias[fi];
+                }
+                for (kk, &wv) in wrow.iter().enumerate() {
+                    axpy(wv, &col[kk * l..(kk + 1) * l], orow);
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Direct stride-1 convolution for one sample: for every (filter, channel,
+/// kernel tap) the contribution to an output row is a contiguous slice of an
+/// input row scaled by one weight — a vectorizable `axpy` with the padding
+/// handled by span clipping instead of per-pixel branches.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_sample_direct_s1<T: Scalar>(
+    inp: &[T],
+    c: usize,
+    h: usize,
+    w: usize,
+    wd: &[T],
+    bias: &[T],
+    g: Conv2dGeom,
+    oh: usize,
+    ow: usize,
+    out_n: &mut [T],
+) {
+    let (kh, kw) = g.kernel;
+    let (ph, pw) = g.pad;
+    let l = oh * ow;
+    for (fi, of) in out_n.chunks_exact_mut(l).enumerate() {
+        for v in of.iter_mut() {
+            *v = bias[fi];
+        }
+        for ch in 0..c {
+            let plane = &inp[ch * h * w..(ch + 1) * h * w];
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let wv = wd[((fi * c + ch) * kh + ki) * kw + kj];
+                    if wv == T::ZERO {
+                        continue;
+                    }
+                    // Valid output columns: 0 <= ox + kj - pw < w.
+                    let o0 = (pw as isize - kj as isize).max(0) as usize;
+                    let o1 = ((w as isize + pw as isize - kj as isize).max(0) as usize).min(ow);
+                    if o0 >= o1 {
+                        continue;
+                    }
+                    let shift = kj as isize - pw as isize;
+                    for oy in 0..oh {
+                        let iy = oy as isize + ki as isize - ph as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                        let s0 = (o0 as isize + shift) as usize;
+                        let src = &src_row[s0..s0 + (o1 - o0)];
+                        axpy(wv, src, &mut of[oy * ow + o0..oy * ow + o1]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Gradients of [`conv2d`]: returns `(dinput, dweight, dbias)`.
+pub fn conv2d_backward<T: Scalar>(
+    input: &Tensor<T>,
+    weight: &Tensor<T>,
+    dout: &Tensor<T>,
+    g: Conv2dGeom,
+) -> Result<(Tensor<T>, Tensor<T>, Vec<T>)> {
+    let [n, c, h, w] = rank4(input, "conv2d_backward input")?;
+    let [f, _, kh, kw] = rank4(weight, "conv2d_backward weight")?;
+    let (oh, ow) = g.out_hw(h, w);
+    let l = oh * ow;
+    let ckk = c * kh * kw;
+    if dout.dims() != [n, f, oh, ow] {
+        return Err(TensorError::DimMismatch(format!(
+            "conv2d_backward: dout {:?} expected [{n}, {f}, {oh}, {ow}]",
+            dout.dims()
+        )));
+    }
+    let mut dinput = Tensor::zeros([n, c, h, w]);
+    let in_sample = c * h * w;
+    let out_sample = f * l;
+    let wd = weight.data();
+    let id = input.data();
+    let dd = dout.data();
+
+    use parking_lot::Mutex;
+    let acc: Mutex<(Vec<T>, Vec<T>)> =
+        Mutex::new((vec![T::ZERO; f * ckk], vec![T::ZERO; f]));
+
+    hpacml_par::par_chunks_mut(dinput.data_mut(), in_sample, |start, din_n| {
+        let sample = start / in_sample;
+        let mut col = vec![T::ZERO; ckk * l];
+        im2col(&id[sample * in_sample..(sample + 1) * in_sample], c, h, w, g, &mut col);
+        let dout_n = &dd[sample * out_sample..(sample + 1) * out_sample];
+
+        // Local gradient accumulators for this sample.
+        let mut dw_loc = vec![T::ZERO; f * ckk];
+        let mut db_loc = vec![T::ZERO; f];
+        // dW[f, ckk] += dout_n[f, l] · col[ckk, l]ᵀ ; db[f] += Σ dout rows.
+        for fi in 0..f {
+            let drow = &dout_n[fi * l..(fi + 1) * l];
+            for v in drow {
+                db_loc[fi] += *v;
+            }
+            let dwrow = &mut dw_loc[fi * ckk..(fi + 1) * ckk];
+            for (kk, dwv) in dwrow.iter_mut().enumerate() {
+                let crow = &col[kk * l..(kk + 1) * l];
+                let mut s = T::ZERO;
+                for (x, y) in drow.iter().zip(crow) {
+                    s += *x * *y;
+                }
+                *dwv = s;
+            }
+        }
+        // dcol[ckk, l] = Wᵀ[ckk, f] · dout_n[f, l]; reuse `col` as dcol.
+        for v in col.iter_mut() {
+            *v = T::ZERO;
+        }
+        for fi in 0..f {
+            let drow = &dout_n[fi * l..(fi + 1) * l];
+            let wrow = &wd[fi * ckk..(fi + 1) * ckk];
+            for (kk, &wv) in wrow.iter().enumerate() {
+                axpy(wv, drow, &mut col[kk * l..(kk + 1) * l]);
+            }
+        }
+        col2im(&col, c, h, w, g, din_n);
+
+        let mut guard = acc.lock();
+        for (a, b) in guard.0.iter_mut().zip(&dw_loc) {
+            *a += *b;
+        }
+        for (a, b) in guard.1.iter_mut().zip(&db_loc) {
+            *a += *b;
+        }
+    });
+
+    let (dw, db) = acc.into_inner();
+    let dweight = Tensor::from_vec(dw, [f, c, kh, kw])?;
+    Ok((dinput, dweight, db))
+}
+
+/// Forward max-pooling over `[N, C, H, W]`; returns the pooled tensor and the
+/// flat argmax index (into the input) per output element, for backward.
+pub fn maxpool2d<T: Scalar>(
+    input: &Tensor<T>,
+    g: Conv2dGeom,
+) -> Result<(Tensor<T>, Vec<u32>)> {
+    let [n, c, h, w] = rank4(input, "maxpool2d input")?;
+    let (kh, kw) = g.kernel;
+    let (sh, sw) = g.stride;
+    let (oh, ow) = g.out_hw(h, w);
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    let mut arg = vec![0u32; n * c * oh * ow];
+    let id = input.data();
+    let od = out.data_mut();
+    for nn in 0..n {
+        for ch in 0..c {
+            let plane = (nn * c + ch) * h * w;
+            let oplane = (nn * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = T::from_f64(f64::NEG_INFINITY);
+                    let mut best_ix = 0usize;
+                    for ki in 0..kh {
+                        let iy = oy * sh + ki;
+                        if iy >= h {
+                            continue;
+                        }
+                        for kj in 0..kw {
+                            let ix = ox * sw + kj;
+                            if ix >= w {
+                                continue;
+                            }
+                            let v = id[plane + iy * w + ix];
+                            if v > best {
+                                best = v;
+                                best_ix = plane + iy * w + ix;
+                            }
+                        }
+                    }
+                    od[oplane + oy * ow + ox] = best;
+                    arg[oplane + oy * ow + ox] = best_ix as u32;
+                }
+            }
+        }
+    }
+    Ok((out, arg))
+}
+
+/// Backward max-pooling: route `dout` gradients to the argmax positions.
+pub fn maxpool2d_backward<T: Scalar>(
+    dout: &Tensor<T>,
+    arg: &[u32],
+    input_shape: &[usize],
+) -> Result<Tensor<T>> {
+    if dout.numel() != arg.len() {
+        return Err(TensorError::DimMismatch(format!(
+            "maxpool2d_backward: dout {} vs argmax {}",
+            dout.numel(),
+            arg.len()
+        )));
+    }
+    let mut dinput = Tensor::zeros(input_shape.to_vec());
+    let dd = dinput.data_mut();
+    for (g, ix) in dout.data().iter().zip(arg) {
+        dd[*ix as usize] += *g;
+    }
+    Ok(dinput)
+}
+
+fn rank4<T: Scalar>(t: &Tensor<T>, what: &str) -> Result<[usize; 4]> {
+    if t.rank() != 4 {
+        return Err(TensorError::DimMismatch(format!(
+            "{what}: expected rank 4, got {:?}",
+            t.dims()
+        )));
+    }
+    Ok([t.dims()[0], t.dims()[1], t.dims()[2], t.dims()[3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor<f64>, b: &Tensor<f64>) -> Tensor<f64> {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        Tensor::from_shape_fn([m, n], |ix| {
+            (0..k).map(|kk| a.at(&[ix[0], kk]) * b.at(&[kk, ix[1]])).sum()
+        })
+    }
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Tensor<f64> {
+        // Small deterministic LCG; avoids a rand dependency in unit tests.
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Tensor::from_shape_fn([m, n], |_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 4, 5), (17, 9, 23), (64, 64, 64)] {
+            let a = rand_mat(m, k, 1);
+            let b = rand_mat(k, n, 2);
+            let c = matmul(&a, &b).unwrap();
+            let expect = naive_matmul(&a, &b);
+            assert!(c.max_abs_diff(&expect).unwrap() < 1e-10, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_naive() {
+        let a = rand_mat(200, 80, 3);
+        let b = rand_mat(80, 150, 4);
+        let c = matmul(&a, &b).unwrap();
+        assert!(c.max_abs_diff(&naive_matmul(&a, &b)).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_transb_matches() {
+        let a = rand_mat(13, 7, 5);
+        let bt = rand_mat(11, 7, 6); // B is [11, 7]; logical B^T is [7, 11]
+        let b = Tensor::from_shape_fn([7, 11], |ix| bt.at(&[ix[1], ix[0]]));
+        let c = matmul_transb(&a, &bt).unwrap();
+        assert!(c.max_abs_diff(&naive_matmul(&a, &b)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn matmul_transa_matches() {
+        let at = rand_mat(7, 13, 7); // A is [7, 13]; logical A^T is [13, 7]
+        let a = Tensor::from_shape_fn([13, 7], |ix| at.at(&[ix[1], ix[0]]));
+        let b = rand_mat(7, 11, 8);
+        let c = matmul_transa(&at, &b).unwrap();
+        assert!(c.max_abs_diff(&naive_matmul(&a, &b)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_dims() {
+        let a = Tensor::<f32>::zeros([2, 3]);
+        let b = Tensor::<f32>::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn bias_rows() {
+        let mut t = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        add_bias_rows(&mut t, &[10.0, 20.0]).unwrap();
+        assert_eq!(t.data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert!(add_bias_rows(&mut t, &[1.0]).is_err());
+    }
+
+    fn naive_conv2d(
+        input: &Tensor<f64>,
+        weight: &Tensor<f64>,
+        bias: &[f64],
+        g: Conv2dGeom,
+    ) -> Tensor<f64> {
+        let [n, c, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
+        let [f, _, kh, kw] =
+            [weight.dims()[0], weight.dims()[1], weight.dims()[2], weight.dims()[3]];
+        let (oh, ow) = g.out_hw(h, w);
+        Tensor::from_shape_fn([n, f, oh, ow], |ix| {
+            let (nn, fi, oy, ox) = (ix[0], ix[1], ix[2], ix[3]);
+            let mut acc = bias[fi];
+            for ch in 0..c {
+                for ki in 0..kh {
+                    for kj in 0..kw {
+                        let iy = (oy * g.stride.0 + ki) as isize - g.pad.0 as isize;
+                        let ixx = (ox * g.stride.1 + kj) as isize - g.pad.1 as isize;
+                        if iy < 0 || iy as usize >= h || ixx < 0 || ixx as usize >= w {
+                            continue;
+                        }
+                        acc += input.at(&[nn, ch, iy as usize, ixx as usize])
+                            * weight.at(&[fi, ch, ki, kj]);
+                    }
+                }
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn conv2d_matches_naive_with_padding_and_stride() {
+        for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1), (3, 0)] {
+            let g = Conv2dGeom::square(3, stride, pad);
+            let input = rand_mat(2 * 3 * 8 * 9, 1, 11).reshape([2, 3, 8, 9]).unwrap();
+            let weight = rand_mat(4 * 3 * 3 * 3, 1, 12).reshape([4, 3, 3, 3]).unwrap();
+            let bias = vec![0.1, -0.2, 0.3, 0.0];
+            let got = conv2d(&input, &weight, &bias, g).unwrap();
+            let expect = naive_conv2d(&input, &weight, &bias, g);
+            assert!(
+                got.max_abs_diff(&expect).unwrap() < 1e-10,
+                "stride={stride} pad={pad}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv2d_backward_matches_finite_differences() {
+        let g = Conv2dGeom::square(3, 2, 1);
+        let input = rand_mat(1 * 2 * 6 * 6, 1, 21).reshape([1, 2, 6, 6]).unwrap();
+        let weight = rand_mat(3 * 2 * 3 * 3, 1, 22).reshape([3, 2, 3, 3]).unwrap();
+        let bias = vec![0.0; 3];
+        // Loss = sum(conv output); then dL/dout = 1 everywhere.
+        let out = conv2d(&input, &weight, &bias, g).unwrap();
+        let dout = Tensor::full(out.dims().to_vec(), 1.0f64);
+        let (dinput, dweight, dbias) = conv2d_backward(&input, &weight, &dout, g).unwrap();
+
+        let eps = 1e-5;
+        let loss = |inp: &Tensor<f64>, wt: &Tensor<f64>| -> f64 {
+            conv2d(inp, wt, &bias, g).unwrap().sum()
+        };
+        // Check a scattering of input gradient entries.
+        for &flat in &[0usize, 7, 35, 71] {
+            let mut ip = input.clone();
+            ip.data_mut()[flat] += eps;
+            let mut im = input.clone();
+            im.data_mut()[flat] -= eps;
+            let fd = (loss(&ip, &weight) - loss(&im, &weight)) / (2.0 * eps);
+            assert!(
+                (fd - dinput.data()[flat]).abs() < 1e-5,
+                "dinput[{flat}]: fd={fd} analytic={}",
+                dinput.data()[flat]
+            );
+        }
+        // And weight gradient entries.
+        for &flat in &[0usize, 5, 17, 53] {
+            let mut wp = weight.clone();
+            wp.data_mut()[flat] += eps;
+            let mut wm = weight.clone();
+            wm.data_mut()[flat] -= eps;
+            let fd = (loss(&input, &wp) - loss(&input, &wm)) / (2.0 * eps);
+            assert!(
+                (fd - dweight.data()[flat]).abs() < 1e-5,
+                "dweight[{flat}]: fd={fd} analytic={}",
+                dweight.data()[flat]
+            );
+        }
+        // Bias gradient of a sum-loss is the number of output pixels per filter.
+        let (oh, ow) = g.out_hw(6, 6);
+        for b in &dbias {
+            assert!((b - (oh * ow) as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0f32, 2.0, 5.0, 3.0, //
+                4.0, 0.0, 1.0, 2.0, //
+                7.0, 1.0, 0.0, 1.0, //
+                2.0, 3.0, 4.0, 8.0,
+            ],
+            [1, 1, 4, 4],
+        )
+        .unwrap();
+        let g = Conv2dGeom::square(2, 2, 0);
+        let (out, arg) = maxpool2d(&input, g).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[4.0, 5.0, 7.0, 8.0]);
+        let dout = Tensor::full([1, 1, 2, 2], 1.0f32);
+        let din = maxpool2d_backward(&dout, &arg, &[1, 1, 4, 4]).unwrap();
+        assert_eq!(din.data()[4], 1.0); // the "4.0"
+        assert_eq!(din.data()[2], 1.0); // the "5.0"
+        assert_eq!(din.data()[8], 1.0); // the "7.0"
+        assert_eq!(din.data()[15], 1.0); // the "8.0"
+        assert_eq!(din.sum(), 4.0);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint_property() {
+        // <im2col(x), y> == <x, col2im(y)> — the operators are adjoint.
+        let g = Conv2dGeom::square(3, 2, 1);
+        let (c, h, w) = (2usize, 5usize, 6usize);
+        let (oh, ow) = g.out_hw(h, w);
+        let ckk = c * 9;
+        let x = rand_mat(c * h * w, 1, 31).into_vec();
+        let y = rand_mat(ckk * oh * ow, 1, 32).into_vec();
+        let mut cx = vec![0.0f64; ckk * oh * ow];
+        im2col(&x, c, h, w, g, &mut cx);
+        let mut aty = vec![0.0f64; c * h * w];
+        col2im(&y, c, h, w, g, &mut aty);
+        let lhs: f64 = cx.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn conv_out_dim_formula() {
+        assert_eq!(conv_out_dim(8, 3, 1, 0), 6);
+        assert_eq!(conv_out_dim(8, 3, 1, 1), 8);
+        assert_eq!(conv_out_dim(8, 3, 2, 1), 4);
+        assert_eq!(conv_out_dim(2, 3, 1, 0), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! The scalar element trait: `f32` for NN work, `f64` for linear algebra and
+//! error metrics.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point element type usable in tensors and kernels.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + 'static
+{
+    const ZERO: Self;
+    const ONE: Self;
+
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn from_usize(x: usize) -> Self {
+        Self::from_f64(x as f64)
+    }
+
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    fn sqrt(self) -> Self;
+    fn exp(self) -> Self;
+    fn ln(self) -> Self;
+    fn abs(self) -> Self;
+    fn tanh(self) -> Self;
+    fn powi(self, n: i32) -> Self;
+    fn maximum(self, other: Self) -> Self;
+    fn minimum(self, other: Self) -> Self;
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn tanh(self) -> Self {
+                <$t>::tanh(self)
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                <$t>::powi(self, n)
+            }
+            #[inline(always)]
+            fn maximum(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn minimum(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        assert_eq!(f32::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(f64::from_f64(-2.25), -2.25);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(f32::ZERO + f32::ONE, 1.0f32);
+        assert_eq!(f64::ONE * 3.0, 3.0);
+    }
+
+    #[test]
+    fn math_helpers() {
+        assert!((2.0f32.sqrt() - 1.41421356).abs() < 1e-6);
+        assert_eq!((-3.0f64).abs(), 3.0);
+        assert_eq!(1.0f32.maximum(2.0), 2.0);
+        assert_eq!(1.0f32.minimum(2.0), 1.0);
+        assert!(f32::ONE.is_finite());
+        assert!(!(<f32 as Scalar>::ONE / <f32 as Scalar>::ZERO).is_finite());
+    }
+}

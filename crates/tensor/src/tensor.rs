@@ -1,0 +1,328 @@
+//! Owned, contiguous, row-major tensors.
+
+use crate::scalar::Scalar;
+use crate::shape::Shape;
+use crate::view::{View, ViewMut};
+use crate::{Result, TensorError};
+
+/// An owned dense tensor with row-major layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor<T: Scalar = f32> {
+    data: Vec<T>,
+    shape: Shape,
+}
+
+impl<T: Scalar> Tensor<T> {
+    /// Build from raw data; `data.len()` must equal `shape.numel()`.
+    pub fn from_vec(data: Vec<T>, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.numel() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![T::ZERO; shape.numel()], shape }
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: T) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![value; shape.numel()], shape }
+    }
+
+    /// Build element-by-element from a function of the multi-index.
+    pub fn from_shape_fn(shape: impl Into<Shape>, f: impl FnMut(&[usize]) -> T) -> Self {
+        let shape = shape.into();
+        let mut f = f;
+        let data = shape.indices().map(|idx| f(&idx)).collect();
+        Tensor { data, shape }
+    }
+
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element access by multi-index.
+    #[inline]
+    pub fn at(&self, index: &[usize]) -> T {
+        self.data[self.shape.offset_of(index)]
+    }
+
+    /// Mutable element access by multi-index.
+    #[inline]
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut T {
+        let off = self.shape.offset_of(index);
+        &mut self.data[off]
+    }
+
+    /// Reinterpret as a new shape with the same element count. O(1).
+    pub fn reshape(self, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.numel() != self.data.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.shape.dims().to_vec(),
+                to: shape.dims().to_vec(),
+            });
+        }
+        Ok(Tensor { data: self.data, shape })
+    }
+
+    /// Collapse to rank 2 `[rows, cols]` where `cols` is the product of the
+    /// last `keep_last` dims. Used to feed sweep×feature tensors to MLPs.
+    pub fn flatten_to_2d(self, keep_last: usize) -> Result<Self> {
+        let rank = self.rank();
+        if keep_last > rank {
+            return Err(TensorError::AxisOutOfRange { axis: keep_last, rank });
+        }
+        let cols: usize = self.dims()[rank - keep_last..].iter().product();
+        let rows: usize = self.dims()[..rank - keep_last].iter().product();
+        self.reshape([rows, cols.max(1)])
+    }
+
+    /// A read-only view of the full tensor.
+    pub fn view(&self) -> View<'_, T> {
+        View::full(&self.data, self.shape.clone())
+    }
+
+    /// A mutable view of the full tensor.
+    pub fn view_mut(&mut self) -> ViewMut<'_, T> {
+        let shape = self.shape.clone();
+        ViewMut::full(&mut self.data, shape)
+    }
+
+    /// Apply `f` to every element, in place.
+    pub fn map_inplace(&mut self, f: impl Fn(T) -> T + Sync) {
+        if self.data.len() >= 1 << 16 {
+            hpacml_par::par_map_inplace(&mut self.data, 4096, |_, x| f(x));
+        } else {
+            for x in &mut self.data {
+                *x = f(*x);
+            }
+        }
+    }
+
+    /// New tensor with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(T) -> T + Sync) -> Tensor<T> {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|x| x.to_f64()).sum()
+    }
+
+    /// Arithmetic mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.sum() / self.data.len() as f64
+    }
+
+    /// Convert the element type.
+    pub fn cast<U: Scalar>(&self) -> Tensor<U> {
+        Tensor {
+            data: self.data.iter().map(|x| U::from_f64(x.to_f64())).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Concatenate along `axis`. All inputs must agree on every other dim.
+    pub fn concat(parts: &[&Tensor<T>], axis: usize) -> Result<Tensor<T>> {
+        if parts.is_empty() {
+            return Err(TensorError::ConcatShapeMismatch("no inputs".into()));
+        }
+        let rank = parts[0].rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        for p in parts {
+            if p.rank() != rank {
+                return Err(TensorError::ConcatShapeMismatch(format!(
+                    "rank {} vs {}",
+                    p.rank(),
+                    rank
+                )));
+            }
+            for d in 0..rank {
+                if d != axis && p.dims()[d] != parts[0].dims()[d] {
+                    return Err(TensorError::ConcatShapeMismatch(format!(
+                        "dim {d}: {} vs {}",
+                        p.dims()[d],
+                        parts[0].dims()[d]
+                    )));
+                }
+            }
+        }
+        let cat_dim: usize = parts.iter().map(|p| p.dims()[axis]).sum();
+        let mut out_dims = parts[0].dims().to_vec();
+        out_dims[axis] = cat_dim;
+        let out_shape = Shape::new(out_dims);
+
+        // Copy in "outer × slice" blocks: everything before `axis` is the
+        // outer loop; `axis` and everything after form contiguous runs.
+        let outer: usize = parts[0].dims()[..axis].iter().product();
+        let inner: usize = parts[0].dims()[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(out_shape.numel());
+        for o in 0..outer {
+            for p in parts {
+                let run = p.dims()[axis] * inner;
+                let start = o * run;
+                data.extend_from_slice(&p.data[start..start + run]);
+            }
+        }
+        Ok(Tensor { data, shape: out_shape })
+    }
+
+    /// Max |a - b| over all elements; errors on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Tensor<T>) -> Result<f64> {
+        if self.shape != other.shape {
+            return Err(TensorError::DimMismatch(format!(
+                "{} vs {}",
+                self.shape, other.shape
+            )));
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max))
+    }
+}
+
+impl<T: Scalar> std::ops::Index<&[usize]> for Tensor<T> {
+    type Output = T;
+    fn index(&self, index: &[usize]) -> &T {
+        &self.data[self.shape.offset_of(index)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Tensor::from_vec(vec![1.0f32; 6], [2, 3]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(vec![1.0f32; 5], [2, 3]),
+            Err(TensorError::ShapeDataMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zeros_full_and_at() {
+        let t = Tensor::<f32>::zeros([2, 2]);
+        assert_eq!(t.at(&[1, 1]), 0.0);
+        let t = Tensor::full([2, 2], 7.0f32);
+        assert_eq!(t.at(&[0, 1]), 7.0);
+    }
+
+    #[test]
+    fn from_shape_fn_indexes_correctly() {
+        let t = Tensor::<f64>::from_shape_fn([3, 4], |ix| (ix[0] * 10 + ix[1]) as f64);
+        assert_eq!(t.at(&[2, 3]), 23.0);
+        assert_eq!(t.at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), [2, 3]).unwrap();
+        let r = t.reshape([3, 2]).unwrap();
+        assert_eq!(r.at(&[2, 1]), 5.0);
+        assert!(Tensor::<f32>::zeros([2, 3]).reshape([4, 2]).is_err());
+    }
+
+    #[test]
+    fn flatten_to_2d_shapes() {
+        let t = Tensor::<f32>::zeros([4, 5, 6]);
+        let f = t.flatten_to_2d(1).unwrap();
+        assert_eq!(f.dims(), &[20, 6]);
+        let t = Tensor::<f32>::zeros([4, 5, 6]);
+        let f = t.flatten_to_2d(2).unwrap();
+        assert_eq!(f.dims(), &[4, 30]);
+    }
+
+    #[test]
+    fn concat_last_axis() {
+        let a = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0f32, 6.0], [2, 1]).unwrap();
+        let c = Tensor::concat(&[&a, &b], 1).unwrap();
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.data(), &[1.0, 2.0, 5.0, 3.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_first_axis() {
+        let a = Tensor::from_vec(vec![1.0f32, 2.0], [1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0f32, 4.0], [1, 2]).unwrap();
+        let c = Tensor::concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn concat_rejects_mismatch() {
+        let a = Tensor::<f32>::zeros([2, 2]);
+        let b = Tensor::<f32>::zeros([3, 1]);
+        assert!(Tensor::concat(&[&a, &b], 1).is_err());
+    }
+
+    #[test]
+    fn map_and_mean() {
+        let t = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], [4]).unwrap();
+        let m = t.map(|x| x * 2.0);
+        assert_eq!(m.data(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(m.mean(), 5.0);
+    }
+
+    #[test]
+    fn cast_roundtrip() {
+        let t = Tensor::from_vec(vec![1.5f32, -2.5], [2]).unwrap();
+        let d: Tensor<f64> = t.cast();
+        assert_eq!(d.data(), &[1.5, -2.5]);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Tensor::from_vec(vec![1.0f32, 2.0], [2]).unwrap();
+        let b = Tensor::from_vec(vec![1.5f32, 1.0], [2]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 1.0);
+        let c = Tensor::<f32>::zeros([3]);
+        assert!(a.max_abs_diff(&c).is_err());
+    }
+}

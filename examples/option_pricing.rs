@@ -1,0 +1,69 @@
+//! Domain scenario: accelerating an option-pricing workload with an MLP
+//! surrogate — the paper's Binomial Options benchmark driven through the
+//! public `Benchmark` pipeline API.
+//!
+//! ```sh
+//! cargo run --release --example option_pricing
+//! ```
+
+use hpac_ml::apps::binomial::BinomialOptions;
+use hpac_ml::apps::{BenchConfig, Benchmark};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workdir = std::env::temp_dir().join("hpacml-option-pricing");
+    let cfg = BenchConfig::quick(&workdir);
+    let bench = BinomialOptions;
+
+    println!("== {} ==", bench.name());
+    println!("{}\n", bench.description());
+
+    // Phase 1: data collection (predicated:false) — the annotated kernel
+    // runs normally while HPAC-ML records (option features, price) pairs.
+    println!("[1/3] collecting training data through the annotated region...");
+    let collect = bench.collect(&cfg)?;
+    println!(
+        "      original kernel: {:.3}s; with collection: {:.3}s ({:.2}x); {} rows, {:.2} MB",
+        collect.plain_runtime.as_secs_f64(),
+        collect.collect_runtime.as_secs_f64(),
+        collect.collect_runtime.as_secs_f64() / collect.plain_runtime.as_secs_f64(),
+        collect.rows,
+        collect.db_bytes as f64 / 1e6
+    );
+
+    // Phase 2: train the default surrogate architecture.
+    println!("[2/3] training the MLP surrogate (5 features -> price)...");
+    let spec = bench.default_spec(&cfg);
+    let tc = bench.default_train_config(&cfg);
+    let model_path = cfg.model_path(bench.name());
+    let train = bench.train_spec(&cfg, &spec, &tc, &model_path)?;
+    println!(
+        "      validation MSE (normalized): {:.5}; {} parameters; trained in {:.1}s",
+        train.val_loss,
+        train.params,
+        train.train_time.as_secs_f64()
+    );
+
+    // Phase 3: deploy on held-out options and compare end to end.
+    println!("[3/3] deploying the surrogate on held-out options...");
+    let eval = bench.evaluate(&cfg, &model_path)?;
+    println!(
+        "      accurate: {:.4}s | surrogate: {:.4}s | speedup {:.1}x | price RMSE {:.4}",
+        eval.accurate_time.as_secs_f64(),
+        eval.surrogate_time.as_secs_f64(),
+        eval.speedup,
+        eval.qoi_error
+    );
+    let (to, inf, from) = eval.region.breakdown();
+    println!(
+        "      surrogate runtime breakdown: to-tensor {:.1}%, inference {:.1}%, from-tensor {:.1}%",
+        to * 100.0,
+        inf * 100.0,
+        from * 100.0
+    );
+    println!(
+        "\nThe paper's Binomial result: up to 83.6x speedup (fastest model, RMSE 0.114) \
+     vs 19.4x (largest model, RMSE 0.011) on A100s. The reproduced shape: the \
+     surrogate wins by a large factor and accuracy trades against speed."
+    );
+    Ok(())
+}
