@@ -102,7 +102,8 @@ fn norm_cdf(x: f64) -> f64 {
     // Abramowitz–Stegun 7.1.26 erf approximation.
     let t = 1.0 / (1.0 + 0.3275911 * x.abs() / std::f64::consts::SQRT_2);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     let erf = 1.0 - poly * (-(x * x) / 2.0).exp();
     if x >= 0.0 {
         0.5 * (1.0 + erf)
@@ -181,7 +182,10 @@ fn run_annotated(
         let binds = Bindings::new().with("N", n as i64);
         let opts = &batch.data[start * FEATURES..end * FEATURES];
         let out_slice = &mut prices[start..end];
-        let sub = OptionBatch { data: opts.to_vec(), n };
+        let sub = OptionBatch {
+            data: opts.to_vec(),
+            n,
+        };
         let mut outcome = region
             .invoke(&binds)
             .use_surrogate(use_model)
@@ -334,7 +338,10 @@ mod tests {
         let bs = black_scholes_call(s as f64, k as f64, t as f64, r as f64, sigma as f64);
         let coarse = crr_price(s, k, t, r, sigma, 64) as f64;
         let fine = crr_price(s, k, t, r, sigma, 1024) as f64;
-        assert!((fine - bs).abs() < (coarse - bs).abs() + 1e-6, "finer tree must not diverge");
+        assert!(
+            (fine - bs).abs() < (coarse - bs).abs() + 1e-6,
+            "finer tree must not diverge"
+        );
         assert!((fine - bs).abs() < 0.01, "CRR(1024)={fine} vs BS={bs}");
     }
 
@@ -391,7 +398,10 @@ mod tests {
         // Two invocations recorded (128 options / 64 per chunk).
         let file = hpacml_store::H5File::open(&db).unwrap();
         let g = file.root().group("binomial").unwrap();
-        assert_eq!(g.group("inputs").unwrap().dataset("opts").unwrap().rows(), 2);
+        assert_eq!(
+            g.group("inputs").unwrap().dataset("opts").unwrap().rows(),
+            2
+        );
         assert_eq!(g.dataset("region_time_ns").unwrap().rows(), 2);
     }
 

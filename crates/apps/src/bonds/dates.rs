@@ -59,7 +59,9 @@ impl Date {
         for m in 1..month {
             serial += days_in_month(year, m);
         }
-        Date { serial: serial + day as i32 - 1 }
+        Date {
+            serial: serial + day as i32 - 1,
+        }
     }
 
     pub fn from_serial(serial: i32) -> Date {
@@ -107,7 +109,9 @@ impl Date {
 
     /// Add (or subtract) calendar days.
     pub fn add_days(self, days: i32) -> Date {
-        Date { serial: self.serial + days }
+        Date {
+            serial: self.serial + days,
+        }
     }
 
     /// Add calendar months, clamping the day to the target month's end
@@ -253,7 +257,10 @@ mod tests {
             dc.days_between(Date::from_ymd(2020, 1, 31), Date::from_ymd(2020, 2, 28)),
             28
         );
-        assert!((dc.year_fraction(Date::from_ymd(2020, 1, 1), Date::from_ymd(2021, 1, 1)) - 1.0).abs() < 1e-12);
+        assert!(
+            (dc.year_fraction(Date::from_ymd(2020, 1, 1), Date::from_ymd(2021, 1, 1)) - 1.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -78,12 +78,28 @@ pub fn bond_analytics(features: &[f32]) -> (f64, f64, f64) {
 
     // Coupon schedule from issue to maturity.
     let accrued = accrued_interest(rate, issue, settlement, maturity, months_per_period, freq);
-    let dirty = dirty_price(rate, yield_, settlement, issue, maturity, months_per_period, freq);
+    let dirty = dirty_price(
+        rate,
+        yield_,
+        settlement,
+        issue,
+        maturity,
+        months_per_period,
+        freq,
+    );
     let clean = dirty - accrued;
 
     // Recover the yield from the clean price by bisection — the iterative
     // solver that makes this kernel compute-bound.
-    let solved = solve_yield(rate, clean + accrued, settlement, issue, maturity, months_per_period, freq);
+    let solved = solve_yield(
+        rate,
+        clean + accrued,
+        settlement,
+        issue,
+        maturity,
+        months_per_period,
+        freq,
+    );
     (accrued, clean, solved)
 }
 
@@ -157,7 +173,15 @@ fn solve_yield(
     let (mut lo, mut hi) = (1e-6f64, 1.0f64);
     for _ in 0..48 {
         let mid = 0.5 * (lo + hi);
-        let p = dirty_price(rate, mid, settlement, issue, maturity, months_per_period, freq);
+        let p = dirty_price(
+            rate,
+            mid,
+            settlement,
+            issue,
+            maturity,
+            months_per_period,
+            freq,
+        );
         // Price decreases in yield.
         if p > target_dirty {
             lo = mid;
@@ -176,8 +200,7 @@ pub fn bonds_kernel(batch: &BondBatch, out: &mut [f32]) {
     hpacml_par::par_chunks_mut(out, 32, |start, chunk| {
         for (k, o) in chunk.iter_mut().enumerate() {
             let i = start + k;
-            let (accrued, clean, solved) =
-                bond_analytics(&data[i * FEATURES..(i + 1) * FEATURES]);
+            let (accrued, clean, solved) = bond_analytics(&data[i * FEATURES..(i + 1) * FEATURES]);
             // clean/solved are part of the app's output set; keep them live.
             std::hint::black_box((clean, solved));
             *o = accrued as f32;
@@ -196,8 +219,16 @@ pub struct BondsConfig {
 impl BondsConfig {
     pub fn for_scale(scale: Scale) -> Self {
         match scale {
-            Scale::Quick => BondsConfig { n_bonds: 4096, collect_batch: 512, eval_reps: 3 },
-            Scale::Full => BondsConfig { n_bonds: 65536, collect_batch: 4096, eval_reps: 20 },
+            Scale::Quick => BondsConfig {
+                n_bonds: 4096,
+                collect_batch: 512,
+                eval_reps: 3,
+            },
+            Scale::Full => BondsConfig {
+                n_bonds: 65536,
+                collect_batch: 4096,
+                eval_reps: 20,
+            },
         }
     }
 }
@@ -239,7 +270,10 @@ fn run_annotated(
         let binds = Bindings::new().with("N", n as i64);
         let feats = &batch.data[start * FEATURES..end * FEATURES];
         let out_slice = &mut out[start..end];
-        let sub = BondBatch { data: feats.to_vec(), n };
+        let sub = BondBatch {
+            data: feats.to_vec(),
+            n,
+        };
         let mut outcome = region
             .invoke(&binds)
             .use_surrogate(use_model)
@@ -449,12 +483,15 @@ mod tests {
         let batch = BondBatch::generate(256, 4);
         let mut out = vec![0.0f32; 256];
         bonds_kernel(&batch, &mut out);
-        for i in 0..256 {
+        for (i, &accrued) in out.iter().enumerate() {
             let rate = batch.data[i * FEATURES] as f64;
             let freq = batch.data[i * FEATURES + 5] as f64;
             let coupon = rate * FACE / freq;
-            assert!(out[i] >= 0.0);
-            assert!(out[i] as f64 <= coupon + 1e-6, "accrued {} > coupon {coupon}", out[i]);
+            assert!(accrued >= 0.0);
+            assert!(
+                accrued as f64 <= coupon + 1e-6,
+                "accrued {accrued} > coupon {coupon}"
+            );
         }
     }
 

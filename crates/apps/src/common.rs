@@ -67,7 +67,9 @@ impl Scale {
         match s {
             "quick" => Ok(Scale::Quick),
             "full" => Ok(Scale::Full),
-            other => Err(AppError::Config(format!("unknown scale `{other}` (quick|full)"))),
+            other => Err(AppError::Config(format!(
+                "unknown scale `{other}` (quick|full)"
+            ))),
         }
     }
 }
@@ -83,11 +85,19 @@ pub struct BenchConfig {
 
 impl BenchConfig {
     pub fn quick(workdir: impl Into<PathBuf>) -> Self {
-        BenchConfig { scale: Scale::Quick, seed: 42, workdir: workdir.into() }
+        BenchConfig {
+            scale: Scale::Quick,
+            seed: 42,
+            workdir: workdir.into(),
+        }
     }
 
     pub fn full(workdir: impl Into<PathBuf>) -> Self {
-        BenchConfig { scale: Scale::Full, seed: 42, workdir: workdir.into() }
+        BenchConfig {
+            scale: Scale::Full,
+            seed: 42,
+            workdir: workdir.into(),
+        }
     }
 
     pub fn db_path(&self, bench: &str) -> PathBuf {
@@ -247,15 +257,23 @@ pub fn train_surrogate(
         in_norm.transform(&train_raw.x),
         out_norm.transform(&train_raw.y),
     )?;
-    let val_ds =
-        InMemoryDataset::new(in_norm.transform(&val_raw.x), out_norm.transform(&val_raw.y))?;
+    let val_ds = InMemoryDataset::new(
+        in_norm.transform(&val_raw.x),
+        out_norm.transform(&val_raw.y),
+    )?;
 
     let mut model = spec.build(tc.seed.wrapping_add(29))?;
     let t0 = std::time::Instant::now();
     let hist = hpacml_nn::train(&mut model, &train_ds, Some(&val_ds), tc)?;
     let train_time = t0.elapsed();
 
-    hpacml_nn::serialize::save_model(model_path, spec, &mut model, Some(&in_norm), Some(&out_norm))?;
+    hpacml_nn::serialize::save_model(
+        model_path,
+        spec,
+        &mut model,
+        Some(&in_norm),
+        Some(&out_norm),
+    )?;
 
     // Inference latency on a validation-shaped batch (the paper's model-size
     // vs speed axis).

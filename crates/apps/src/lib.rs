@@ -26,7 +26,9 @@ pub mod minibude;
 pub mod miniweather;
 pub mod particlefilter;
 
-pub use common::{AppError, AppResult, BenchConfig, Benchmark, CollectStats, EvalStats, Scale, TrainStats};
+pub use common::{
+    AppError, AppResult, BenchConfig, Benchmark, CollectStats, EvalStats, Scale, TrainStats,
+};
 
 /// All five benchmarks, boxed, in the paper's Table I order.
 pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {

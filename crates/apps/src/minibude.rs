@@ -78,16 +78,30 @@ impl Deck {
         let protein = (0..protein_atoms)
             .map(|_| {
                 let (x, y, z) = ball(12.0, &mut rng);
-                Atom { x, y, z, ty: (rng.next_u64() % n_types as u64) as u32 }
+                Atom {
+                    x,
+                    y,
+                    z,
+                    ty: (rng.next_u64() % n_types as u64) as u32,
+                }
             })
             .collect();
         let ligand = (0..ligand_atoms)
             .map(|_| {
                 let (x, y, z) = ball(3.0, &mut rng);
-                Atom { x, y, z, ty: (rng.next_u64() % n_types as u64) as u32 }
+                Atom {
+                    x,
+                    y,
+                    z,
+                    ty: (rng.next_u64() % n_types as u64) as u32,
+                }
             })
             .collect();
-        Deck { protein, ligand, forcefield }
+        Deck {
+            protein,
+            ligand,
+            forcefield,
+        }
     }
 }
 
@@ -242,7 +256,10 @@ fn run_annotated(
         let binds = Bindings::new().with("N", n as i64);
         let pose_slice = &poses.data[start * POSE_DOF..end * POSE_DOF];
         let out_slice = &mut out[start..end];
-        let sub = PoseBatch { data: pose_slice.to_vec(), n };
+        let sub = PoseBatch {
+            data: pose_slice.to_vec(),
+            n,
+        };
         let mut outcome = region
             .invoke(&binds)
             .use_surrogate(use_model)

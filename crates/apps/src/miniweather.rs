@@ -82,7 +82,8 @@ fn hydro_const_theta(z: f64) -> (f64, f64) {
 
 /// Cosine-tapered ellipse perturbation (miniWeather's `sample_ellipse_cosine`).
 fn ellipse_cosine(x: f64, z: f64, amp: f64, x0: f64, z0: f64, xrad: f64, zrad: f64) -> f64 {
-    let dist = (((x - x0) / xrad).powi(2) + ((z - z0) / zrad).powi(2)).sqrt() * std::f64::consts::PI / 2.0;
+    let dist =
+        (((x - x0) / xrad).powi(2) + ((z - z0) / zrad).powi(2)).sqrt() * std::f64::consts::PI / 2.0;
     if dist <= std::f64::consts::PI / 2.0 {
         amp * dist.cos().powi(2)
     } else {
@@ -311,7 +312,7 @@ impl Sim {
     }
 
     /// One semi-discrete update `out = base + dt·tend(src)` in one direction.
-    fn semi_step(&mut self, dir_x: bool, base: &[f32], src: &[f32], dt: f64, out: &mut Vec<f32>) {
+    fn semi_step(&mut self, dir_x: bool, base: &[f32], src: &[f32], dt: f64, out: &mut [f32]) {
         let (nx, nz) = (self.nx, self.nz);
         let mut tend = vec![0.0f64; NUM_VARS * nz * nx];
         // Halos belong to the *source* state: install, exchange, compute.
@@ -476,9 +477,21 @@ impl MiniWeather {
         ModelSpec::new(
             vec![NUM_VARS, nz, nx],
             vec![
-                LayerSpec::Conv2d { in_ch: NUM_VARS, out_ch: hidden_ch, kernel, stride: 1, pad },
+                LayerSpec::Conv2d {
+                    in_ch: NUM_VARS,
+                    out_ch: hidden_ch,
+                    kernel,
+                    stride: 1,
+                    pad,
+                },
                 LayerSpec::Tanh,
-                LayerSpec::Conv2d { in_ch: hidden_ch, out_ch: NUM_VARS, kernel, stride: 1, pad },
+                LayerSpec::Conv2d {
+                    in_ch: hidden_ch,
+                    out_ch: NUM_VARS,
+                    kernel,
+                    stride: 1,
+                    pad,
+                },
             ],
         )
     }
@@ -723,7 +736,11 @@ mod tests {
     #[test]
     fn table_metadata_three_directives() {
         let b = MiniWeather;
-        assert_eq!(b.directives().len(), 3, "MiniWeather uses the inout shortcut");
+        assert_eq!(
+            b.directives().len(),
+            3,
+            "MiniWeather uses the inout shortcut"
+        );
         assert_eq!(b.qoi_metric(), "RMSE");
     }
 }

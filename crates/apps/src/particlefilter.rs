@@ -84,7 +84,13 @@ impl Video {
                 }
             }
         }
-        Video { pixels, truth, frames, h, w }
+        Video {
+            pixels,
+            truth,
+            frames,
+            h,
+            w,
+        }
     }
 
     pub fn frame(&self, f: usize) -> &[f32] {
@@ -265,8 +271,7 @@ impl ParticleFilter {
     /// video — the black vertical line in the paper's Fig. 7.
     pub fn original_approximation_rmse(&self, cfg: &BenchConfig) -> f64 {
         let pc = PfConfig::for_scale(cfg.scale);
-        let video =
-            Video::generate(pc.frames, pc.h, pc.w, cfg.seed.wrapping_add(0xF117));
+        let video = Video::generate(pc.frames, pc.h, pc.w, cfg.seed.wrapping_add(0xF117));
         let est = particle_filter(&video, pc.particles, cfg.seed);
         track_rmse(&est, &video.truth)
     }
@@ -334,14 +339,16 @@ impl Benchmark for ParticleFilter {
         let db = cfg.db_path(self.name());
         let _ = std::fs::remove_file(&db);
         let region = build_region(Some(&db), None)?;
-        let binds = Bindings::new().with("H", pc.h as i64).with("W", pc.w as i64);
+        let binds = Bindings::new()
+            .with("H", pc.h as i64)
+            .with("W", pc.w as i64);
         let t0 = Instant::now();
         let mut rows = 0usize;
         for (v, video) in videos.iter().enumerate() {
             // The PF itself runs once per video (the accurate path), and each
             // frame is one region invocation.
             let estimates = particle_filter(video, pc.particles, cfg.seed.wrapping_add(v as u64));
-            for f in 0..video.frames {
+            for (f, estimate) in estimates.iter().enumerate().take(video.frames) {
                 let mut loc = [video.truth[f].0, video.truth[f].1];
                 let mut outcome = region
                     .invoke(&binds)
@@ -350,7 +357,7 @@ impl Benchmark for ParticleFilter {
                     .run(|| {
                         // Accurate path: the app's own estimate (kept for the
                         // QoI); ground truth is what gets collected.
-                        std::hint::black_box(estimates[f]);
+                        std::hint::black_box(*estimate);
                     })?;
                 outcome.output("loc", &mut loc, &[2])?;
                 outcome.finish()?;
@@ -380,13 +387,28 @@ impl Benchmark for ParticleFilter {
         ModelSpec::new(
             vec![1, pc.h, pc.w],
             vec![
-                LayerSpec::Conv2d { in_ch: 1, out_ch: 6, kernel: k, stride: s, pad: 0 },
+                LayerSpec::Conv2d {
+                    in_ch: 1,
+                    out_ch: 6,
+                    kernel: k,
+                    stride: s,
+                    pad: 0,
+                },
                 LayerSpec::ReLU,
-                LayerSpec::MaxPool2d { kernel: pk, stride: ps },
+                LayerSpec::MaxPool2d {
+                    kernel: pk,
+                    stride: ps,
+                },
                 LayerSpec::Flatten,
-                LayerSpec::Linear { in_features: 6 * ph * pw, out_features: 64 },
+                LayerSpec::Linear {
+                    in_features: 6 * ph * pw,
+                    out_features: 64,
+                },
                 LayerSpec::ReLU,
-                LayerSpec::Linear { in_features: 64, out_features: 2 },
+                LayerSpec::Linear {
+                    in_features: 64,
+                    out_features: 2,
+                },
             ],
         )
     }
@@ -429,7 +451,9 @@ impl Benchmark for ParticleFilter {
     fn evaluate(&self, cfg: &BenchConfig, model_path: &Path) -> AppResult<EvalStats> {
         let pc = PfConfig::for_scale(cfg.scale);
         let video = Video::generate(pc.frames, pc.h, pc.w, cfg.seed.wrapping_add(0xF117));
-        let binds = Bindings::new().with("H", pc.h as i64).with("W", pc.w as i64);
+        let binds = Bindings::new()
+            .with("H", pc.h as i64)
+            .with("W", pc.w as i64);
 
         // Accurate path: the original particle filter.
         let mut pf_estimates = Vec::new();

@@ -52,9 +52,8 @@ fn bench_bridge(c: &mut Criterion) {
         });
 
         // 5-point stencil functor gather (the Fig. 2 bridge: 5x data motion).
-        let info = functor_info(
-            "tensor functor(st: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))",
-        );
+        let info =
+            functor_info("tensor functor(st: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))");
         let map = map_dir("tensor map(to: st(t[1:N-1, 1:M-1]))");
         let plan = compile(&info, &map, &[n, n], &binds).unwrap();
         group.bench_with_input(BenchmarkId::new("gather_stencil5", n), &n, |b, _| {

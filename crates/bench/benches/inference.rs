@@ -30,9 +30,21 @@ fn bench_cnn(c: &mut Criterion) {
         let spec = ModelSpec::new(
             vec![4, 24, 48],
             vec![
-                LayerSpec::Conv2d { in_ch: 4, out_ch: ch, kernel: k, stride: 1, pad: k / 2 },
+                LayerSpec::Conv2d {
+                    in_ch: 4,
+                    out_ch: ch,
+                    kernel: k,
+                    stride: 1,
+                    pad: k / 2,
+                },
                 LayerSpec::Tanh,
-                LayerSpec::Conv2d { in_ch: ch, out_ch: 4, kernel: k, stride: 1, pad: k / 2 },
+                LayerSpec::Conv2d {
+                    in_ch: ch,
+                    out_ch: 4,
+                    kernel: k,
+                    stride: 1,
+                    pad: k / 2,
+                },
             ],
         );
         let model = spec.build(2).unwrap();

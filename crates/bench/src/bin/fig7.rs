@@ -18,7 +18,9 @@ fn main() {
     );
 
     let original_rmse = bench.original_approximation_rmse(&args.cfg);
-    println!("Original particle-filter approximation RMSE: {original_rmse:.3} (the vertical line)\n");
+    println!(
+        "Original particle-filter approximation RMSE: {original_rmse:.3} (the vertical line)\n"
+    );
 
     let nested = nested_budget(args.cfg.scale, args.cfg.seed);
     let points = match run_campaign(&bench, &args.cfg, &nested) {
@@ -29,8 +31,7 @@ fn main() {
         }
     };
 
-    let min_params =
-        points.iter().map(|p| p.params).min().unwrap_or(1).max(1) as f64;
+    let min_params = points.iter().map(|p| p.params).min().unwrap_or(1).max(1) as f64;
     println!(
         "{:>10} {:>9} {:>12} {:>10} {:>10}",
         "RMSE", "Speedup", "Params", "RelSize", "ValLoss"
@@ -58,7 +59,10 @@ fn main() {
         ));
     }
 
-    let better: Vec<_> = points.iter().filter(|p| p.qoi_error < original_rmse).collect();
+    let better: Vec<_> = points
+        .iter()
+        .filter(|p| p.qoi_error < original_rmse)
+        .collect();
     println!("{}", "-".repeat(56));
     println!(
         "{} of {} models beat the original approximation's RMSE ({original_rmse:.3}); \

@@ -58,7 +58,9 @@ fn main() {
         // The paper's trade-off statement: fastest vs most accurate model.
         if let (Some(fastest), Some(most_acc)) = (
             points.iter().max_by(|a, b| a.speedup.total_cmp(&b.speedup)),
-            points.iter().min_by(|a, b| a.qoi_error.total_cmp(&b.qoi_error)),
+            points
+                .iter()
+                .min_by(|a, b| a.qoi_error.total_cmp(&b.qoi_error)),
         ) {
             println!(
                 "  fastest: {:.2}x at error {:.4} ({} params); most accurate: {:.2}x at error {:.4} ({} params)\n",

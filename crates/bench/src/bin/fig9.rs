@@ -11,7 +11,7 @@
 //! * (f) CDF of relative error after 1 surrogate step vs after 10.
 
 use hpacml_apps::metrics::{cdf_at, relative_errors};
-use hpacml_apps::miniweather::{region_step, MiniWeather, Sim, WeatherConfig, ID_RHOT, HS};
+use hpacml_apps::miniweather::{region_step, MiniWeather, Sim, WeatherConfig, HS, ID_RHOT};
 use hpacml_apps::Benchmark;
 use hpacml_core::Region;
 use std::time::Instant;
@@ -38,12 +38,10 @@ fn run_interleaved(
 ) -> (Vec<f64>, std::time::Duration) {
     let mut sim = start.clone();
     let mut rmse = Vec::with_capacity(reference.len());
-    let mut phase = 0usize;
     let cycle = (orig + surr).max(1);
     let t0 = Instant::now();
-    for r in reference {
+    for (phase, r) in reference.iter().enumerate() {
         let use_model = phase % cycle >= orig;
-        phase += 1;
         region_step(region, &mut sim, use_model).expect("fig9 step");
         rmse.push(hpacml_apps::metrics::rmse(&sim.interior(), r));
     }
@@ -73,7 +71,12 @@ fn dump_theta(dir: &std::path::Path, name: &str, sim: &Sim) {
         }
         rows.push(cols.join(","));
     }
-    hpacml_bench::write_csv(dir, name, "# rho_theta perturbation field, one row per z level", &rows);
+    hpacml_bench::write_csv(
+        dir,
+        name,
+        "# rho_theta perturbation field, one row per z level",
+        &rows,
+    );
 }
 
 fn main() {
@@ -91,7 +94,10 @@ fn main() {
     if !model_path.exists() {
         println!("[fig9] training the MiniWeather surrogate first...");
         let (_c, t, _e) = bench.pipeline(&args.cfg).expect("pipeline");
-        println!("[fig9] trained: val loss {:.5}, {} params\n", t.val_loss, t.params);
+        println!(
+            "[fig9] trained: val loss {:.5}, {} params\n",
+            t.val_loss, t.params
+        );
     }
     let region = build_infer_region(&model_path);
 
@@ -118,7 +124,10 @@ fn main() {
     let mut e_rows = Vec::new();
     let mut final_sims: Vec<(String, Sim)> = Vec::new();
     println!("(d) RMSE vs speedup at the final evaluated timestep:\n");
-    println!("{:>18} {:>12} {:>9}", "Original:Surrogate", "Final RMSE", "Speedup");
+    println!(
+        "{:>18} {:>12} {:>9}",
+        "Original:Surrogate", "Final RMSE", "Speedup"
+    );
     for (orig, surr) in configs {
         let (rmse_series, wall) = run_interleaved(&region, &base, &reference, orig, surr);
         let label = format!("{orig}:{surr}");
@@ -147,7 +156,10 @@ fn main() {
 
     // Panel (e): per-timestep error (printed sparsely).
     println!("\n(e) Per-timestep RMSE (every 10th step):\n");
-    let header: Vec<String> = configs.iter().map(|(o, s)| format!("{:>10}", format!("{o}:{s}"))).collect();
+    let header: Vec<String> = configs
+        .iter()
+        .map(|(o, s)| format!("{:>10}", format!("{o}:{s}")))
+        .collect();
     println!("{:>8} {}", "step", header.join(" "));
     for step in (0..wc.eval_steps).step_by(10.max(wc.eval_steps / 10)) {
         let mut line = format!("{:>8}", wc.eval_warmup + step + 1);
@@ -171,8 +183,14 @@ fn main() {
     for (label, sim) in &final_sims {
         let (mn, mx, mean) = field_summary(sim);
         let rmse = hpacml_apps::metrics::rmse(&sim.interior(), &reference_sim.interior());
-        println!("  {label:<16}: min {mn:.4}  max {mx:.4}  mean {mean:.6}  RMSE vs original {rmse:.4}");
-        let fname = if label == "0:1" { "fig9b_surrogate.csv" } else { "fig9c_mixed.csv" };
+        println!(
+            "  {label:<16}: min {mn:.4}  max {mx:.4}  mean {mean:.6}  RMSE vs original {rmse:.4}"
+        );
+        let fname = if label == "0:1" {
+            "fig9b_surrogate.csv"
+        } else {
+            "fig9c_mixed.csv"
+        };
         dump_theta(&args.results_dir, fname, sim);
     }
 
@@ -200,7 +218,17 @@ fn main() {
          distribution shifts right by roughly an order of magnitude."
     );
 
-    hpacml_bench::write_csv(&args.results_dir, "fig9d.csv", "config,final_rmse,speedup", &d_rows);
+    hpacml_bench::write_csv(
+        &args.results_dir,
+        "fig9d.csv",
+        "config,final_rmse,speedup",
+        &d_rows,
+    );
     hpacml_bench::write_csv(&args.results_dir, "fig9e.csv", "config,step,rmse", &e_rows);
-    hpacml_bench::write_csv(&args.results_dir, "fig9f.csv", "threshold,cdf_step1,cdf_step10", &f_rows);
+    hpacml_bench::write_csv(
+        &args.results_dir,
+        "fig9f.csv",
+        "threshold,cdf_step1,cdf_step10",
+        &f_rows,
+    );
 }

@@ -4,12 +4,22 @@
 fn main() {
     let args = hpacml_bench::parse_args("table1");
     println!("\nTable I: The benchmarks used to evaluate HPAC-ML.\n");
-    println!("{:<16} {:<8} {}", "Benchmark", "Metric", "Description");
+    println!("{:<16} {:<8} Description", "Benchmark", "Metric");
     println!("{}", "-".repeat(100));
     let mut rows = Vec::new();
     for b in hpacml_apps::all_benchmarks() {
         println!("{:<16} {:<8} {}", b.name(), b.qoi_metric(), b.description());
-        rows.push(format!("{},{},\"{}\"", b.name(), b.qoi_metric(), b.description()));
+        rows.push(format!(
+            "{},{},\"{}\"",
+            b.name(),
+            b.qoi_metric(),
+            b.description()
+        ));
     }
-    hpacml_bench::write_csv(&args.results_dir, "table1.csv", "benchmark,metric,description", &rows);
+    hpacml_bench::write_csv(
+        &args.results_dir,
+        "table1.csv",
+        "benchmark,metric,description",
+        &rows,
+    );
 }

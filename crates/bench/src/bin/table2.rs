@@ -44,7 +44,14 @@ fn main() {
             n_directives,
             increase
         );
-        rows.push(format!("{},{},{},{},{:.3}", b.name(), total, hpac_loc, n_directives, increase));
+        rows.push(format!(
+            "{},{},{},{},{:.3}",
+            b.name(),
+            total,
+            hpac_loc,
+            n_directives,
+            increase
+        ));
     }
     println!("{}", "-".repeat(76));
     println!(

@@ -5,18 +5,26 @@ use hpacml_bench::fmt_secs;
 
 fn main() {
     let args = hpacml_bench::parse_args("table3");
-    println!("\nTable III: Data collection overhead ({:?} scale).\n", args.cfg.scale);
+    println!(
+        "\nTable III: Data collection overhead ({:?} scale).\n",
+        args.cfg.scale
+    );
     println!(
         "{:<16} {:>16} {:>22} {:>12} {:>16} {:>8}",
-        "Benchmark", "Original Runtime", "With Data Collection", "Overhead", "Data Size (MB)", "Rows"
+        "Benchmark",
+        "Original Runtime",
+        "With Data Collection",
+        "Overhead",
+        "Data Size (MB)",
+        "Rows"
     );
     println!("{}", "-".repeat(96));
     let mut rows = Vec::new();
     for b in hpacml_apps::all_benchmarks() {
         match b.collect(&args.cfg) {
             Ok(stats) => {
-                let overhead =
-                    stats.collect_runtime.as_secs_f64() / stats.plain_runtime.as_secs_f64().max(1e-12);
+                let overhead = stats.collect_runtime.as_secs_f64()
+                    / stats.plain_runtime.as_secs_f64().max(1e-12);
                 let mb = stats.db_bytes as f64 / 1e6;
                 println!(
                     "{:<16} {:>16} {:>22} {:>11.2}x {:>16.2} {:>8}",

@@ -29,9 +29,17 @@ fn main() {
 
     println!("\nTable IV: Search space used for neural architecture search.\n");
     print_space("MiniBUDE", &spaces::minibude_arch_space(), &mut rows);
-    print_space("Binomial Options, Bonds", &spaces::binomial_bonds_arch_space(), &mut rows);
+    print_space(
+        "Binomial Options, Bonds",
+        &spaces::binomial_bonds_arch_space(),
+        &mut rows,
+    );
     print_space("MiniWeather", &spaces::miniweather_arch_space(), &mut rows);
-    print_space("ParticleFilter", &spaces::particlefilter_arch_space(), &mut rows);
+    print_space(
+        "ParticleFilter",
+        &spaces::particlefilter_arch_space(),
+        &mut rows,
+    );
 
     println!("\nTable V: Search space used for BO hyperparameter tuning.\n");
     print_space("Hyperparameters", &spaces::hyper_space(), &mut rows);

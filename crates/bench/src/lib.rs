@@ -56,7 +56,14 @@ pub fn parse_args(bin: &str) -> HarnessArgs {
     }
     let results_dir = workdir.clone();
     std::fs::create_dir_all(&results_dir).expect("create results dir");
-    HarnessArgs { cfg: BenchConfig { scale, seed, workdir }, results_dir }
+    HarnessArgs {
+        cfg: BenchConfig {
+            scale,
+            seed,
+            workdir,
+        },
+        results_dir,
+    }
 }
 
 /// Write rows as CSV under the results dir.
@@ -123,11 +130,18 @@ impl SpecKind {
     pub fn for_benchmark(name: &str, scale: Scale) -> SpecKind {
         match name {
             "minibude" => SpecKind::MiniBude,
-            "binomial" => SpecKind::BinomialBonds { input_dim: hpacml_apps::binomial::FEATURES },
-            "bonds" => SpecKind::BinomialBonds { input_dim: hpacml_apps::bonds::FEATURES },
+            "binomial" => SpecKind::BinomialBonds {
+                input_dim: hpacml_apps::binomial::FEATURES,
+            },
+            "bonds" => SpecKind::BinomialBonds {
+                input_dim: hpacml_apps::bonds::FEATURES,
+            },
             "miniweather" => {
                 let wc = hpacml_apps::miniweather::WeatherConfig::for_scale(scale);
-                SpecKind::MiniWeather { nz: wc.nz, nx: wc.nx }
+                SpecKind::MiniWeather {
+                    nz: wc.nz,
+                    nx: wc.nx,
+                }
             }
             "particlefilter" => {
                 let pc = hpacml_apps::particlefilter::PfConfig::for_scale(scale);
@@ -162,7 +176,14 @@ pub struct AppSearchProblem<'a> {
 impl<'a> AppSearchProblem<'a> {
     pub fn new(bench: &'a dyn Benchmark, cfg: &'a BenchConfig, base_tc: TrainConfig) -> Self {
         let kind = SpecKind::for_benchmark(bench.name(), cfg.scale);
-        AppSearchProblem { bench, cfg, kind, base_tc, log: RefCell::new(Vec::new()), counter: RefCell::new(0) }
+        AppSearchProblem {
+            bench,
+            cfg,
+            kind,
+            base_tc,
+            log: RefCell::new(Vec::new()),
+            counter: RefCell::new(0),
+        }
     }
 
     pub fn into_log(self) -> Vec<TrainedCandidate> {
@@ -197,19 +218,18 @@ impl SearchProblem for AppSearchProblem<'_> {
             return (1e6, 1e6);
         }
         let mut tc = hpacml_search::spaces::train_config_from(hyper, &self.base_tc);
-        if params > 0 {
-            let scaled = (epoch_budget / params).max(2);
-            tc.epochs = tc.epochs.min(scaled);
+        if let Some(scaled) = epoch_budget.checked_div(params) {
+            tc.epochs = tc.epochs.min(scaled.max(2));
         }
         let dropout = hpacml_search::spaces::dropout_from(hyper);
         let spec = hpacml_search::spaces::inject_dropout(spec, dropout);
         let mut counter = self.counter.borrow_mut();
         *counter += 1;
-        let model_path = self
-            .cfg
-            .workdir
-            .join("campaign")
-            .join(format!("{}-{:04}.hml", self.bench.name(), *counter));
+        let model_path = self.cfg.workdir.join("campaign").join(format!(
+            "{}-{:04}.hml",
+            self.bench.name(),
+            *counter
+        ));
         if let Some(dir) = model_path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
@@ -251,7 +271,10 @@ pub fn run_campaign(
     cfg.ensure_workdir()?;
     let db = cfg.db_path(bench.name());
     if !db.exists() {
-        println!("  [campaign] collecting training data for {}...", bench.name());
+        println!(
+            "  [campaign] collecting training data for {}...",
+            bench.name()
+        );
         bench.collect(cfg)?;
     }
     let base_tc = bench.default_train_config(cfg);
@@ -263,7 +286,10 @@ pub fn run_campaign(
     nested_search(&problem, nested)
         .map_err(|e| hpacml_apps::AppError::Config(format!("search failed: {e}")))?;
     let log = problem.into_log();
-    println!("  [campaign] trained {} models; evaluating end-to-end...", log.len());
+    println!(
+        "  [campaign] trained {} models; evaluating end-to-end...",
+        log.len()
+    );
     let mut points = Vec::with_capacity(log.len());
     for cand in &log {
         match bench.evaluate(cfg, &cand.model_path) {
@@ -274,7 +300,10 @@ pub fn run_campaign(
                 speedup: eval.speedup,
                 qoi_error: eval.qoi_error,
             }),
-            Err(e) => eprintln!("  [campaign] eval failed for {}: {e}", cand.model_path.display()),
+            Err(e) => eprintln!(
+                "  [campaign] eval failed for {}: {e}",
+                cand.model_path.display()
+            ),
         }
     }
     Ok(points)
@@ -283,8 +312,18 @@ pub fn run_campaign(
 /// Scaled-down nested budgets per scale (the paper runs 100×30).
 pub fn nested_budget(scale: Scale, seed: u64) -> NestedConfig {
     match scale {
-        Scale::Quick => NestedConfig { outer_iters: 6, inner_iters: 3, patience: 4, seed },
-        Scale::Full => NestedConfig { outer_iters: 24, inner_iters: 8, patience: 5, seed },
+        Scale::Quick => NestedConfig {
+            outer_iters: 6,
+            inner_iters: 3,
+            patience: 4,
+            seed,
+        },
+        Scale::Full => NestedConfig {
+            outer_iters: 24,
+            inner_iters: 8,
+            patience: 5,
+            seed,
+        },
     }
 }
 

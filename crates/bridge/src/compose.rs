@@ -68,8 +68,10 @@ pub fn decompose(
             sweep_prod * feature_total
         )));
     }
-    let mut chunks: Vec<Vec<f32>> =
-        elem_counts.iter().map(|c| Vec::with_capacity(sweep_prod * c)).collect();
+    let mut chunks: Vec<Vec<f32>> = elem_counts
+        .iter()
+        .map(|c| Vec::with_capacity(sweep_prod * c))
+        .collect();
     let data = lhs.data();
     let mut cursor = 0usize;
     for _ in 0..sweep_prod {
@@ -115,8 +117,8 @@ mod tests {
     #[test]
     fn mismatched_sizes_rejected() {
         let a = Tensor::from_vec(vec![0.0; 4], [2, 2]).unwrap();
-        assert!(compose(&[a.clone()], &[2], &[2], &[2, 3]).is_err());
-        assert!(compose(&[a.clone()], &[3], &[2], &[3, 2]).is_err());
+        assert!(compose(std::slice::from_ref(&a), &[2], &[2], &[2, 3]).is_err());
+        assert!(compose(std::slice::from_ref(&a), &[3], &[2], &[3, 2]).is_err());
         let lhs = Tensor::from_vec(vec![0.0; 6], [2, 3]).unwrap();
         assert!(decompose(&lhs, &[2], &[2]).is_err());
     }

@@ -7,7 +7,7 @@
 //! symbolic in the sweep symbols.
 
 use crate::{BridgeError, Result};
-use hpacml_directive::ast::{Slice, SSpec};
+use hpacml_directive::ast::{SSpec, Slice};
 use hpacml_directive::sema::{affine_form, AffineForm, FunctorInfo};
 
 /// One dimension of one RHS slice after extraction.
@@ -60,7 +60,11 @@ fn extract_dim(slice: &Slice, syms: &[String]) -> Result<DimExtract> {
             ((((span + step - 1) / step) as usize), step)
         }
     };
-    Ok(DimExtract { start, extent, step })
+    Ok(DimExtract {
+        start,
+        extent,
+        step,
+    })
 }
 
 /// Extract every RHS slice of an analyzed functor.
@@ -96,9 +100,8 @@ mod tests {
     #[test]
     fn fig4_extraction_offsets() {
         // The paper's example: offsets (-1, 0), (1, 0) and (0, -1) with 3 elements.
-        let info = info(
-            "tensor functor(ifnctr: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))",
-        );
+        let info =
+            info("tensor functor(ifnctr: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))");
         let ex = extract(&info).unwrap();
         assert_eq!(ex.len(), 3);
         // Slice [i-1, j]: constants (-1, 0), coeff on own symbol 1, extents 1.

@@ -62,7 +62,12 @@ impl CompiledMap {
             .iter()
             .map(|rv| Ok(wrap(rv, data)?.gather()))
             .collect::<Result<Vec<_>>>()?;
-        compose(&parts, &self.sweep_counts, &self.elem_counts, &self.lhs_shape)
+        compose(
+            &parts,
+            &self.sweep_counts,
+            &self.elem_counts,
+            &self.lhs_shape,
+        )
     }
 
     /// Memory concretization, tensor space → application: split the LHS

@@ -68,7 +68,12 @@ fn resolve_one(symbol: &str, slice: &Slice, binds: &Bindings) -> Result<SweepRan
             ((((span + step - 1) / step) as usize), step)
         }
     };
-    Ok(SweepRange { symbol: symbol.to_string(), start, count, step })
+    Ok(SweepRange {
+        symbol: symbol.to_string(),
+        start,
+        count,
+        step,
+    })
 }
 
 /// A resolved flat-memory view for one RHS slice: `offset` plus one
@@ -122,8 +127,12 @@ pub fn resolve_slice(
     let mut dims = Vec::with_capacity(sweep.len() + rank);
     // Sweep dimensions, in sweep-symbol order.
     for sr in sweep {
-        let coeff_sum: i64 =
-            ex.dims.iter().enumerate().map(|(d, dim)| strides[d] * dim.start.coeffs[&sr.symbol]).sum();
+        let coeff_sum: i64 = ex
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(d, dim)| strides[d] * dim.start.coeffs[&sr.symbol])
+            .sum();
         let stride = coeff_sum * sr.step;
         if sr.count > 1 && stride < 0 {
             return Err(BridgeError::Plan(format!(
@@ -139,7 +148,11 @@ pub fn resolve_slice(
             dims.push((dim.extent, strides[d] * dim.step));
         }
     }
-    Ok(ResolvedView { offset, dims, sweep_rank: sweep.len() })
+    Ok(ResolvedView {
+        offset,
+        dims,
+        sweep_rank: sweep.len(),
+    })
 }
 
 #[cfg(test)]
@@ -178,8 +191,24 @@ mod tests {
             "tensor map(to: ifnctr(t[1:N-1, 1:M-1]))",
             &binds,
         );
-        assert_eq!(sweep[0], SweepRange { symbol: "i".into(), start: 1, count: 4, step: 1 });
-        assert_eq!(sweep[1], SweepRange { symbol: "j".into(), start: 1, count: 5, step: 1 });
+        assert_eq!(
+            sweep[0],
+            SweepRange {
+                symbol: "i".into(),
+                start: 1,
+                count: 4,
+                step: 1
+            }
+        );
+        assert_eq!(
+            sweep[1],
+            SweepRange {
+                symbol: "j".into(),
+                start: 1,
+                count: 5,
+                step: 1
+            }
+        );
 
         // Slice [i-1, j]: first element at (0, 1) → flat 0*7 + 1 = 1.
         let r0 = resolve_slice(&ex[0], &[6, 7], &sweep).unwrap();
@@ -213,11 +242,7 @@ mod tests {
     #[test]
     fn sweep_count_mismatch_rejected() {
         let binds = Bindings::new().with("N", 4);
-        let info = match parse_directive(
-            "tensor functor(f: [i, j, 0:1] = ([i, j]))",
-        )
-        .unwrap()
-        {
+        let info = match parse_directive("tensor functor(f: [i, j, 0:1] = ([i, j]))").unwrap() {
             Directive::Functor(f) => analyze(&f).unwrap(),
             other => panic!("{other:?}"),
         };
@@ -275,7 +300,15 @@ mod tests {
             "tensor map(to: f(t[3]))",
             &binds,
         );
-        assert_eq!(sweep[0], SweepRange { symbol: "i".into(), start: 3, count: 1, step: 1 });
+        assert_eq!(
+            sweep[0],
+            SweepRange {
+                symbol: "i".into(),
+                start: 3,
+                count: 1,
+                step: 1
+            }
+        );
         let r = resolve_slice(&ex[0], &[10], &sweep).unwrap();
         assert_eq!(r.offset, 3);
     }

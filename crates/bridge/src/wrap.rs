@@ -1,6 +1,6 @@
 //! Step 3 — tensor wrapping.
 //!
-//! Convert a [`ResolvedView`](crate::resolve::ResolvedView) into a validated,
+//! Convert a [`ResolvedView`] into a validated,
 //! zero-copy strided view over the application buffer. No memory moves here
 //! ("code generation creates lightweight wrappers around existing memory",
 //! §IV-A); out-of-bounds functor/map combinations are rejected at this point,
@@ -61,7 +61,11 @@ mod tests {
 
     #[test]
     fn wraps_in_bounds_view() {
-        let rv = ResolvedView { offset: 1, dims: vec![(2, 4), (3, 1)], sweep_rank: 1 };
+        let rv = ResolvedView {
+            offset: 1,
+            dims: vec![(2, 4), (3, 1)],
+            sweep_rank: 1,
+        };
         let data: Vec<f32> = (0..8).map(|i| i as f32).collect();
         let v = wrap(&rv, &data).unwrap();
         assert_eq!(v.gather().data(), &[1.0, 2.0, 3.0, 5.0, 6.0, 7.0]);
@@ -69,27 +73,43 @@ mod tests {
 
     #[test]
     fn negative_offset_rejected_with_message() {
-        let rv = ResolvedView { offset: -1, dims: vec![(2, 1)], sweep_rank: 1 };
+        let rv = ResolvedView {
+            offset: -1,
+            dims: vec![(2, 1)],
+            sweep_rank: 1,
+        };
         let err = wrap(&rv, &[0.0; 4]).unwrap_err();
         assert!(matches!(err, BridgeError::Plan(s) if s.contains("before the start")));
     }
 
     #[test]
     fn out_of_bounds_rejected() {
-        let rv = ResolvedView { offset: 0, dims: vec![(5, 2)], sweep_rank: 1 };
+        let rv = ResolvedView {
+            offset: 0,
+            dims: vec![(5, 2)],
+            sweep_rank: 1,
+        };
         assert!(wrap(&rv, &[0.0; 8]).is_err());
         assert!(wrap(&rv, &[0.0; 9]).is_ok());
     }
 
     #[test]
     fn negative_stride_rejected() {
-        let rv = ResolvedView { offset: 4, dims: vec![(3, -1)], sweep_rank: 1 };
+        let rv = ResolvedView {
+            offset: 4,
+            dims: vec![(3, -1)],
+            sweep_rank: 1,
+        };
         assert!(matches!(wrap(&rv, &[0.0; 8]), Err(BridgeError::Plan(_))));
     }
 
     #[test]
     fn wrap_mut_scatters() {
-        let rv = ResolvedView { offset: 2, dims: vec![(2, 3)], sweep_rank: 1 };
+        let rv = ResolvedView {
+            offset: 2,
+            dims: vec![(2, 3)],
+            sweep_rank: 1,
+        };
         let mut data = vec![0.0f32; 8];
         let mut v = wrap_mut(&rv, &mut data).unwrap();
         v.scatter_from(&[9.0, 8.0]);

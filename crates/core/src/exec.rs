@@ -63,7 +63,9 @@ impl<'r> Invocation<'r> {
                 self.region.name()
             )));
         }
-        let plan = self.region.plan_for(name, Direction::To, dims, &self.binds)?;
+        let plan = self
+            .region
+            .plan_for(name, Direction::To, dims, &self.binds)?;
         let (tensor, ns) = timed(|| plan.gather(data));
         self.to_ns += ns;
         self.inputs.push((name.to_string(), tensor?));
@@ -159,7 +161,11 @@ impl<'r> Invocation<'r> {
         Ok(Outcome {
             region: self.region,
             binds: self.binds,
-            path: if surrogate { PathTaken::Surrogate } else { PathTaken::Accurate },
+            path: if surrogate {
+                PathTaken::Surrogate
+            } else {
+                PathTaken::Accurate
+            },
             model_out,
             out_cursor: 0,
             inputs: self.inputs,
@@ -209,7 +215,9 @@ impl Outcome<'_> {
                 self.region.name()
             )));
         }
-        let plan = self.region.plan_for(name, Direction::From, dims, &self.binds)?;
+        let plan = self
+            .region
+            .plan_for(name, Direction::From, dims, &self.binds)?;
         match self.path {
             PathTaken::Surrogate => {
                 let model_out = self.model_out.as_ref().expect("surrogate path has output");
@@ -224,8 +232,7 @@ impl Outcome<'_> {
                         self.out_cursor
                     )));
                 }
-                let chunk =
-                    model_out.data()[self.out_cursor..self.out_cursor + need].to_vec();
+                let chunk = model_out.data()[self.out_cursor..self.out_cursor + need].to_vec();
                 self.out_cursor += need;
                 let lhs = Tensor::from_vec(chunk, plan.lhs_shape.clone())?;
                 let (res, ns) = timed(|| plan.scatter(&lhs, data));

@@ -9,14 +9,35 @@
 //! An invocation is phase-structured to satisfy Rust's aliasing rules (and,
 //! incidentally, to mirror the numbered steps of the paper's Fig. 1):
 //!
-//! ```text
-//! let mut inv = region.invoke(&bindings);         //
-//! inv.input("t", &t, &[n, m])?;                   // steps 1–2: gather inputs
-//! let mut out = inv.run(|| do_timestep(...))?;    // steps 3–4: accurate path
+//! ```no_run
+//! use hpacml_core::Region;
+//! use hpacml_directive::sema::Bindings;
+//!
+//! # fn do_timestep(t: &[f32], tnew: &mut [f32]) {}
+//! # fn main() -> hpacml_core::Result<()> {
+//! let source = r#"
+//!     #pragma approx tensor functor(ifnctr: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))
+//!     #pragma approx tensor functor(ofnctr: [i, j, 0:1] = ([i, j]))
+//!     #pragma approx tensor map(to: ifnctr(t[1:N-1, 1:M-1]))
+//!     #pragma approx tensor map(from: ofnctr(tnew[1:N-1, 1:M-1]))
+//!     #pragma approx ml(predicated:false) in(t) out(tnew) db("d.h5") model("m.hml")
+//! "#;
+//! let (n, m) = (10usize, 12usize);
+//! let region = Region::from_source("stencil", source)?;
+//! let bindings = Bindings::new().with("N", n as i64).with("M", m as i64);
+//! let t = vec![0.0f32; n * m];
+//! let mut tnew = vec![0.0f32; n * m];
+//!
+//! let inv = region.invoke(&bindings)              // one region invocation
+//!     .input("t", &t, &[n, m])?;                  // steps 1–2: gather inputs
+//! let mut out = inv.run(|| do_timestep(&t, &mut tnew))?;
+//!                                                 // steps 3–4: accurate path
 //!                                                 //   or model inference
 //! out.output("tnew", &mut tnew, &[n, m])?;        // steps 5–6: scatter or
 //!                                                 //   gather outputs
 //! out.finish()?;                                  // step 7: persist, time
+//! # Ok(())
+//! # }
 //! ```
 //!
 //! In `collect` mode the accurate closure runs and the gathered input/output

@@ -39,7 +39,12 @@ pub struct Region {
 impl Region {
     /// Start building a region.
     pub fn builder(name: impl Into<String>) -> RegionBuilder {
-        RegionBuilder { name: name.into(), sources: Vec::new(), model: None, database: None }
+        RegionBuilder {
+            name: name.into(),
+            sources: Vec::new(),
+            model: None,
+            database: None,
+        }
     }
 
     /// Build a region straight from a block of directive text (the shape of
@@ -293,7 +298,8 @@ impl RegionBuilder {
                 Direction::To => &mut to_maps,
                 Direction::From => &mut from_maps,
             };
-            slot.entry(m.target.array.clone()).or_insert_with(|| m.clone());
+            slot.entry(m.target.array.clone())
+                .or_insert_with(|| m.clone());
         }
 
         // inout arrays reuse the `to` map for the `from` direction when no
@@ -354,9 +360,14 @@ impl RegionBuilder {
         }
 
         let model_path = self.model.or_else(|| ml.model.clone().map(PathBuf::from));
-        let db_path = self.database.or_else(|| ml.database.clone().map(PathBuf::from));
+        let db_path = self
+            .database
+            .or_else(|| ml.database.clone().map(PathBuf::from));
 
-        register(RegionRecord { region: self.name.clone(), directives: self.sources.clone() });
+        register(RegionRecord {
+            region: self.name.clone(),
+            directives: self.sources.clone(),
+        });
 
         Ok(Region {
             name: self.name,
@@ -454,7 +465,9 @@ mod tests {
         .unwrap();
         let binds = Bindings::new().with("W", 5);
         assert!(r.plan_for("state", Direction::To, &[4, 5], &binds).is_ok());
-        assert!(r.plan_for("state", Direction::From, &[4, 5], &binds).is_ok());
+        assert!(r
+            .plan_for("state", Direction::From, &[4, 5], &binds)
+            .is_ok());
     }
 
     #[test]
@@ -501,7 +514,10 @@ mod tests {
             .database("/elsewhere/data.h5")
             .build()
             .unwrap();
-        assert_eq!(r.model_path().unwrap(), PathBuf::from("/elsewhere/better.hml"));
+        assert_eq!(
+            r.model_path().unwrap(),
+            PathBuf::from("/elsewhere/better.hml")
+        );
         assert_eq!(r.db_path().unwrap(), PathBuf::from("/elsewhere/data.h5"));
     }
 }

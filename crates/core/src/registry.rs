@@ -69,7 +69,10 @@ mod tests {
     #[test]
     fn register_and_snapshot() {
         let before = registered_regions().len();
-        register(RegionRecord { region: "test-reg".into(), directives: vec!["ml(collect)".into()] });
+        register(RegionRecord {
+            region: "test-reg".into(),
+            directives: vec!["ml(collect)".into()],
+        });
         let after = registered_regions();
         assert_eq!(after.len(), before + 1);
         assert!(after.iter().any(|r| r.region == "test-reg"));

@@ -20,8 +20,8 @@ fn tmpdir(name: &str) -> PathBuf {
 fn jacobi_step(t: &[f32], tnew: &mut [f32], n: usize, m: usize) {
     for i in 1..n - 1 {
         for j in 1..m - 1 {
-            tnew[i * m + j] =
-                0.25 * (t[(i - 1) * m + j] + t[(i + 1) * m + j] + t[i * m + j - 1] + t[i * m + j + 1]);
+            tnew[i * m + j] = 0.25
+                * (t[(i - 1) * m + j] + t[(i + 1) * m + j] + t[i * m + j - 1] + t[i * m + j + 1]);
         }
     }
 }
@@ -44,7 +44,9 @@ fn random_grid(n: usize, m: usize, seed: u64) -> Vec<f32> {
     let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     (0..n * m)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0
         })
         .collect()
@@ -107,9 +109,12 @@ fn collect_train_deploy_cycle() {
         ..Default::default()
     };
     let hist = hpacml_nn::train(&mut model, &normed, Some(&normed_val), &cfg).unwrap();
-    assert!(hist.best_val < 1e-3, "stencil surrogate should fit well, got {}", hist.best_val);
-    hpacml_nn::serialize::save_model(&model_path, &spec, &mut model, Some(&in_norm), None)
-        .unwrap();
+    assert!(
+        hist.best_val < 1e-3,
+        "stencil surrogate should fit well, got {}",
+        hist.best_val
+    );
+    hpacml_nn::serialize::save_model(&model_path, &spec, &mut model, Some(&in_norm), None).unwrap();
 
     // Phase 3: deployment — same region, same source, surrogate on.
     let t = random_grid(n, m, 999);
@@ -160,7 +165,10 @@ fn predicated_interleaving_switches_paths() {
     // Identity surrogate: y = x through a 1->1 linear layer trained trivially.
     let spec = ModelSpec::new(
         vec![1],
-        vec![hpacml_nn::LayerSpec::Linear { in_features: 1, out_features: 1 }],
+        vec![hpacml_nn::LayerSpec::Linear {
+            in_features: 1,
+            out_features: 1,
+        }],
     );
     let mut model = spec.build(1).unwrap();
     // Force weights to the identity.
@@ -228,7 +236,12 @@ fn undeclared_arrays_and_missing_model_are_rejected() {
     let inv = region.invoke(&binds).input("x", &x, &[4]).unwrap();
     assert!(inv.input("x", &x, &[4]).is_err());
     // Missing model in infer mode.
-    let err = match region.invoke(&binds).input("x", &x, &[4]).unwrap().run(|| {}) {
+    let err = match region
+        .invoke(&binds)
+        .input("x", &x, &[4])
+        .unwrap()
+        .run(|| {})
+    {
         Err(e) => e,
         Ok(_) => panic!("expected a missing-model error"),
     };

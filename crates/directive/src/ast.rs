@@ -23,7 +23,11 @@ pub enum Expr {
     Int(i64),
     Ident(String),
     Neg(Box<Expr>),
-    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
 }
 
 impl Expr {
@@ -31,9 +35,7 @@ impl Expr {
     pub fn eval(&self, lookup: &dyn Fn(&str) -> Option<i64>) -> Result<i64> {
         match self {
             Expr::Int(v) => Ok(*v),
-            Expr::Ident(name) => {
-                lookup(name).ok_or_else(|| DirectiveError::Unbound(name.clone()))
-            }
+            Expr::Ident(name) => lookup(name).ok_or_else(|| DirectiveError::Unbound(name.clone())),
             Expr::Neg(e) => Ok(-e.eval(lookup)?),
             Expr::Bin { op, lhs, rhs } => {
                 let l = lhs.eval(lookup)?;
@@ -101,11 +103,19 @@ pub struct Slice {
 
 impl Slice {
     pub fn index(e: Expr) -> Self {
-        Slice { start: e, stop: None, step: None }
+        Slice {
+            start: e,
+            stop: None,
+            step: None,
+        }
     }
 
     pub fn range(start: Expr, stop: Expr) -> Self {
-        Slice { start, stop: Some(stop), step: None }
+        Slice {
+            start,
+            stop: Some(stop),
+            step: None,
+        }
     }
 
     /// True when this slice addresses exactly one element.
@@ -282,7 +292,10 @@ mod tests {
     #[test]
     fn unbound_symbol_errors() {
         let e = Expr::Ident("q".into());
-        assert!(matches!(e.eval(&bind(&[])), Err(DirectiveError::Unbound(_))));
+        assert!(matches!(
+            e.eval(&bind(&[])),
+            Err(DirectiveError::Unbound(_))
+        ));
     }
 
     #[test]

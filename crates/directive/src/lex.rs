@@ -49,51 +49,87 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 }
             }
             '#' => {
-                out.push(Token { tok: Tok::Hash, pos: i });
+                out.push(Token {
+                    tok: Tok::Hash,
+                    pos: i,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Token { tok: Tok::LBracket, pos: i });
+                out.push(Token {
+                    tok: Tok::LBracket,
+                    pos: i,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Token { tok: Tok::RBracket, pos: i });
+                out.push(Token {
+                    tok: Tok::RBracket,
+                    pos: i,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { tok: Tok::LParen, pos: i });
+                out.push(Token {
+                    tok: Tok::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { tok: Tok::RParen, pos: i });
+                out.push(Token {
+                    tok: Tok::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Token { tok: Tok::Colon, pos: i });
+                out.push(Token {
+                    tok: Tok::Colon,
+                    pos: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { tok: Tok::Comma, pos: i });
+                out.push(Token {
+                    tok: Tok::Comma,
+                    pos: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { tok: Tok::Eq, pos: i });
+                out.push(Token {
+                    tok: Tok::Eq,
+                    pos: i,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Token { tok: Tok::Plus, pos: i });
+                out.push(Token {
+                    tok: Tok::Plus,
+                    pos: i,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Token { tok: Tok::Minus, pos: i });
+                out.push(Token {
+                    tok: Tok::Minus,
+                    pos: i,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { tok: Tok::Star, pos: i });
+                out.push(Token {
+                    tok: Tok::Star,
+                    pos: i,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Token { tok: Tok::Slash, pos: i });
+                out.push(Token {
+                    tok: Tok::Slash,
+                    pos: i,
+                });
                 i += 1;
             }
             '"' => {
@@ -122,7 +158,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                out.push(Token { tok: Tok::Str(s), pos: start });
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    pos: start,
+                });
             }
             '0'..='9' => {
                 let start = i;
@@ -134,7 +173,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     pos: start,
                     message: format!("integer literal `{text}` out of range"),
                 })?;
-                out.push(Token { tok: Tok::Int(v), pos: start });
+                out.push(Token {
+                    tok: Tok::Int(v),
+                    pos: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -143,7 +185,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 {
                     i += 1;
                 }
-                out.push(Token { tok: Tok::Ident(src[start..i].to_string()), pos: start });
+                out.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    pos: start,
+                });
             }
             other => {
                 return Err(DirectiveError::Lex {
@@ -190,7 +235,10 @@ mod tests {
 
     #[test]
     fn unterminated_string_is_error() {
-        assert!(matches!(lex("model(\"oops"), Err(DirectiveError::Lex { .. })));
+        assert!(matches!(
+            lex("model(\"oops"),
+            Err(DirectiveError::Lex { .. })
+        ));
     }
 
     #[test]

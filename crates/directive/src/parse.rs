@@ -15,9 +15,10 @@ impl Parser {
     }
 
     fn here(&self) -> usize {
-        self.toks.get(self.pos).map(|t| t.pos).unwrap_or_else(|| {
-            self.toks.last().map(|t| t.pos + 1).unwrap_or(0)
-        })
+        self.toks
+            .get(self.pos)
+            .map(|t| t.pos)
+            .unwrap_or_else(|| self.toks.last().map(|t| t.pos + 1).unwrap_or(0))
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -29,7 +30,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(DirectiveError::Parse { pos: self.here(), message: message.into() })
+        Err(DirectiveError::Parse {
+            pos: self.here(),
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, tok: Tok) -> Result<()> {
@@ -84,7 +88,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.parse_term()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -99,7 +107,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.parse_unary()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -143,7 +155,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(Slice { start, stop: Some(stop), step })
+        Ok(Slice {
+            start,
+            stop: Some(stop),
+            step,
+        })
     }
 
     fn parse_sspec(&mut self) -> Result<SSpec> {
@@ -214,7 +230,11 @@ impl Parser {
         self.expect(Tok::RBracket)?;
         self.expect(Tok::RParen)?; // functor application
         self.expect(Tok::RParen)?; // clause
-        Ok(MapDirective { direction, functor, target: MapTarget { array, slices } })
+        Ok(MapDirective {
+            direction,
+            functor,
+            target: MapTarget { array, slices },
+        })
     }
 
     // -- ml -----------------------------------------------------------------
@@ -366,8 +386,7 @@ impl Parser {
                 }
                 "out" => {
                     self.bump();
-                    d.outputs =
-                        self.parse_mapped_memory(Direction::From, &mut d.embedded_maps)?;
+                    d.outputs = self.parse_mapped_memory(Direction::From, &mut d.embedded_maps)?;
                 }
                 "inout" => {
                     self.bump();
@@ -455,7 +474,10 @@ pub fn parse_directives(src: &str) -> Result<Vec<Directive>> {
         if t.tok == Tok::Hash || groups.is_empty() {
             groups.push(Vec::new());
         }
-        groups.last_mut().expect("non-empty by construction").push(t);
+        groups
+            .last_mut()
+            .expect("non-empty by construction")
+            .push(t);
     }
     groups
         .into_iter()
@@ -606,10 +628,8 @@ mod tests {
     fn embedded_fa_expr_in_ml_clause() {
         // The grammar's `mapped-memory ::= fa-expr | ...` form: the output
         // map lives inside the ml clause (how Table II reaches 4 directives).
-        let d = parse_directive(
-            "ml(predicated:use_model) in(poses) out(oenergy(energies[0:N]))",
-        )
-        .unwrap();
+        let d = parse_directive("ml(predicated:use_model) in(poses) out(oenergy(energies[0:N]))")
+            .unwrap();
         match d {
             Directive::Ml(ml) => {
                 assert_eq!(ml.inputs, vec!["poses"]);
@@ -628,8 +648,7 @@ mod tests {
             Directive::Ml(ml) => {
                 assert_eq!(ml.inouts, vec!["state"]);
                 assert_eq!(ml.embedded_maps.len(), 2);
-                let dirs: Vec<Direction> =
-                    ml.embedded_maps.iter().map(|m| m.direction).collect();
+                let dirs: Vec<Direction> = ml.embedded_maps.iter().map(|m| m.direction).collect();
                 assert!(dirs.contains(&Direction::To));
                 assert!(dirs.contains(&Direction::From));
             }
@@ -639,8 +658,7 @@ mod tests {
 
     #[test]
     fn predicated_with_complex_condition() {
-        let d =
-            parse_directive("ml(predicated: (step / 10) * 2) out(y) db(\"x.h5\")").unwrap();
+        let d = parse_directive("ml(predicated: (step / 10) * 2) out(y) db(\"x.h5\")").unwrap();
         match d {
             Directive::Ml(ml) => {
                 assert_eq!(ml.cond.as_deref(), Some("( step / 10 ) * 2"));

@@ -68,9 +68,8 @@ pub fn affine_form(expr: &Expr, syms: &[String]) -> Result<AffineForm> {
             )));
         }
     }
-    let eval_at = |assign: &dyn Fn(&str) -> i64| -> Result<i64> {
-        expr.eval(&|name| Some(assign(name)))
-    };
+    let eval_at =
+        |assign: &dyn Fn(&str) -> i64| -> Result<i64> { expr.eval(&|name| Some(assign(name))) };
     let constant = eval_at(&|_| 0)?;
     let mut coeffs = BTreeMap::new();
     for s in syms {
@@ -250,9 +249,8 @@ mod tests {
 
     #[test]
     fn fig2_input_functor_analyzes() {
-        let f = functor(
-            "tensor functor(ifnctr: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))",
-        );
+        let f =
+            functor("tensor functor(ifnctr: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))");
         let info = analyze(&f).unwrap();
         assert_eq!(info.sweep_syms, vec!["i", "j"]);
         assert_eq!(info.feature_extent, 5);

@@ -82,7 +82,12 @@ impl InMemoryDataset {
         if let Some(seed) = shuffle {
             order.shuffle(&mut SmallRng::seed_from_u64(seed));
         }
-        Batches { ds: self, order, batch_size: batch_size.max(1), pos: 0 }
+        Batches {
+            ds: self,
+            order,
+            batch_size: batch_size.max(1),
+            pos: 0,
+        }
     }
 }
 
@@ -231,7 +236,11 @@ impl Normalizer {
         };
         for (i, v) in data.iter_mut().enumerate() {
             let g = idx_of(i);
-            *v = if forward { (*v - mean[g]) / std[g] } else { *v * std[g] + mean[g] };
+            *v = if forward {
+                (*v - mean[g]) / std[g]
+            } else {
+                *v * std[g] + mean[g]
+            };
         }
         out
     }

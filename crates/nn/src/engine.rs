@@ -23,7 +23,10 @@ pub struct InferenceEngine {
 
 impl InferenceEngine {
     pub fn new() -> Self {
-        InferenceEngine { cache: RwLock::new(HashMap::new()), loads: AtomicU64::new(0) }
+        InferenceEngine {
+            cache: RwLock::new(HashMap::new()),
+            loads: AtomicU64::new(0),
+        }
     }
 
     /// The process-wide engine.
@@ -40,7 +43,9 @@ impl InferenceEngine {
         }
         let loaded = Arc::new(load_model(path)?);
         self.loads.fetch_add(1, Ordering::Relaxed);
-        self.cache.write().insert(path.to_path_buf(), Arc::clone(&loaded));
+        self.cache
+            .write()
+            .insert(path.to_path_buf(), Arc::clone(&loaded));
         Ok(loaded)
     }
 

@@ -83,7 +83,11 @@ impl Linear {
     }
 
     pub fn from_params(w: Tensor, b: Tensor) -> Self {
-        Linear { w: Param::new(w), b: Param::new(b), cache_x: None }
+        Linear {
+            w: Param::new(w),
+            b: Param::new(b),
+            cache_x: None,
+        }
     }
 
     pub fn in_features(&self) -> usize {
@@ -112,7 +116,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
-        let x = self.cache_x.as_ref().ok_or_else(|| missing_cache("linear"))?;
+        let x = self
+            .cache_x
+            .as_ref()
+            .ok_or_else(|| missing_cache("linear"))?;
         // dW[out, in] += dyᵀ[out, N] · x[N, in]
         let dw = ops::matmul_transa(dy, x)?;
         for (g, d) in self.w.grad.data_mut().iter_mut().zip(dw.data()) {
@@ -228,7 +235,10 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
-        let y = self.cache_y.as_ref().ok_or_else(|| missing_cache("sigmoid"))?;
+        let y = self
+            .cache_y
+            .as_ref()
+            .ok_or_else(|| missing_cache("sigmoid"))?;
         let mut dx = dy.clone();
         for (d, yv) in dx.data_mut().iter_mut().zip(y.data()) {
             *d *= yv * (1.0 - yv);
@@ -250,7 +260,11 @@ pub struct Dropout {
 
 impl Dropout {
     pub fn new(p: f32, seed: u64) -> Self {
-        Dropout { p: p.clamp(0.0, 0.95), rng: crate::init::rng(seed), cache_mask: None }
+        Dropout {
+            p: p.clamp(0.0, 0.95),
+            rng: crate::init::rng(seed),
+            cache_mask: None,
+        }
     }
 }
 
@@ -270,7 +284,13 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let mask: Vec<f32> = (0..x.numel())
-            .map(|_| if self.rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut y = x.clone();
         for (v, m) in y.data_mut().iter_mut().zip(&mask) {
@@ -321,7 +341,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
-        let shape = self.cache_shape.as_ref().ok_or_else(|| missing_cache("flatten"))?;
+        let shape = self
+            .cache_shape
+            .as_ref()
+            .ok_or_else(|| missing_cache("flatten"))?;
         Ok(dy.clone().reshape(shape.clone())?)
     }
 }
@@ -339,12 +362,7 @@ pub struct Conv2d {
 }
 
 impl Conv2d {
-    pub fn new(
-        in_ch: usize,
-        out_ch: usize,
-        geom: Conv2dGeom,
-        rng: &mut SmallRng,
-    ) -> Self {
+    pub fn new(in_ch: usize, out_ch: usize, geom: Conv2dGeom, rng: &mut SmallRng) -> Self {
         let (kh, kw) = geom.kernel;
         let fan_in = in_ch * kh * kw;
         let w = crate::init::kaiming_uniform(rng, fan_in, out_ch * fan_in);
@@ -358,7 +376,12 @@ impl Conv2d {
     }
 
     pub fn from_params(w: Tensor, b: Tensor, geom: Conv2dGeom) -> Self {
-        Conv2d { w: Param::new(w), b: Param::new(b), geom, cache_x: None }
+        Conv2d {
+            w: Param::new(w),
+            b: Param::new(b),
+            geom,
+            cache_x: None,
+        }
     }
 }
 
@@ -368,7 +391,12 @@ impl Layer for Conv2d {
     }
 
     fn forward(&self, x: &Tensor) -> Result<Tensor> {
-        Ok(ops::conv2d(x, &self.w.value, self.b.value.data(), self.geom)?)
+        Ok(ops::conv2d(
+            x,
+            &self.w.value,
+            self.b.value.data(),
+            self.geom,
+        )?)
     }
 
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
@@ -377,7 +405,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
-        let x = self.cache_x.as_ref().ok_or_else(|| missing_cache("conv2d"))?;
+        let x = self
+            .cache_x
+            .as_ref()
+            .ok_or_else(|| missing_cache("conv2d"))?;
         let (dx, dw, db) = ops::conv2d_backward(x, &self.w.value, dy, self.geom)?;
         for (g, d) in self.w.grad.data_mut().iter_mut().zip(dw.data()) {
             *g += *d;
@@ -430,7 +461,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
-        let (arg, in_shape) = self.cache.as_ref().ok_or_else(|| missing_cache("maxpool2d"))?;
+        let (arg, in_shape) = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| missing_cache("maxpool2d"))?;
         Ok(ops::maxpool2d_backward(dy, arg, in_shape)?)
     }
 }
@@ -500,7 +534,10 @@ mod tests {
             let fm = l.forward(&x).unwrap().sum();
             l.w.value.data_mut()[flat] = orig;
             let fd = (fp - fm) / (2.0 * eps as f64);
-            assert!((fd - l.w.grad.data()[flat] as f64).abs() < 1e-2, "w[{flat}]");
+            assert!(
+                (fd - l.w.grad.data()[flat] as f64).abs() < 1e-2,
+                "w[{flat}]"
+            );
         }
         // Bias gradient of a sum-loss is the batch size.
         for g in l.b.grad.data() {
@@ -537,10 +574,7 @@ mod tests {
         assert_eq!(yi.data(), x.data());
         // Backward applies the same mask.
         let dx = d.backward(&Tensor::full([1, 10_000], 1.0f32)).unwrap();
-        assert_eq!(
-            dx.data().iter().filter(|v| **v == 0.0).count(),
-            zeros
-        );
+        assert_eq!(dx.data().iter().filter(|v| **v == 0.0).count(), zeros);
     }
 
     #[test]

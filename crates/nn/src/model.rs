@@ -113,7 +113,10 @@ impl Sequential {
             idx += 1;
         });
         if err.is_none() && idx != weights.len() {
-            err = Some(format!("snapshot has {} params, model has {idx}", weights.len()));
+            err = Some(format!(
+                "snapshot has {} params, model has {idx}",
+                weights.len()
+            ));
         }
         match err {
             Some(e) => Err(crate::NnError::Serialize(e)),
@@ -146,7 +149,10 @@ mod tests {
         let x = Tensor::zeros([7, 4]);
         assert_eq!(m.forward(&x).unwrap().dims(), &[7, 2]);
         assert_eq!(m.param_count(), (4 * 8 + 8) + (8 * 8 + 8) + (8 * 2 + 2));
-        assert_eq!(m.layer_names(), vec!["linear", "tanh", "linear", "relu", "linear"]);
+        assert_eq!(
+            m.layer_names(),
+            vec!["linear", "tanh", "linear", "relu", "linear"]
+        );
     }
 
     #[test]
@@ -175,8 +181,8 @@ mod tests {
             xp.data_mut()[flat] += eps;
             let mut xm = x.clone();
             xm.data_mut()[flat] -= eps;
-            let fd =
-                (m.forward(&xp).unwrap().sum() - m.forward(&xm).unwrap().sum()) / (2.0 * eps as f64);
+            let fd = (m.forward(&xp).unwrap().sum() - m.forward(&xm).unwrap().sum())
+                / (2.0 * eps as f64);
             assert!(
                 (fd - dx.data()[flat] as f64).abs() < 3e-2,
                 "dx[{flat}]: fd={fd} analytic={}",
@@ -190,7 +196,8 @@ mod tests {
         let mut m = mlp(6);
         let x = Tensor::full([2, 4], 0.5f32);
         let y = m.forward_train(&x).unwrap();
-        m.backward(&Tensor::full(y.dims().to_vec(), 1.0f32)).unwrap();
+        m.backward(&Tensor::full(y.dims().to_vec(), 1.0f32))
+            .unwrap();
         let mut nonzero = 0;
         m.visit_params(&mut |p| {
             nonzero += p.grad.data().iter().filter(|g| **g != 0.0).count();

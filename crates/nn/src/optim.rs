@@ -9,18 +9,38 @@ use crate::model::Sequential;
 /// Optimizer selector plus shared hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Optimizer {
-    Sgd { lr: f32, momentum: f32, weight_decay: f32 },
-    Adam { lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32 },
+    Sgd {
+        lr: f32,
+        momentum: f32,
+        weight_decay: f32,
+    },
+    Adam {
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+    },
 }
 
 impl Optimizer {
     pub fn sgd(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Optimizer::Sgd { lr, momentum, weight_decay }
+        Optimizer::Sgd {
+            lr,
+            momentum,
+            weight_decay,
+        }
     }
 
     /// Adam with the conventional betas.
     pub fn adam(lr: f32, weight_decay: f32) -> Self {
-        Optimizer::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay }
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+        }
     }
 
     pub fn lr(&self) -> f32 {
@@ -49,7 +69,12 @@ pub struct OptimState {
 
 impl OptimState {
     pub fn new(opt: Optimizer) -> Self {
-        OptimState { opt, m: Vec::new(), v: Vec::new(), t: 0 }
+        OptimState {
+            opt,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 
     pub fn optimizer(&self) -> Optimizer {
@@ -77,7 +102,11 @@ impl OptimState {
             let values = p.value.data_mut();
             let grads = p.grad.data();
             match opt {
-                Optimizer::Sgd { lr, momentum, weight_decay } => {
+                Optimizer::Sgd {
+                    lr,
+                    momentum,
+                    weight_decay,
+                } => {
                     let mbuf = &mut m[idx];
                     for i in 0..n {
                         // Decoupled weight decay.
@@ -86,7 +115,13 @@ impl OptimState {
                         values[i] -= lr * (mbuf[i] + weight_decay * values[i]);
                     }
                 }
-                Optimizer::Adam { lr, beta1, beta2, eps, weight_decay } => {
+                Optimizer::Adam {
+                    lr,
+                    beta1,
+                    beta2,
+                    eps,
+                    weight_decay,
+                } => {
                     let bc1 = 1.0 - beta1.powi(t as i32);
                     let bc2 = 1.0 - beta2.powi(t as i32);
                     let mbuf = &mut m[idx];
@@ -97,8 +132,7 @@ impl OptimState {
                         vbuf[i] = beta2 * vbuf[i] + (1.0 - beta2) * g * g;
                         let mhat = mbuf[i] / bc1;
                         let vhat = vbuf[i] / bc2;
-                        values[i] -=
-                            lr * (mhat / (vhat.sqrt() + eps) + weight_decay * values[i]);
+                        values[i] -= lr * (mhat / (vhat.sqrt() + eps) + weight_decay * values[i]);
                     }
                 }
             }
@@ -150,11 +184,17 @@ mod tests {
     #[test]
     fn weight_decay_shrinks_weights() {
         // Pure decay: zero gradient, positive decay — weights must shrink.
-        let mut model =
-            Sequential::new(vec![Box::new(Linear::new(4, 4, &mut rng(5)))]);
+        let mut model = Sequential::new(vec![Box::new(Linear::new(4, 4, &mut rng(5)))]);
         let before: f64 = {
             let mut s = 0.0;
-            model.visit_params(&mut |p| s += p.value.data().iter().map(|x| (*x as f64).powi(2)).sum::<f64>());
+            model.visit_params(&mut |p| {
+                s += p
+                    .value
+                    .data()
+                    .iter()
+                    .map(|x| (*x as f64).powi(2))
+                    .sum::<f64>()
+            });
             s
         };
         let mut state = OptimState::new(Optimizer::sgd(0.1, 0.0, 0.5));
@@ -164,12 +204,22 @@ mod tests {
         }
         let after: f64 = {
             let mut s = 0.0;
-            model.visit_params(&mut |p| s += p.value.data().iter().map(|x| (*x as f64).powi(2)).sum::<f64>());
+            model.visit_params(&mut |p| {
+                s += p
+                    .value
+                    .data()
+                    .iter()
+                    .map(|x| (*x as f64).powi(2))
+                    .sum::<f64>()
+            });
             s
         };
         // 10 steps of lr*wd = 0.05 decay: squared norm shrinks by 0.95^20 ≈ 0.36.
         assert!(after < before * 0.45, "before={before} after={after}");
-        assert!(after > before * 0.25, "decay should not overshoot: {after} vs {before}");
+        assert!(
+            after > before * 0.25,
+            "decay should not overshoot: {after} vs {before}"
+        );
     }
 
     #[test]

@@ -105,7 +105,9 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<SavedModel> {
     }
     let version = buf.get_u8();
     if version != VERSION {
-        return Err(NnError::Serialize(format!("unsupported .hml version {version}")));
+        return Err(NnError::Serialize(format!(
+            "unsupported .hml version {version}"
+        )));
     }
     let spec = decode_spec(&mut buf)?;
     let in_norm = decode_norm(&mut buf)?;
@@ -126,7 +128,12 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<SavedModel> {
     // Build with an arbitrary seed, then overwrite every parameter.
     let mut model = spec.build(0)?;
     model.import_weights(&weights)?;
-    Ok(SavedModel { spec, model, in_norm, out_norm })
+    Ok(SavedModel {
+        spec,
+        model,
+        in_norm,
+        out_norm,
+    })
 }
 
 fn encode_spec(buf: &mut BytesMut, spec: &ModelSpec) {
@@ -137,7 +144,10 @@ fn encode_spec(buf: &mut BytesMut, spec: &ModelSpec) {
     buf.put_u32_le(spec.layers.len() as u32);
     for l in &spec.layers {
         match l {
-            LayerSpec::Linear { in_features, out_features } => {
+            LayerSpec::Linear {
+                in_features,
+                out_features,
+            } => {
                 buf.put_u8(0);
                 buf.put_u64_le(*in_features as u64);
                 buf.put_u64_le(*out_features as u64);
@@ -150,7 +160,13 @@ fn encode_spec(buf: &mut BytesMut, spec: &ModelSpec) {
                 buf.put_f32_le(*p);
             }
             LayerSpec::Flatten => buf.put_u8(5),
-            LayerSpec::Conv2d { in_ch, out_ch, kernel, stride, pad } => {
+            LayerSpec::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                stride,
+                pad,
+            } => {
                 buf.put_u8(6);
                 for v in [in_ch, out_ch, kernel, stride, pad] {
                     buf.put_u64_le(*v as u64);
@@ -314,11 +330,23 @@ mod tests {
         let spec = ModelSpec::new(
             vec![2, 8, 8],
             vec![
-                LayerSpec::Conv2d { in_ch: 2, out_ch: 3, kernel: 3, stride: 1, pad: 1 },
+                LayerSpec::Conv2d {
+                    in_ch: 2,
+                    out_ch: 3,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                },
                 LayerSpec::ReLU,
-                LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+                LayerSpec::MaxPool2d {
+                    kernel: 2,
+                    stride: 2,
+                },
                 LayerSpec::Flatten,
-                LayerSpec::Linear { in_features: 3 * 4 * 4, out_features: 2 },
+                LayerSpec::Linear {
+                    in_features: 3 * 4 * 4,
+                    out_features: 2,
+                },
             ],
         );
         let mut model = spec.build(9).unwrap();
@@ -334,8 +362,11 @@ mod tests {
     fn output_norm_applied_on_infer() {
         let spec = ModelSpec::mlp(1, &[], 1, Activation::ReLU, 0.0);
         let mut model = spec.build(1).unwrap();
-        let out_norm =
-            Normalizer { axis: NormAxis::PerFeature, mean: vec![100.0], std: vec![10.0] };
+        let out_norm = Normalizer {
+            axis: NormAxis::PerFeature,
+            mean: vec![100.0],
+            std: vec![10.0],
+        };
         let path = tmp("outnorm.hml");
         save_model(&path, &spec, &mut model, None, Some(&out_norm)).unwrap();
         let loaded = load_model(&path).unwrap();

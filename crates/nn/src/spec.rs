@@ -22,26 +22,44 @@ pub enum Activation {
 /// One layer of a model architecture.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LayerSpec {
-    Linear { in_features: usize, out_features: usize },
+    Linear {
+        in_features: usize,
+        out_features: usize,
+    },
     ReLU,
     Tanh,
     Sigmoid,
-    Dropout { p: f32 },
+    Dropout {
+        p: f32,
+    },
     Flatten,
-    Conv2d { in_ch: usize, out_ch: usize, kernel: usize, stride: usize, pad: usize },
-    MaxPool2d { kernel: usize, stride: usize },
+    Conv2d {
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    },
+    MaxPool2d {
+        kernel: usize,
+        stride: usize,
+    },
 }
 
 impl LayerSpec {
     /// Scalar parameter count of this layer.
     pub fn param_count(&self) -> usize {
         match self {
-            LayerSpec::Linear { in_features, out_features } => {
-                in_features * out_features + out_features
-            }
-            LayerSpec::Conv2d { in_ch, out_ch, kernel, .. } => {
-                out_ch * in_ch * kernel * kernel + out_ch
-            }
+            LayerSpec::Linear {
+                in_features,
+                out_features,
+            } => in_features * out_features + out_features,
+            LayerSpec::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                ..
+            } => out_ch * in_ch * kernel * kernel + out_ch,
             _ => 0,
         }
     }
@@ -50,7 +68,10 @@ impl LayerSpec {
     /// error describing the incompatibility.
     pub fn infer(&self, input: &[usize]) -> Result<Vec<usize>> {
         match self {
-            LayerSpec::Linear { in_features, out_features } => {
+            LayerSpec::Linear {
+                in_features,
+                out_features,
+            } => {
                 if input.len() != 1 || input[0] != *in_features {
                     return Err(NnError::BadSpec(format!(
                         "linear({in_features}→{out_features}) fed shape {input:?}"
@@ -62,7 +83,13 @@ impl LayerSpec {
                 Ok(input.to_vec())
             }
             LayerSpec::Flatten => Ok(vec![input.iter().product::<usize>().max(1)]),
-            LayerSpec::Conv2d { in_ch, out_ch, kernel, stride, pad } => {
+            LayerSpec::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                stride,
+                pad,
+            } => {
                 let [c, h, w] = three(input, "conv2d")?;
                 if c != *in_ch {
                     return Err(NnError::BadSpec(format!(
@@ -112,7 +139,10 @@ pub struct ModelSpec {
 
 impl ModelSpec {
     pub fn new(input_shape: Vec<usize>, layers: Vec<LayerSpec>) -> Self {
-        ModelSpec { input_shape, layers }
+        ModelSpec {
+            input_shape,
+            layers,
+        }
     }
 
     /// Convenience MLP builder: `input → hidden... → output` with the given
@@ -127,7 +157,10 @@ impl ModelSpec {
         let mut layers = Vec::new();
         let mut prev = input_dim;
         for &h in hidden {
-            layers.push(LayerSpec::Linear { in_features: prev, out_features: h });
+            layers.push(LayerSpec::Linear {
+                in_features: prev,
+                out_features: h,
+            });
             layers.push(match act {
                 Activation::ReLU => LayerSpec::ReLU,
                 Activation::Tanh => LayerSpec::Tanh,
@@ -138,7 +171,10 @@ impl ModelSpec {
             }
             prev = h;
         }
-        layers.push(LayerSpec::Linear { in_features: prev, out_features: output_dim });
+        layers.push(LayerSpec::Linear {
+            in_features: prev,
+            out_features: output_dim,
+        });
         ModelSpec::new(vec![input_dim], layers)
     }
 
@@ -159,7 +195,11 @@ impl ModelSpec {
 
     /// Output shape of one sample.
     pub fn output_shape(&self) -> Result<Vec<usize>> {
-        Ok(self.infer_shapes()?.last().cloned().unwrap_or_else(|| self.input_shape.clone()))
+        Ok(self
+            .infer_shapes()?
+            .last()
+            .cloned()
+            .unwrap_or_else(|| self.input_shape.clone()))
     }
 
     /// Total scalar parameter count.
@@ -174,9 +214,10 @@ impl ModelSpec {
         let mut layers: Vec<Box<dyn Layer>> = Vec::with_capacity(self.layers.len());
         for (i, spec) in self.layers.iter().enumerate() {
             layers.push(match spec {
-                LayerSpec::Linear { in_features, out_features } => {
-                    Box::new(Linear::new(*in_features, *out_features, &mut rng))
-                }
+                LayerSpec::Linear {
+                    in_features,
+                    out_features,
+                } => Box::new(Linear::new(*in_features, *out_features, &mut rng)),
                 LayerSpec::ReLU => Box::new(ReLU::default()),
                 LayerSpec::Tanh => Box::new(Tanh::default()),
                 LayerSpec::Sigmoid => Box::new(Sigmoid::default()),
@@ -184,7 +225,13 @@ impl ModelSpec {
                     Box::new(Dropout::new(*p, seed.wrapping_add(1 + i as u64)))
                 }
                 LayerSpec::Flatten => Box::new(Flatten::default()),
-                LayerSpec::Conv2d { in_ch, out_ch, kernel, stride, pad } => Box::new(Conv2d::new(
+                LayerSpec::Conv2d {
+                    in_ch,
+                    out_ch,
+                    kernel,
+                    stride,
+                    pad,
+                } => Box::new(Conv2d::new(
                     *in_ch,
                     *out_ch,
                     Conv2dGeom::square(*kernel, *stride, *pad),
@@ -212,9 +259,13 @@ impl ModelSpec {
                 LayerSpec::Sigmoid => s.push_str("Sigmoid"),
                 LayerSpec::Dropout { p } => s.push_str(&format!("Dropout({p:.2})")),
                 LayerSpec::Flatten => s.push_str("Flatten"),
-                LayerSpec::Conv2d { out_ch, kernel, stride, pad, .. } => {
-                    s.push_str(&format!("Conv2d({out_ch}, k{kernel}, s{stride}, p{pad})"))
-                }
+                LayerSpec::Conv2d {
+                    out_ch,
+                    kernel,
+                    stride,
+                    pad,
+                    ..
+                } => s.push_str(&format!("Conv2d({out_ch}, k{kernel}, s{stride}, p{pad})")),
                 LayerSpec::MaxPool2d { kernel, stride } => {
                     s.push_str(&format!("MaxPool2d(k{kernel}, s{stride})"))
                 }
@@ -236,7 +287,7 @@ mod tests {
         assert_eq!(spec.output_shape().unwrap(), vec![1]);
         assert_eq!(
             spec.param_count(),
-            (6 * 64 + 64) + (64 * 32 + 32) + (32 * 1 + 1)
+            (6 * 64 + 64) + (64 * 32 + 32) + (32 + 1)
         );
         let model = spec.build(1).unwrap();
         assert_eq!(model.param_count(), spec.param_count());
@@ -247,11 +298,23 @@ mod tests {
         let spec = ModelSpec::new(
             vec![1, 28, 28],
             vec![
-                LayerSpec::Conv2d { in_ch: 1, out_ch: 4, kernel: 5, stride: 2, pad: 2 },
+                LayerSpec::Conv2d {
+                    in_ch: 1,
+                    out_ch: 4,
+                    kernel: 5,
+                    stride: 2,
+                    pad: 2,
+                },
                 LayerSpec::ReLU,
-                LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+                LayerSpec::MaxPool2d {
+                    kernel: 2,
+                    stride: 2,
+                },
                 LayerSpec::Flatten,
-                LayerSpec::Linear { in_features: 4 * 7 * 7, out_features: 2 },
+                LayerSpec::Linear {
+                    in_features: 4 * 7 * 7,
+                    out_features: 2,
+                },
             ],
         );
         let shapes = spec.infer_shapes().unwrap();
@@ -268,8 +331,14 @@ mod tests {
         let spec = ModelSpec::new(
             vec![6],
             vec![
-                LayerSpec::Linear { in_features: 6, out_features: 8 },
-                LayerSpec::Linear { in_features: 9, out_features: 1 },
+                LayerSpec::Linear {
+                    in_features: 6,
+                    out_features: 8,
+                },
+                LayerSpec::Linear {
+                    in_features: 9,
+                    out_features: 1,
+                },
             ],
         );
         let err = spec.infer_shapes().unwrap_err();
@@ -280,7 +349,13 @@ mod tests {
     fn collapsing_conv_is_rejected() {
         let spec = ModelSpec::new(
             vec![1, 4, 4],
-            vec![LayerSpec::Conv2d { in_ch: 1, out_ch: 2, kernel: 8, stride: 1, pad: 0 }],
+            vec![LayerSpec::Conv2d {
+                in_ch: 1,
+                out_ch: 2,
+                kernel: 8,
+                stride: 1,
+                pad: 0,
+            }],
         );
         assert!(spec.infer_shapes().is_err());
         assert!(spec.build(0).is_err());
@@ -290,7 +365,13 @@ mod tests {
     fn conv_on_flat_input_is_rejected() {
         let spec = ModelSpec::new(
             vec![16],
-            vec![LayerSpec::Conv2d { in_ch: 1, out_ch: 2, kernel: 3, stride: 1, pad: 0 }],
+            vec![LayerSpec::Conv2d {
+                in_ch: 1,
+                out_ch: 2,
+                kernel: 3,
+                stride: 1,
+                pad: 0,
+            }],
         );
         assert!(spec.infer_shapes().is_err());
     }

@@ -200,7 +200,11 @@ mod tests {
         }
         // Restored weights must reproduce the recorded best validation loss.
         let vl = evaluate(&model, &va, Loss::Mse, 16).unwrap();
-        assert!((vl - hist.best_val).abs() < 1e-9, "restored {vl} vs best {}", hist.best_val);
+        assert!(
+            (vl - hist.best_val).abs() < 1e-9,
+            "restored {vl} vs best {}",
+            hist.best_val
+        );
     }
 
     #[test]
@@ -208,7 +212,10 @@ mod tests {
         let ds = toy_dataset(100, 7);
         let spec = ModelSpec::mlp(2, &[8], 1, Activation::ReLU, 0.0);
         let mut model = spec.build(8).unwrap();
-        let cfg = TrainConfig { epochs: 5, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        };
         let hist = train(&mut model, &ds, None, &cfg).unwrap();
         assert_eq!(hist.val_loss.len(), 0);
         assert_eq!(hist.train_loss.len(), 5);
@@ -232,7 +239,10 @@ mod tests {
         let mut m2 = spec.build(11).unwrap();
         m2.import_weights(&w).unwrap();
         let x = Tensor::full([3, 2], 0.4f32);
-        assert_eq!(m.forward(&x).unwrap().data(), m2.forward(&x).unwrap().data());
+        assert_eq!(
+            m.forward(&x).unwrap().data(),
+            m2.forward(&x).unwrap().data()
+        );
         // Mismatched snapshot rejected.
         let bad = vec![vec![0.0f32; 3]];
         assert!(m2.import_weights(&bad).is_err());

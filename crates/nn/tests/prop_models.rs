@@ -9,11 +9,11 @@ use proptest::prelude::*;
 
 fn mlp_spec() -> impl Strategy<Value = ModelSpec> {
     (
-        1usize..8,                                    // input dim
-        proptest::collection::vec(1usize..24, 0..3),  // hidden widths
-        1usize..4,                                    // output dim
-        0u8..3,                                       // activation
-        0u32..80,                                     // dropout percent
+        1usize..8,                                   // input dim
+        proptest::collection::vec(1usize..24, 0..3), // hidden widths
+        1usize..4,                                   // output dim
+        0u8..3,                                      // activation
+        0u32..80,                                    // dropout percent
     )
         .prop_map(|(inp, hidden, out, act, dp)| {
             let act = match act {

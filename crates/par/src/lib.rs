@@ -19,7 +19,8 @@
 //!   no oversubscription).
 //!
 //! The only `unsafe` in the whole workspace outside of disjoint slice
-//! splitting lives here; see the safety comments on [`TaskPtr`].
+//! splitting lives here; see the safety comments on `TaskPtr` in
+//! [`pool`] (the type itself is private to that module).
 
 pub mod pool;
 pub mod slice;

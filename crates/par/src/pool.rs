@@ -106,7 +106,11 @@ impl Pool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        Pool { shared, handles, workers }
+        Pool {
+            shared,
+            handles,
+            workers,
+        }
     }
 
     /// Number of worker threads (not counting the caller).
@@ -152,9 +156,8 @@ impl Pool {
         let chunks = len.div_ceil(grain);
         // SAFETY: erase the closure's lifetime. The completion barrier below
         // guarantees every worker is done with `task` before this frame ends.
-        let erased: &'static (dyn Fn(Range<usize>) + Sync) = unsafe {
-            std::mem::transmute::<&(dyn Fn(Range<usize>) + Sync), _>(&task)
-        };
+        let erased: &'static (dyn Fn(Range<usize>) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(Range<usize>) + Sync), _>(&task) };
         let job = Arc::new(Job {
             task: TaskPtr(erased as *const _),
             cursor: AtomicUsize::new(0),
@@ -207,7 +210,14 @@ impl Pool {
     /// Parallel map-reduce over `0..len`: `map` produces a partial result per
     /// chunk, `fold` combines partials (in unspecified order), starting from
     /// `identity`.
-    pub fn parallel_reduce<T, M, R>(&self, len: usize, grain: usize, identity: T, map: M, fold: R) -> T
+    pub fn parallel_reduce<T, M, R>(
+        &self,
+        len: usize,
+        grain: usize,
+        identity: T,
+        map: M,
+        fold: R,
+    ) -> T
     where
         T: Send,
         M: Fn(Range<usize>) -> T + Sync,
@@ -267,7 +277,9 @@ pub fn global() -> &'static Pool {
             .ok()
             .and_then(|s| s.parse::<usize>().ok())
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
             });
         Pool::new(n.saturating_sub(1))
     })

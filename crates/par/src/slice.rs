@@ -25,9 +25,7 @@ where
     global().parallel_for(len, chunk, |r| {
         // SAFETY: `r` ranges handed out by the pool are disjoint and within
         // `0..len`; the borrow of `data` outlives the job (completion barrier).
-        let sub = unsafe {
-            std::slice::from_raw_parts_mut((base as *mut T).add(r.start), r.len())
-        };
+        let sub = unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(r.start), r.len()) };
         f(r.start, sub);
     });
 }
@@ -51,8 +49,16 @@ where
     T: Send + Sync + Copy,
     F: Fn(T, T) -> T + Sync,
 {
-    assert_eq!(out.len(), a.len(), "par_zip_apply: length mismatch (out vs a)");
-    assert_eq!(out.len(), b.len(), "par_zip_apply: length mismatch (out vs b)");
+    assert_eq!(
+        out.len(),
+        a.len(),
+        "par_zip_apply: length mismatch (out vs a)"
+    );
+    assert_eq!(
+        out.len(),
+        b.len(),
+        "par_zip_apply: length mismatch (out vs b)"
+    );
     par_chunks_mut(out, grain, |start, sub| {
         for (k, v) in sub.iter_mut().enumerate() {
             *v = f(a[start + k], b[start + k]);
@@ -94,8 +100,8 @@ mod tests {
         let b: Vec<f32> = (0..1000).map(|i| (i * 2) as f32).collect();
         let mut out = vec![0.0f32; 1000];
         par_zip_apply(&mut out, &a, &b, 64, |x, y| x + y);
-        for i in 0..1000 {
-            assert_eq!(out[i], (i * 3) as f32);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * 3) as f32);
         }
     }
 

@@ -21,7 +21,12 @@ pub struct BoConfig {
 
 impl Default for BoConfig {
     fn default() -> Self {
-        BoConfig { iterations: 30, init_samples: 6, candidates: 512, seed: 0 }
+        BoConfig {
+            iterations: 30,
+            init_samples: 6,
+            candidates: 512,
+            seed: 0,
+        }
     }
 }
 
@@ -79,7 +84,11 @@ pub fn minimize(
         };
         let config = space.decode(&unit)?;
         let value = objective(&config);
-        trials.push(Trial { unit, config, values: vec![value] });
+        trials.push(Trial {
+            unit,
+            config,
+            values: vec![value],
+        });
     }
     let best = argmin(&trials, |t| t.values[0]);
     Ok(BoResult { trials, best })
@@ -107,7 +116,11 @@ pub fn minimize_multi(
         };
         let config = space.decode(&unit)?;
         let values = objective(&config);
-        trials.push(Trial { unit, config, values });
+        trials.push(Trial {
+            unit,
+            config,
+            values,
+        });
     }
     // "Best" for multi-objective: minimum error (second axis convention is
     // decided by the caller; we use values[0]).
@@ -203,7 +216,12 @@ mod tests {
             let y = c.get("y").unwrap();
             (x - 0.7).powi(2) + (y + 0.3).powi(2)
         };
-        let cfg = BoConfig { iterations: 40, init_samples: 8, candidates: 256, seed: 3 };
+        let cfg = BoConfig {
+            iterations: 40,
+            init_samples: 8,
+            candidates: 256,
+            seed: 3,
+        };
         let res = minimize(&space, objective, &cfg).unwrap();
         let best = res.best_trial();
         assert!(best.values[0] < 0.05, "best={}", best.values[0]);
@@ -214,7 +232,11 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let space = Space::new().float("x", 0.0, 1.0);
         let run = |seed| {
-            let cfg = BoConfig { iterations: 12, seed, ..Default::default() };
+            let cfg = BoConfig {
+                iterations: 12,
+                seed,
+                ..Default::default()
+            };
             minimize(&space, |c| (c.get("x").unwrap() - 0.5).abs(), &cfg)
                 .unwrap()
                 .best_trial()
@@ -228,7 +250,12 @@ mod tests {
         // f1 = x, f2 = 1 - x: every x is Pareto-optimal; the front should
         // span a wide range of x.
         let space = Space::new().float("x", 0.0, 1.0);
-        let cfg = BoConfig { iterations: 25, init_samples: 6, candidates: 128, seed: 5 };
+        let cfg = BoConfig {
+            iterations: 25,
+            init_samples: 6,
+            candidates: 128,
+            seed: 5,
+        };
         let res = minimize_multi(
             &space,
             |c| {
@@ -243,12 +270,19 @@ mod tests {
         let xs: Vec<f64> = front.iter().map(|t| t.config.get("x").unwrap()).collect();
         let span = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - xs.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(span > 0.5, "front should spread along the trade-off: span {span}");
+        assert!(
+            span > 0.5,
+            "front should spread along the trade-off: span {span}"
+        );
     }
 
     #[test]
     fn pareto_front_filters_dominated_points() {
-        let t = |v: Vec<f64>| Trial { unit: vec![], config: Config::default(), values: v };
+        let t = |v: Vec<f64>| Trial {
+            unit: vec![],
+            config: Config::default(),
+            values: v,
+        };
         let res = BoResult {
             trials: vec![t(vec![1.0, 1.0]), t(vec![0.5, 2.0]), t(vec![2.0, 2.0])],
             best: 0,
@@ -261,7 +295,10 @@ mod tests {
     #[test]
     fn constant_objective_does_not_crash() {
         let space = Space::new().float("x", 0.0, 1.0);
-        let cfg = BoConfig { iterations: 10, ..Default::default() };
+        let cfg = BoConfig {
+            iterations: 10,
+            ..Default::default()
+        };
         let res = minimize(&space, |_| 1.0, &cfg).unwrap();
         assert_eq!(res.trials.len(), 10);
     }

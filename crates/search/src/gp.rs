@@ -68,11 +68,21 @@ impl Gp {
                 let mut alpha = ys.clone();
                 solve_lower(&kk, n, &mut alpha);
                 solve_lower_transpose(&kk, n, &mut alpha);
-                return Ok(Gp { x, lengthscale, signal2, chol: kk, alpha, y_mean, y_std });
+                return Ok(Gp {
+                    x,
+                    lengthscale,
+                    signal2,
+                    chol: kk,
+                    alpha,
+                    y_mean,
+                    y_std,
+                });
             }
             jitter *= 10.0;
         }
-        Err(SearchError::Gp("kernel matrix is not positive definite even with jitter".into()))
+        Err(SearchError::Gp(
+            "kernel matrix is not positive definite even with jitter".into(),
+        ))
     }
 
     /// Fit with a median-pairwise-distance length scale.
@@ -80,30 +90,39 @@ impl Gp {
         let mut dists = Vec::new();
         for i in 0..x.len() {
             for j in 0..i {
-                let d2: f64 =
-                    x[i].iter().zip(&x[j]).map(|(a, b)| (a - b) * (a - b)).sum();
+                let d2: f64 = x[i].iter().zip(&x[j]).map(|(a, b)| (a - b) * (a - b)).sum();
                 if d2 > 0.0 {
                     dists.push(d2.sqrt());
                 }
             }
         }
         dists.sort_by(f64::total_cmp);
-        let lengthscale = if dists.is_empty() { 0.5 } else { dists[dists.len() / 2].max(1e-3) };
+        let lengthscale = if dists.is_empty() {
+            0.5
+        } else {
+            dists[dists.len() / 2].max(1e-3)
+        };
         Gp::fit(x, y, lengthscale, noise)
     }
 
     /// Posterior mean and variance at a query point (in original y units).
     pub fn predict(&self, q: &[f64]) -> (f64, f64) {
         let n = self.x.len();
-        let kstar: Vec<f64> =
-            self.x.iter().map(|xi| rbf(xi, q, self.lengthscale, self.signal2)).collect();
+        let kstar: Vec<f64> = self
+            .x
+            .iter()
+            .map(|xi| rbf(xi, q, self.lengthscale, self.signal2))
+            .collect();
         let mean_std: f64 = kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
         // v = L⁻¹ k*; var = k** - vᵀv.
         let mut v = kstar;
         solve_lower(&self.chol, n, &mut v);
         let kss = self.signal2;
         let var_std = (kss - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
-        (mean_std * self.y_std + self.y_mean, var_std * self.y_std * self.y_std)
+        (
+            mean_std * self.y_std + self.y_mean,
+            var_std * self.y_std * self.y_std,
+        )
     }
 
     /// Expected improvement for *minimization* below `best` at `q`.
@@ -124,9 +143,14 @@ fn gauss_pdf_cdf(z: f64) -> (f64, f64) {
     // Abramowitz–Stegun erf approximation.
     let t = 1.0 / (1.0 + 0.3275911 * z.abs() / std::f64::consts::SQRT_2);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     let erf = 1.0 - poly * (-(z * z) / 2.0).exp();
-    let cdf = if z >= 0.0 { 0.5 * (1.0 + erf) } else { 0.5 * (1.0 - erf) };
+    let cdf = if z >= 0.0 {
+        0.5 * (1.0 + erf)
+    } else {
+        0.5 * (1.0 - erf)
+    };
     (pdf, cdf)
 }
 

@@ -46,7 +46,12 @@ pub struct NestedConfig {
 
 impl Default for NestedConfig {
     fn default() -> Self {
-        NestedConfig { outer_iters: 100, inner_iters: 30, patience: 5, seed: 0 }
+        NestedConfig {
+            outer_iters: 100,
+            inner_iters: 30,
+            patience: 5,
+            seed: 0,
+        }
     }
 }
 
@@ -87,7 +92,11 @@ pub fn nested_search(problem: &dyn SearchProblem, cfg: &NestedConfig) -> Result<
             None => {
                 // Invalid architecture: record a strongly penalized trial so
                 // the GP learns to avoid the region, but don't waste training.
-                outer_trials.push(Trial { unit, config: arch, values: vec![1e6, 1e6] });
+                outer_trials.push(Trial {
+                    unit,
+                    config: arch,
+                    values: vec![1e6, 1e6],
+                });
                 continue;
             }
         };
@@ -105,7 +114,10 @@ pub fn nested_search(problem: &dyn SearchProblem, cfg: &NestedConfig) -> Result<
             &hyper_space,
             |hyper| {
                 let (err, lat) = problem.train_eval(&spec, hyper);
-                let better = best_inner.as_ref().map(|(_, e, _)| err < *e).unwrap_or(true);
+                let better = best_inner
+                    .as_ref()
+                    .map(|(_, e, _)| err < *e)
+                    .unwrap_or(true);
                 if better {
                     best_inner = Some((hyper.clone(), err, lat));
                 }
@@ -113,8 +125,7 @@ pub fn nested_search(problem: &dyn SearchProblem, cfg: &NestedConfig) -> Result<
             },
             &inner_cfg,
         )?;
-        let (hyper, val_error, latency_s) =
-            best_inner.expect("inner loop ran at least one trial");
+        let (hyper, val_error, latency_s) = best_inner.expect("inner loop ran at least one trial");
 
         outer_trials.push(Trial {
             unit,
@@ -231,12 +242,23 @@ mod tests {
 
     #[test]
     fn nested_search_explores_and_improves() {
-        let cfg = NestedConfig { outer_iters: 12, inner_iters: 6, patience: 0, seed: 2 };
+        let cfg = NestedConfig {
+            outer_iters: 12,
+            inner_iters: 6,
+            patience: 0,
+            seed: 2,
+        };
         let cands = nested_search(&Synthetic, &cfg).unwrap();
         assert!(cands.len() >= 8, "{} candidates", cands.len());
         // Best error should approach the wide-network optimum.
-        let best = cands.iter().map(|c| c.val_error).fold(f64::INFINITY, f64::min);
-        let worst = cands.iter().map(|c| c.val_error).fold(f64::NEG_INFINITY, f64::max);
+        let best = cands
+            .iter()
+            .map(|c| c.val_error)
+            .fold(f64::INFINITY, f64::min);
+        let worst = cands
+            .iter()
+            .map(|c| c.val_error)
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(best < worst, "search must differentiate candidates");
         assert!(best < 0.35, "best err {best}");
         // Latency axis populated.
@@ -262,8 +284,17 @@ mod tests {
                 (1.0, 1.0)
             }
         }
-        let cfg = NestedConfig { outer_iters: 50, inner_iters: 2, patience: 2, seed: 1 };
+        let cfg = NestedConfig {
+            outer_iters: 50,
+            inner_iters: 2,
+            patience: 2,
+            seed: 1,
+        };
         let cands = nested_search(&Flat, &cfg).unwrap();
-        assert!(cands.len() <= 4, "early stop should cap at ~1+patience, got {}", cands.len());
+        assert!(
+            cands.len() <= 4,
+            "early stop should cap at ~1+patience, got {}",
+            cands.len()
+        );
     }
 }

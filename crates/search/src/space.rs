@@ -10,7 +10,12 @@ use std::collections::BTreeMap;
 pub enum Param {
     /// Continuous in `[lo, hi]`; `log` searches in log10 space (learning
     /// rates, weight decays).
-    Float { name: String, lo: f64, hi: f64, log: bool },
+    Float {
+        name: String,
+        lo: f64,
+        hi: f64,
+        log: bool,
+    },
     /// Integer-valued in `[lo, hi]` inclusive.
     Int { name: String, lo: i64, hi: i64 },
     /// One of an explicit list of values (e.g. Table IV's 64,128,...,4096).
@@ -82,22 +87,39 @@ impl Space {
     }
 
     pub fn float(mut self, name: &str, lo: f64, hi: f64) -> Self {
-        self.params.push(Param::Float { name: name.into(), lo, hi, log: false });
+        self.params.push(Param::Float {
+            name: name.into(),
+            lo,
+            hi,
+            log: false,
+        });
         self
     }
 
     pub fn log_float(mut self, name: &str, lo: f64, hi: f64) -> Self {
-        self.params.push(Param::Float { name: name.into(), lo, hi, log: true });
+        self.params.push(Param::Float {
+            name: name.into(),
+            lo,
+            hi,
+            log: true,
+        });
         self
     }
 
     pub fn int(mut self, name: &str, lo: i64, hi: i64) -> Self {
-        self.params.push(Param::Int { name: name.into(), lo, hi });
+        self.params.push(Param::Int {
+            name: name.into(),
+            lo,
+            hi,
+        });
         self
     }
 
     pub fn choice(mut self, name: &str, options: &[f64]) -> Self {
-        self.params.push(Param::Choice { name: name.into(), options: options.to_vec() });
+        self.params.push(Param::Choice {
+            name: name.into(),
+            options: options.to_vec(),
+        });
         self
     }
 
@@ -142,7 +164,12 @@ mod tests {
 
     #[test]
     fn float_decode_bounds() {
-        let p = Param::Float { name: "x".into(), lo: 2.0, hi: 10.0, log: false };
+        let p = Param::Float {
+            name: "x".into(),
+            lo: 2.0,
+            hi: 10.0,
+            log: false,
+        };
         assert_eq!(p.decode(0.0), 2.0);
         assert_eq!(p.decode(1.0), 10.0);
         assert_eq!(p.decode(0.5), 6.0);
@@ -151,7 +178,12 @@ mod tests {
 
     #[test]
     fn log_float_decode() {
-        let p = Param::Float { name: "lr".into(), lo: 1e-4, hi: 1e-2, log: true };
+        let p = Param::Float {
+            name: "lr".into(),
+            lo: 1e-4,
+            hi: 1e-2,
+            log: true,
+        };
         assert!((p.decode(0.0) - 1e-4).abs() < 1e-12);
         assert!((p.decode(1.0) - 1e-2).abs() < 1e-10);
         assert!((p.decode(0.5) - 1e-3).abs() < 1e-10);
@@ -159,7 +191,11 @@ mod tests {
 
     #[test]
     fn int_decode_covers_range_inclusively() {
-        let p = Param::Int { name: "n".into(), lo: 2, hi: 5 };
+        let p = Param::Int {
+            name: "n".into(),
+            lo: 2,
+            hi: 5,
+        };
         assert_eq!(p.decode(0.0), 2.0);
         assert_eq!(p.decode(0.999), 5.0);
         assert_eq!(p.decode(1.0), 5.0);
@@ -173,7 +209,10 @@ mod tests {
 
     #[test]
     fn choice_decode() {
-        let p = Param::Choice { name: "h".into(), options: vec![64.0, 128.0, 256.0] };
+        let p = Param::Choice {
+            name: "h".into(),
+            options: vec![64.0, 128.0, 256.0],
+        };
         assert_eq!(p.decode(0.0), 64.0);
         assert_eq!(p.decode(0.5), 128.0);
         assert_eq!(p.decode(1.0), 256.0);

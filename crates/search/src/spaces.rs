@@ -23,7 +23,10 @@ pub fn hyper_space() -> Space {
 pub fn train_config_from(hyper: &Config, base: &TrainConfig) -> TrainConfig {
     let lr = hyper.get("lr").unwrap_or(1e-3) as f32;
     let wd = hyper.get("weight_decay").unwrap_or(0.0) as f32;
-    let batch = hyper.get_usize("batch_size").unwrap_or(base.batch_size).max(1);
+    let batch = hyper
+        .get_usize("batch_size")
+        .unwrap_or(base.batch_size)
+        .max(1);
     TrainConfig {
         batch_size: batch,
         optimizer: Optimizer::adam(lr, wd),
@@ -46,8 +49,7 @@ pub fn inject_dropout(spec: &ModelSpec, p: f32) -> ModelSpec {
     let mut layers = Vec::with_capacity(spec.layers.len() * 2);
     let mut prev_was_linear = false;
     for l in &spec.layers {
-        let is_activation =
-            matches!(l, LayerSpec::ReLU | LayerSpec::Tanh | LayerSpec::Sigmoid);
+        let is_activation = matches!(l, LayerSpec::ReLU | LayerSpec::Tanh | LayerSpec::Sigmoid);
         let was_linear = matches!(l, LayerSpec::Linear { .. });
         layers.push(l.clone());
         if is_activation && prev_was_linear {
@@ -64,7 +66,10 @@ pub fn inject_dropout(spec: &ModelSpec, p: f32) -> ModelSpec {
 pub fn minibude_arch_space() -> Space {
     Space::new()
         .int("num_hidden", 2, 12)
-        .choice("hidden1", &[64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0])
+        .choice(
+            "hidden1",
+            &[64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0],
+        )
         .float("feature_mult", 0.1, 0.8)
 }
 
@@ -96,13 +101,22 @@ pub fn binomial_bonds_spec(input_dim: usize, arch: &Config, dropout: f32) -> Opt
         return None;
     }
     let hidden: Vec<usize> = if h2 == 0 { vec![h1] } else { vec![h1, h2] };
-    Some(ModelSpec::mlp(input_dim, &hidden, 1, Activation::ReLU, dropout))
+    Some(ModelSpec::mlp(
+        input_dim,
+        &hidden,
+        1,
+        Activation::ReLU,
+        dropout,
+    ))
 }
 
 /// Table IV, MiniWeather: `Conv1 Kernel ∈ [2, 8]`,
 /// `Conv1 Output Channels ∈ [4, 8]`, `Conv2 Kernel ∈ [0, 6]` (0 = absent).
 pub fn miniweather_arch_space() -> Space {
-    Space::new().int("conv1_k", 2, 8).int("conv1_ch", 4, 8).int("conv2_k", 0, 6)
+    Space::new()
+        .int("conv1_k", 2, 8)
+        .int("conv1_ch", 4, 8)
+        .int("conv2_k", 0, 6)
 }
 
 /// Decode a MiniWeather architecture. The network must map
@@ -114,7 +128,13 @@ pub fn miniweather_spec(nz: usize, nx: usize, arch: &Config) -> Option<ModelSpec
     let ch = arch.get_usize("conv1_ch").ok()?;
     let k2 = arch.get_usize("conv2_k").ok()?;
     let mut layers = vec![
-        LayerSpec::Conv2d { in_ch: 4, out_ch: ch, kernel: k1, stride: 1, pad: k1 / 2 },
+        LayerSpec::Conv2d {
+            in_ch: 4,
+            out_ch: ch,
+            kernel: k1,
+            stride: 1,
+            pad: k1 / 2,
+        },
         LayerSpec::Tanh,
     ];
     let mut in_ch = ch;
@@ -130,7 +150,13 @@ pub fn miniweather_spec(nz: usize, nx: usize, arch: &Config) -> Option<ModelSpec
         in_ch = ch;
     }
     // Project back to the 4 state variables with a 1x1 or matching kernel.
-    layers.push(LayerSpec::Conv2d { in_ch, out_ch: 4, kernel: 1, stride: 1, pad: 0 });
+    layers.push(LayerSpec::Conv2d {
+        in_ch,
+        out_ch: 4,
+        kernel: 1,
+        stride: 1,
+        pad: 0,
+    });
     let spec = ModelSpec::new(vec![4, nz, nx], layers);
     match spec.output_shape() {
         Ok(shape) if shape == vec![4, nz, nx] => Some(spec),
@@ -155,11 +181,20 @@ pub fn particlefilter_spec(h: usize, w: usize, arch: &Config) -> Option<ModelSpe
     let pk = arch.get_usize("pool_k").ok()?;
     let fc2 = arch.get_usize("fc2").ok()?;
     let mut layers = vec![
-        LayerSpec::Conv2d { in_ch: 1, out_ch: 6, kernel: k, stride: s, pad: 0 },
+        LayerSpec::Conv2d {
+            in_ch: 1,
+            out_ch: 6,
+            kernel: k,
+            stride: s,
+            pad: 0,
+        },
         LayerSpec::ReLU,
     ];
     if pk > 1 {
-        layers.push(LayerSpec::MaxPool2d { kernel: pk, stride: pk });
+        layers.push(LayerSpec::MaxPool2d {
+            kernel: pk,
+            stride: pk,
+        });
     }
     layers.push(LayerSpec::Flatten);
     // Infer the flattened width to size the FC head.
@@ -169,11 +204,20 @@ pub fn particlefilter_spec(h: usize, w: usize, arch: &Config) -> Option<ModelSpe
         _ => return None,
     };
     if fc2 > 0 {
-        layers.push(LayerSpec::Linear { in_features: flat, out_features: fc2 });
+        layers.push(LayerSpec::Linear {
+            in_features: flat,
+            out_features: fc2,
+        });
         layers.push(LayerSpec::ReLU);
-        layers.push(LayerSpec::Linear { in_features: fc2, out_features: 2 });
+        layers.push(LayerSpec::Linear {
+            in_features: fc2,
+            out_features: 2,
+        });
     } else {
-        layers.push(LayerSpec::Linear { in_features: flat, out_features: 2 });
+        layers.push(LayerSpec::Linear {
+            in_features: flat,
+            out_features: 2,
+        });
     }
     let spec = ModelSpec::new(vec![1, h, w], layers);
     spec.infer_shapes().ok()?;
@@ -288,7 +332,11 @@ mod tests {
     fn inject_dropout_targets_linear_activations_only() {
         let mlp = ModelSpec::mlp(4, &[8, 8], 1, Activation::ReLU, 0.0);
         let with = inject_dropout(&mlp, 0.3);
-        let drops = with.layers.iter().filter(|l| matches!(l, LayerSpec::Dropout { .. })).count();
+        let drops = with
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Dropout { .. }))
+            .count();
         assert_eq!(drops, 2);
         with.infer_shapes().unwrap();
         // p = 0 is a no-op.
@@ -298,7 +346,11 @@ mod tests {
             .find_map(|seed| miniweather_spec(8, 8, &sample(&miniweather_arch_space(), seed)))
             .expect("some valid miniweather arch in 50 seeds");
         let cnn_with = inject_dropout(&cnn, 0.5);
-        let drops = cnn_with.layers.iter().filter(|l| matches!(l, LayerSpec::Dropout { .. })).count();
+        let drops = cnn_with
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Dropout { .. }))
+            .count();
         assert_eq!(drops, 0);
     }
 

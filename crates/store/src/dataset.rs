@@ -51,7 +51,12 @@ pub struct Dataset {
 
 impl Dataset {
     pub fn new(dtype: DType, inner_shape: Vec<usize>) -> Self {
-        Dataset { dtype, inner_shape, rows: 0, data: Vec::new() }
+        Dataset {
+            dtype,
+            inner_shape,
+            rows: 0,
+            data: Vec::new(),
+        }
     }
 
     pub(crate) fn from_parts(
@@ -69,7 +74,12 @@ impl Dataset {
                 data.len()
             )));
         }
-        Ok(Dataset { dtype, inner_shape, rows, data })
+        Ok(Dataset {
+            dtype,
+            inner_shape,
+            rows,
+            data,
+        })
     }
 
     pub fn dtype(&self) -> DType {
@@ -109,14 +119,17 @@ impl Dataset {
 
     fn check_dtype(&self, expected: DType) -> Result<()> {
         if self.dtype != expected {
-            return Err(StoreError::TypeMismatch { expected, actual: self.dtype });
+            return Err(StoreError::TypeMismatch {
+                expected,
+                actual: self.dtype,
+            });
         }
         Ok(())
     }
 
     fn check_batch(&self, len: usize) -> Result<usize> {
         let entry = self.entry_numel();
-        if len % entry != 0 {
+        if !len.is_multiple_of(entry) {
             return Err(StoreError::ShapeMismatch(format!(
                 "batch of {len} elements is not a multiple of entry size {entry}"
             )));
@@ -245,7 +258,10 @@ mod tests {
     #[test]
     fn partial_entry_rejected() {
         let mut d = Dataset::new(DType::F32, vec![4]);
-        assert!(matches!(d.append_f32(&[1.0; 6]), Err(StoreError::ShapeMismatch(_))));
+        assert!(matches!(
+            d.append_f32(&[1.0; 6]),
+            Err(StoreError::ShapeMismatch(_))
+        ));
         assert_eq!(d.rows(), 0);
     }
 

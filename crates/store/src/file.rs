@@ -35,7 +35,11 @@ pub struct H5File {
 impl H5File {
     /// Create a new, empty file (truncating any existing one on flush).
     pub fn create(path: impl Into<PathBuf>) -> Self {
-        H5File { path: path.into(), root: Group::new(), dirty: true }
+        H5File {
+            path: path.into(),
+            root: Group::new(),
+            dirty: true,
+        }
     }
 
     /// Open and parse an existing file.
@@ -53,7 +57,11 @@ impl H5File {
             return Err(StoreError::BadMagic);
         }
         let root = decode_group(&mut buf)?;
-        Ok(H5File { path: path.as_ref().to_path_buf(), root, dirty: false })
+        Ok(H5File {
+            path: path.as_ref().to_path_buf(),
+            root,
+            dirty: false,
+        })
     }
 
     pub fn path(&self) -> &Path {
@@ -141,7 +149,9 @@ fn decode_dataset(buf: &mut Bytes) -> Result<Dataset> {
     let dtype = DType::from_tag(get_u8(buf)?)?;
     let rank = get_u32(buf)? as usize;
     if rank > 64 {
-        return Err(StoreError::Corrupt(format!("implausible dataset rank {rank}")));
+        return Err(StoreError::Corrupt(format!(
+            "implausible dataset rank {rank}"
+        )));
     }
     let mut inner = Vec::with_capacity(rank);
     for _ in 0..rank {
@@ -249,7 +259,11 @@ mod tests {
         assert_eq!(region.dataset("inputs").unwrap().rows(), 3);
         assert_eq!(region.dataset("inputs").unwrap().shape(), vec![3, 2, 5]);
         assert_eq!(
-            region.dataset("region_time_ns").unwrap().read_f64().unwrap(),
+            region
+                .dataset("region_time_ns")
+                .unwrap()
+                .read_f64()
+                .unwrap(),
             vec![100.0, 110.0, 90.0]
         );
     }
@@ -259,7 +273,11 @@ mod tests {
         let path = tmp("dropflush.h5lite");
         {
             let mut f = H5File::create(&path);
-            f.root_mut().dataset_mut("d", DType::I64, &[]).unwrap().append_i64(&[7]).unwrap();
+            f.root_mut()
+                .dataset_mut("d", DType::I64, &[])
+                .unwrap()
+                .append_i64(&[7])
+                .unwrap();
             // no explicit flush
         }
         let f = H5File::open(&path).unwrap();

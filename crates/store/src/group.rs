@@ -71,9 +71,9 @@ impl Group {
     pub fn group(&self, name: &str) -> Result<&Group> {
         match self.children.get(name) {
             Some(Node::Group(g)) => Ok(g),
-            Some(Node::Dataset(_)) => {
-                Err(StoreError::NotFound(format!("`{name}` is a dataset, not a group")))
-            }
+            Some(Node::Dataset(_)) => Err(StoreError::NotFound(format!(
+                "`{name}` is a dataset, not a group"
+            ))),
             None => Err(StoreError::NotFound(format!("group `{name}`"))),
         }
     }
@@ -93,7 +93,10 @@ impl Group {
         match node {
             Node::Dataset(d) => {
                 if d.dtype() != dtype {
-                    return Err(StoreError::TypeMismatch { expected: dtype, actual: d.dtype() });
+                    return Err(StoreError::TypeMismatch {
+                        expected: dtype,
+                        actual: d.dtype(),
+                    });
                 }
                 if d.inner_shape() != inner_shape {
                     return Err(StoreError::ShapeMismatch(format!(
@@ -104,9 +107,9 @@ impl Group {
                 }
                 Ok(d)
             }
-            Node::Group(_) => {
-                Err(StoreError::NotFound(format!("`{name}` is a group, not a dataset")))
-            }
+            Node::Group(_) => Err(StoreError::NotFound(format!(
+                "`{name}` is a group, not a dataset"
+            ))),
         }
     }
 
@@ -114,9 +117,9 @@ impl Group {
     pub fn dataset(&self, name: &str) -> Result<&Dataset> {
         match self.children.get(name) {
             Some(Node::Dataset(d)) => Ok(d),
-            Some(Node::Group(_)) => {
-                Err(StoreError::NotFound(format!("`{name}` is a group, not a dataset")))
-            }
+            Some(Node::Group(_)) => Err(StoreError::NotFound(format!(
+                "`{name}` is a group, not a dataset"
+            ))),
             None => Err(StoreError::NotFound(format!("dataset `{name}`"))),
         }
     }
@@ -167,13 +170,19 @@ mod tests {
         assert!(root.group("region_a").is_ok());
         assert!(root.group_at("region_a/nested").is_ok());
         assert!(root.group_at("region_a/missing").is_err());
-        assert_eq!(root.child_names().collect::<Vec<_>>(), vec!["region_a", "region_b"]);
+        assert_eq!(
+            root.child_names().collect::<Vec<_>>(),
+            vec!["region_a", "region_b"]
+        );
     }
 
     #[test]
     fn dataset_creation_and_type_guard() {
         let mut root = Group::new();
-        root.dataset_mut("inputs", DType::F32, &[4]).unwrap().append_f32(&[0.0; 8]).unwrap();
+        root.dataset_mut("inputs", DType::F32, &[4])
+            .unwrap()
+            .append_f32(&[0.0; 8])
+            .unwrap();
         assert_eq!(root.dataset("inputs").unwrap().rows(), 2);
         assert!(root.dataset_mut("inputs", DType::F64, &[4]).is_err());
         assert!(root.dataset_mut("inputs", DType::F32, &[5]).is_err());
@@ -193,8 +202,15 @@ mod tests {
     #[test]
     fn size_bytes_sums_tree() {
         let mut root = Group::new();
-        root.dataset_mut("a", DType::F32, &[2]).unwrap().append_f32(&[0.0; 4]).unwrap();
-        root.group_mut("g").dataset_mut("b", DType::F64, &[]).unwrap().append_f64(&[1.0]).unwrap();
+        root.dataset_mut("a", DType::F32, &[2])
+            .unwrap()
+            .append_f32(&[0.0; 4])
+            .unwrap();
+        root.group_mut("g")
+            .dataset_mut("b", DType::F64, &[])
+            .unwrap()
+            .append_f64(&[1.0])
+            .unwrap();
         assert_eq!(root.size_bytes(), 16 + 8);
     }
 

@@ -45,7 +45,10 @@ impl std::fmt::Display for StoreError {
             StoreError::BadMagic => write!(f, "not an h5lite file (bad magic)"),
             StoreError::Corrupt(s) => write!(f, "corrupt file: {s}"),
             StoreError::TypeMismatch { expected, actual } => {
-                write!(f, "dtype mismatch: dataset is {actual:?}, access expects {expected:?}")
+                write!(
+                    f,
+                    "dtype mismatch: dataset is {actual:?}, access expects {expected:?}"
+                )
             }
             StoreError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
             StoreError::NotFound(s) => write!(f, "not found: {s}"),

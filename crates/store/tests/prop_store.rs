@@ -35,14 +35,16 @@ fn build_group(plans: &[(String, NodePlan)], attrs: &[(String, Attr)]) -> Group 
     }
     for (idx, (name, plan)) in plans.iter().enumerate() {
         // Spread children across a couple of nested groups.
-        let target =
-            if idx % 3 == 0 { g.group_mut("nested") } else { &mut g };
+        let target = if idx % 3 == 0 {
+            g.group_mut("nested")
+        } else {
+            &mut g
+        };
         match plan {
             NodePlan::DatasetF32 { inner, rows } => {
                 let d = target.dataset_mut(name, DType::F32, inner).unwrap();
                 let entry: usize = inner.iter().product::<usize>().max(1);
-                let payload: Vec<f32> =
-                    (0..rows * entry).map(|i| i as f32 * 0.25 - 3.0).collect();
+                let payload: Vec<f32> = (0..rows * entry).map(|i| i as f32 * 0.25 - 3.0).collect();
                 d.append_f32(&payload).unwrap();
             }
             NodePlan::DatasetF64 { rows } => {

@@ -49,7 +49,10 @@ impl std::fmt::Display for TensorError {
                 write!(f, "shape expects {expected} elements but data has {actual}")
             }
             TensorError::ReshapeMismatch { from, to } => {
-                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+                write!(
+                    f,
+                    "cannot reshape {from:?} into {to:?}: element counts differ"
+                )
             }
             TensorError::AxisOutOfRange { axis, rank } => {
                 write!(f, "axis {axis} out of range for rank {rank}")

@@ -91,7 +91,9 @@ mod tests {
         let mut s = seed;
         let mut m = vec![0.0f64; n * n];
         for v in m.iter_mut() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *v = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
         }
         let mut a = vec![0.0f64; n * n];
@@ -127,7 +129,10 @@ mod tests {
     #[test]
     fn cholesky_rejects_indefinite() {
         let mut a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
-        assert!(matches!(cholesky(&mut a, 2), Err(TensorError::Numerical(_))));
+        assert!(matches!(
+            cholesky(&mut a, 2),
+            Err(TensorError::Numerical(_))
+        ));
     }
 
     #[test]

@@ -165,7 +165,11 @@ pub struct Conv2dGeom {
 
 impl Conv2dGeom {
     pub fn square(kernel: usize, stride: usize, pad: usize) -> Self {
-        Conv2dGeom { kernel: (kernel, kernel), stride: (stride, stride), pad: (pad, pad) }
+        Conv2dGeom {
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            pad: (pad, pad),
+        }
     }
 
     pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
@@ -177,19 +181,16 @@ impl Conv2dGeom {
 }
 
 /// im2col for one sample: input `[C, H, W]` slice → col `[C*KH*KW, OH*OW]`.
-pub fn im2col<T: Scalar>(
-    input: &[T],
-    c: usize,
-    h: usize,
-    w: usize,
-    g: Conv2dGeom,
-    col: &mut [T],
-) {
+pub fn im2col<T: Scalar>(input: &[T], c: usize, h: usize, w: usize, g: Conv2dGeom, col: &mut [T]) {
     let (kh, kw) = g.kernel;
     let (sh, sw) = g.stride;
     let (ph, pw) = g.pad;
     let (oh, ow) = g.out_hw(h, w);
-    assert_eq!(col.len(), c * kh * kw * oh * ow, "im2col: bad col buffer size");
+    assert_eq!(
+        col.len(),
+        c * kh * kw * oh * ow,
+        "im2col: bad col buffer size"
+    );
     let l = oh * ow;
     // Row r of col corresponds to (ch, ki, kj); column to (oy, ox).
     for ch in 0..c {
@@ -224,19 +225,16 @@ pub fn im2col<T: Scalar>(
 
 /// Reverse of [`im2col`]: accumulate col `[C*KH*KW, OH*OW]` back into the
 /// input gradient `[C, H, W]`.
-pub fn col2im<T: Scalar>(
-    col: &[T],
-    c: usize,
-    h: usize,
-    w: usize,
-    g: Conv2dGeom,
-    dinput: &mut [T],
-) {
+pub fn col2im<T: Scalar>(col: &[T], c: usize, h: usize, w: usize, g: Conv2dGeom, dinput: &mut [T]) {
     let (kh, kw) = g.kernel;
     let (sh, sw) = g.stride;
     let (ph, pw) = g.pad;
     let (oh, ow) = g.out_hw(h, w);
-    assert_eq!(col.len(), c * kh * kw * oh * ow, "col2im: bad col buffer size");
+    assert_eq!(
+        col.len(),
+        c * kh * kw * oh * ow,
+        "col2im: bad col buffer size"
+    );
     let l = oh * ow;
     for ch in 0..c {
         for ki in 0..kh {
@@ -403,13 +401,19 @@ pub fn conv2d_backward<T: Scalar>(
     let dd = dout.data();
 
     use parking_lot::Mutex;
-    let acc: Mutex<(Vec<T>, Vec<T>)> =
-        Mutex::new((vec![T::ZERO; f * ckk], vec![T::ZERO; f]));
+    let acc: Mutex<(Vec<T>, Vec<T>)> = Mutex::new((vec![T::ZERO; f * ckk], vec![T::ZERO; f]));
 
     hpacml_par::par_chunks_mut(dinput.data_mut(), in_sample, |start, din_n| {
         let sample = start / in_sample;
         let mut col = vec![T::ZERO; ckk * l];
-        im2col(&id[sample * in_sample..(sample + 1) * in_sample], c, h, w, g, &mut col);
+        im2col(
+            &id[sample * in_sample..(sample + 1) * in_sample],
+            c,
+            h,
+            w,
+            g,
+            &mut col,
+        );
         let dout_n = &dd[sample * out_sample..(sample + 1) * out_sample];
 
         // Local gradient accumulators for this sample.
@@ -460,10 +464,7 @@ pub fn conv2d_backward<T: Scalar>(
 
 /// Forward max-pooling over `[N, C, H, W]`; returns the pooled tensor and the
 /// flat argmax index (into the input) per output element, for backward.
-pub fn maxpool2d<T: Scalar>(
-    input: &Tensor<T>,
-    g: Conv2dGeom,
-) -> Result<(Tensor<T>, Vec<u32>)> {
+pub fn maxpool2d<T: Scalar>(input: &Tensor<T>, g: Conv2dGeom) -> Result<(Tensor<T>, Vec<u32>)> {
     let [n, c, h, w] = rank4(input, "maxpool2d input")?;
     let (kh, kw) = g.kernel;
     let (sh, sw) = g.stride;
@@ -545,7 +546,9 @@ mod tests {
         let (m, k) = (a.dims()[0], a.dims()[1]);
         let n = b.dims()[1];
         Tensor::from_shape_fn([m, n], |ix| {
-            (0..k).map(|kk| a.at(&[ix[0], kk]) * b.at(&[kk, ix[1]])).sum()
+            (0..k)
+                .map(|kk| a.at(&[ix[0], kk]) * b.at(&[kk, ix[1]]))
+                .sum()
         })
     }
 
@@ -553,14 +556,21 @@ mod tests {
         // Small deterministic LCG; avoids a rand dependency in unit tests.
         let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         Tensor::from_shape_fn([m, n], |_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }
 
     #[test]
     fn matmul_matches_naive() {
-        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 4, 5), (17, 9, 23), (64, 64, 64)] {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 4, 5),
+            (17, 9, 23),
+            (64, 64, 64),
+        ] {
             let a = rand_mat(m, k, 1);
             let b = rand_mat(k, n, 2);
             let c = matmul(&a, &b).unwrap();
@@ -616,9 +626,18 @@ mod tests {
         bias: &[f64],
         g: Conv2dGeom,
     ) -> Tensor<f64> {
-        let [n, c, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
-        let [f, _, kh, kw] =
-            [weight.dims()[0], weight.dims()[1], weight.dims()[2], weight.dims()[3]];
+        let [n, c, h, w] = [
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        ];
+        let [f, _, kh, kw] = [
+            weight.dims()[0],
+            weight.dims()[1],
+            weight.dims()[2],
+            weight.dims()[3],
+        ];
         let (oh, ow) = g.out_hw(h, w);
         Tensor::from_shape_fn([n, f, oh, ow], |ix| {
             let (nn, fi, oy, ox) = (ix[0], ix[1], ix[2], ix[3]);
@@ -644,8 +663,12 @@ mod tests {
     fn conv2d_matches_naive_with_padding_and_stride() {
         for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1), (3, 0)] {
             let g = Conv2dGeom::square(3, stride, pad);
-            let input = rand_mat(2 * 3 * 8 * 9, 1, 11).reshape([2, 3, 8, 9]).unwrap();
-            let weight = rand_mat(4 * 3 * 3 * 3, 1, 12).reshape([4, 3, 3, 3]).unwrap();
+            let input = rand_mat(2 * 3 * 8 * 9, 1, 11)
+                .reshape([2, 3, 8, 9])
+                .unwrap();
+            let weight = rand_mat(4 * 3 * 3 * 3, 1, 12)
+                .reshape([4, 3, 3, 3])
+                .unwrap();
             let bias = vec![0.1, -0.2, 0.3, 0.0];
             let got = conv2d(&input, &weight, &bias, g).unwrap();
             let expect = naive_conv2d(&input, &weight, &bias, g);
@@ -659,8 +682,10 @@ mod tests {
     #[test]
     fn conv2d_backward_matches_finite_differences() {
         let g = Conv2dGeom::square(3, 2, 1);
-        let input = rand_mat(1 * 2 * 6 * 6, 1, 21).reshape([1, 2, 6, 6]).unwrap();
-        let weight = rand_mat(3 * 2 * 3 * 3, 1, 22).reshape([3, 2, 3, 3]).unwrap();
+        let input = rand_mat(2 * 6 * 6, 1, 21).reshape([1, 2, 6, 6]).unwrap();
+        let weight = rand_mat(3 * 2 * 3 * 3, 1, 22)
+            .reshape([3, 2, 3, 3])
+            .unwrap();
         let bias = vec![0.0; 3];
         // Loss = sum(conv output); then dL/dout = 1 everywhere.
         let out = conv2d(&input, &weight, &bias, g).unwrap();

@@ -124,10 +124,10 @@ mod tests {
 
     #[test]
     fn math_helpers() {
-        assert!((2.0f32.sqrt() - 1.41421356).abs() < 1e-6);
+        assert!((2.0f32.sqrt() - std::f32::consts::SQRT_2).abs() < 1e-6);
         assert_eq!((-3.0f64).abs(), 3.0);
-        assert_eq!(1.0f32.maximum(2.0), 2.0);
-        assert_eq!(1.0f32.minimum(2.0), 1.0);
+        assert_eq!(Scalar::maximum(1.0f32, 2.0), 2.0);
+        assert_eq!(Scalar::minimum(1.0f32, 2.0), 1.0);
         assert!(f32::ONE.is_finite());
         assert!(!(<f32 as Scalar>::ONE / <f32 as Scalar>::ZERO).is_finite());
     }

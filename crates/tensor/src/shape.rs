@@ -28,7 +28,10 @@ impl Shape {
         self.0
             .get(axis)
             .copied()
-            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.0.len() })
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.0.len(),
+            })
     }
 
     /// Total number of elements.
@@ -52,7 +55,11 @@ impl Shape {
         let strides = self.strides();
         let mut off = 0usize;
         for (k, &i) in index.iter().enumerate() {
-            debug_assert!(i < self.0[k], "index {i} out of bound {} on axis {k}", self.0[k]);
+            debug_assert!(
+                i < self.0[k],
+                "index {i} out of bound {} on axis {k}",
+                self.0[k]
+            );
             off += i * strides[k];
         }
         off

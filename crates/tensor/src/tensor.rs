@@ -28,13 +28,19 @@ impl<T: Scalar> Tensor<T> {
     /// All-zeros tensor.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        Tensor { data: vec![T::ZERO; shape.numel()], shape }
+        Tensor {
+            data: vec![T::ZERO; shape.numel()],
+            shape,
+        }
     }
 
     /// Tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: T) -> Self {
         let shape = shape.into();
-        Tensor { data: vec![value; shape.numel()], shape }
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
     }
 
     /// Build element-by-element from a function of the multi-index.
@@ -95,7 +101,10 @@ impl<T: Scalar> Tensor<T> {
                 to: shape.dims().to_vec(),
             });
         }
-        Ok(Tensor { data: self.data, shape })
+        Ok(Tensor {
+            data: self.data,
+            shape,
+        })
     }
 
     /// Collapse to rank 2 `[rows, cols]` where `cols` is the product of the
@@ -103,7 +112,10 @@ impl<T: Scalar> Tensor<T> {
     pub fn flatten_to_2d(self, keep_last: usize) -> Result<Self> {
         let rank = self.rank();
         if keep_last > rank {
-            return Err(TensorError::AxisOutOfRange { axis: keep_last, rank });
+            return Err(TensorError::AxisOutOfRange {
+                axis: keep_last,
+                rank,
+            });
         }
         let cols: usize = self.dims()[rank - keep_last..].iter().product();
         let rows: usize = self.dims()[..rank - keep_last].iter().product();
@@ -204,7 +216,10 @@ impl<T: Scalar> Tensor<T> {
                 data.extend_from_slice(&p.data[start..start + run]);
             }
         }
-        Ok(Tensor { data, shape: out_shape })
+        Ok(Tensor {
+            data,
+            shape: out_shape,
+        })
     }
 
     /// Max |a - b| over all elements; errors on shape mismatch.

@@ -75,13 +75,28 @@ impl<'a, T: Scalar> View<'a, T> {
     pub fn full(data: &'a [T], shape: Shape) -> Self {
         debug_assert_eq!(data.len(), shape.numel());
         let strides = shape.strides();
-        View { data, offset: 0, shape, strides }
+        View {
+            data,
+            offset: 0,
+            shape,
+            strides,
+        }
     }
 
     /// Arbitrary strided view; validated against the buffer length.
-    pub fn strided(data: &'a [T], offset: usize, shape: Shape, strides: Vec<usize>) -> Result<Self> {
+    pub fn strided(
+        data: &'a [T],
+        offset: usize,
+        shape: Shape,
+        strides: Vec<usize>,
+    ) -> Result<Self> {
         validate(data.len(), offset, &shape, &strides)?;
-        Ok(View { data, offset, shape, strides })
+        Ok(View {
+            data,
+            offset,
+            shape,
+            strides,
+        })
     }
 
     pub fn shape(&self) -> &Shape {
@@ -174,7 +189,12 @@ impl<'a, T: Scalar> ViewMut<'a, T> {
     pub fn full(data: &'a mut [T], shape: Shape) -> Self {
         debug_assert_eq!(data.len(), shape.numel());
         let strides = shape.strides();
-        ViewMut { data, offset: 0, shape, strides }
+        ViewMut {
+            data,
+            offset: 0,
+            shape,
+            strides,
+        }
     }
 
     /// Arbitrary strided mutable view; validated against the buffer length.
@@ -185,7 +205,12 @@ impl<'a, T: Scalar> ViewMut<'a, T> {
         strides: Vec<usize>,
     ) -> Result<Self> {
         validate(data.len(), offset, &shape, &strides)?;
-        Ok(ViewMut { data, offset, shape, strides })
+        Ok(ViewMut {
+            data,
+            offset,
+            shape,
+            strides,
+        })
     }
 
     pub fn shape(&self) -> &Shape {

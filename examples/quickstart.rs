@@ -68,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out.finish()?;
     }
     region.flush_db()?;
-    println!("  collected {} bytes into {}", region.db_size_bytes(), db.display());
+    println!(
+        "  collected {} bytes into {}",
+        region.db_size_bytes(),
+        db.display()
+    );
 
     // 3. Train (the "ML engineer" step): load the database, fit a tiny MLP
     //    from the 5 stencil features to the next value, save as .hml.
@@ -94,7 +98,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let hist = hpac_ml::nn::train(&mut net, &train_n, Some(&val_n), &cfg)?;
     hpac_ml::nn::serialize::save_model(&model, &spec, &mut net, Some(&norm), None)?;
-    println!("  validation MSE: {:.6} ({} parameters)", hist.best_val, spec.param_count());
+    println!(
+        "  validation MSE: {:.6} ({} parameters)",
+        hist.best_val,
+        spec.param_count()
+    );
 
     // 4. Deploy: the same region, surrogate on. The accurate closure is
     //    skipped; the model output is scattered back into `tnew`.

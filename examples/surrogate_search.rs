@@ -62,7 +62,11 @@ impl SearchProblem for TinyProblem {
     }
 
     fn train_eval(&self, spec: &ModelSpec, hyper: &Config) -> (f64, f64) {
-        let base = TrainConfig { epochs: 25, early_stop_patience: 5, ..Default::default() };
+        let base = TrainConfig {
+            epochs: 25,
+            early_stop_patience: 5,
+            ..Default::default()
+        };
         let tc = hpac_ml::search::spaces::train_config_from(hyper, &base);
         let mut model = match spec.build(11) {
             Ok(m) => m,
@@ -82,7 +86,12 @@ impl SearchProblem for TinyProblem {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("nested BO over MLP architectures (outer) and hyperparameters (inner)...\n");
     let problem = TinyProblem::new();
-    let cfg = NestedConfig { outer_iters: 8, inner_iters: 4, patience: 4, seed: 3 };
+    let cfg = NestedConfig {
+        outer_iters: 8,
+        inner_iters: 4,
+        patience: 4,
+        seed: 3,
+    };
     let candidates = nested_search(&problem, &cfg)?;
 
     println!(
@@ -92,7 +101,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for c in &candidates {
         println!(
             "{:>28} {:>10} {:>12.5} {:>10.2}ms",
-            c.spec.summary().split(" -> ").skip(1).collect::<Vec<_>>().join("->"),
+            c.spec
+                .summary()
+                .split(" -> ")
+                .skip(1)
+                .collect::<Vec<_>>()
+                .join("->"),
             c.params,
             c.val_error,
             c.latency_s * 1e3

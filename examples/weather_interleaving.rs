@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // they already exist).
     let model_path = cfg.model_path(bench.name());
     if !model_path.exists() {
-        println!("collecting {} timestep pairs and training the CNN...", wc.collect_steps);
+        println!(
+            "collecting {} timestep pairs and training the CNN...",
+            wc.collect_steps
+        );
         let (_c, train, _e) = bench.pipeline(&cfg)?;
         println!(
             "trained: val MSE {:.5}, {} parameters\n",
@@ -71,8 +74,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nafter {horizon} steps beyond the training horizon:");
-    println!("  all-surrogate RMSE vs accurate: {:.4}", all_surrogate.rmse_vs(&reference));
-    println!("  1:1 interleaved RMSE vs accurate: {:.4}", mixed.rmse_vs(&reference));
+    println!(
+        "  all-surrogate RMSE vs accurate: {:.4}",
+        all_surrogate.rmse_vs(&reference)
+    );
+    println!(
+        "  1:1 interleaved RMSE vs accurate: {:.4}",
+        mixed.rmse_vs(&reference)
+    );
     println!(
         "\nThe paper's Observation 4: surrogate error propagates across \
          auto-regressive steps; interleaving accurate evaluations (the if/predicated \

@@ -1,0 +1,22 @@
+//! Umbrella crate for the HPAC-ML reproduction.
+//!
+//! Re-exports every subsystem crate under a short module name so examples
+//! and downstream users can depend on one crate:
+//!
+//! ```no_run
+//! use hpac_ml::tensor::Tensor;
+//!
+//! let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]).unwrap();
+//! assert_eq!(t.dims(), &[2, 2]);
+//! ```
+
+pub use hpacml_apps as apps;
+pub use hpacml_bench as bench;
+pub use hpacml_bridge as bridge;
+pub use hpacml_core as core;
+pub use hpacml_directive as directive;
+pub use hpacml_nn as nn;
+pub use hpacml_par as par;
+pub use hpacml_search as search;
+pub use hpacml_store as store;
+pub use hpacml_tensor as tensor;

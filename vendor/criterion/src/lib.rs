@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the measurement subset the `hpacml-bench` benches use: groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`, the
+//! `criterion_group!` / `criterion_main!` macros and a `Bencher` whose
+//! `iter` auto-scales iteration counts to the configured sample size. Output
+//! is one human-readable line per benchmark (mean ± spread); there is no
+//! HTML report or statistical regression machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    /// Substring filter from the command line (cargo bench passes the free
+    /// argument through).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn with_filter(mut self, f: Option<String>) -> Self {
+        self.filter = f;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            filter: self.filter.clone(),
+        }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// Units processed per iteration, reported as a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    filter: Option<String>,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        if let Some(filt) = &self.filter {
+            if !full.contains(filt.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            target: self.sample_size,
+        };
+        f(&mut b);
+        report(&full, &b.samples, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting `sample_size` samples. Iterations per
+    /// sample auto-scale so very fast routines still get resolvable timings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate: aim for >= 20us per sample.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_micros(20) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        for _ in 0..self.target {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let lo = sorted[0];
+    let hi = sorted[sorted.len() - 1];
+    let rate = throughput.map(|t| {
+        let per_sec = |units: u64| units as f64 / median.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!("  {:.3} Melem/s", per_sec(n) / 1e6),
+            Throughput::Bytes(n) => format!("  {:.3} MiB/s", per_sec(n) / (1024.0 * 1024.0)),
+        }
+    });
+    println!(
+        "{name:<50} time: [{} {} {}]{}",
+        human(lo),
+        human(median),
+        human(hi),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declare a group of benchmark functions, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(filter: Option<String>) {
+            $(
+                {
+                    let mut c: $crate::Criterion = $cfg;
+                    c = c.with_filter(filter.clone());
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point: run each group, passing through an optional substring filter.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; treat the first non-flag
+            // argument as a name filter, like criterion does.
+            let filter = std::env::args()
+                .skip(1)
+                .find(|a| !a.starts_with('-'));
+            $( $group(filter.clone()); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The container image has no registry access, so this crate provides the
+//! subset of the real API the workspace uses — `Mutex`, `RwLock` and
+//! `Condvar` with parking_lot's non-poisoning semantics — implemented over
+//! `std::sync`. Poisoned std locks are recovered transparently, matching
+//! parking_lot's behavior of not propagating panics through locks.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync as ss;
+
+/// A mutual-exclusion primitive. `lock` returns the guard directly (no
+/// poisoning `Result`), like the real parking_lot.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: ss::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: ss::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(ss::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(
+                self.inner
+                    .lock()
+                    .unwrap_or_else(ss::PoisonError::into_inner),
+            ),
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(ss::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(ss::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(ss::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]. The inner `Option` is only ever `None`
+/// transiently inside [`Condvar::wait`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<ss::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken during wait")
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`]; `wait` takes the guard by
+/// `&mut`, parking_lot style.
+#[derive(Default)]
+pub struct Condvar {
+    inner: ss::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            inner: ss::Condvar::new(),
+        }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard taken during wait");
+        guard.inner = Some(
+            self.inner
+                .wait(g)
+                .unwrap_or_else(ss::PoisonError::into_inner),
+        );
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// A reader-writer lock with non-poisoning guards.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: ss::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: ss::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(ss::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self
+                .inner
+                .read()
+                .unwrap_or_else(ss::PoisonError::into_inner),
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self
+                .inner
+                .write()
+                .unwrap_or_else(ss::PoisonError::into_inner),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(ss::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: ss::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: ss::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let cv = std::sync::Arc::new(Condvar::new());
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let t = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            while *g == 0 {
+                cv2.wait(&mut g);
+            }
+            *g
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        *m.lock() = 7;
+        cv.notify_all();
+        assert_eq!(t.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(r1.len() + r2.len(), 6);
+        }
+        l.write().push(4);
+        assert_eq!(l.read().len(), 4);
+    }
+}
