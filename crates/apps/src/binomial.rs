@@ -11,7 +11,6 @@
 use crate::common::*;
 use crate::metrics;
 use hpacml_core::Region;
-use hpacml_directive::sema::Bindings;
 use hpacml_nn::spec::{Activation, ModelSpec};
 use hpacml_nn::TrainConfig;
 use hpacml_tensor::Tensor;
@@ -175,23 +174,26 @@ fn run_annotated(
     use_model: bool,
 ) -> AppResult<Vec<f32>> {
     let mut prices = vec![0.0f32; batch.n];
+    // Compile the region once per chunk shape (full chunks plus at most one
+    // tail) and reuse the sessions across the whole sweep.
+    let mut sessions = ChunkSessions::new(region, "opts", FEATURES, "prices", chunk, batch.n)?;
     let mut start = 0usize;
     while start < batch.n {
         let end = (start + chunk).min(batch.n);
         let n = end - start;
-        let binds = Bindings::new().with("N", n as i64);
+        let session = sessions.for_len(n)?;
         let opts = &batch.data[start * FEATURES..end * FEATURES];
         let out_slice = &mut prices[start..end];
         let sub = OptionBatch {
             data: opts.to_vec(),
             n,
         };
-        let mut outcome = region
-            .invoke(&binds)
+        let mut outcome = session
+            .invoke()
             .use_surrogate(use_model)
-            .input("opts", opts, &[n * FEATURES])?
+            .input("opts", opts)?
             .run(|| price_batch(&sub, steps, out_slice))?;
-        outcome.output("prices", out_slice, &[n])?;
+        outcome.output("prices", out_slice)?;
         outcome.finish()?;
         start = end;
     }

@@ -16,7 +16,6 @@ use crate::common::*;
 use crate::metrics;
 use dates::{Date, DayCount};
 use hpacml_core::Region;
-use hpacml_directive::sema::Bindings;
 use hpacml_nn::spec::{Activation, ModelSpec};
 use hpacml_nn::TrainConfig;
 use hpacml_tensor::Tensor;
@@ -263,23 +262,26 @@ fn run_annotated(
     use_model: bool,
 ) -> AppResult<Vec<f32>> {
     let mut out = vec![0.0f32; batch.n];
+    // Compile the region once per chunk shape (full chunks plus at most one
+    // tail) and reuse the sessions across the whole sweep.
+    let mut sessions = ChunkSessions::new(region, "bonds", FEATURES, "accrued", chunk, batch.n)?;
     let mut start = 0usize;
     while start < batch.n {
         let end = (start + chunk).min(batch.n);
         let n = end - start;
-        let binds = Bindings::new().with("N", n as i64);
+        let session = sessions.for_len(n)?;
         let feats = &batch.data[start * FEATURES..end * FEATURES];
         let out_slice = &mut out[start..end];
         let sub = BondBatch {
             data: feats.to_vec(),
             n,
         };
-        let mut outcome = region
-            .invoke(&binds)
+        let mut outcome = session
+            .invoke()
             .use_surrogate(use_model)
-            .input("bonds", feats, &[n * FEATURES])?
+            .input("bonds", feats)?
             .run(|| bonds_kernel(&sub, out_slice))?;
-        outcome.output("accrued", out_slice, &[n])?;
+        outcome.output("accrued", out_slice)?;
         outcome.finish()?;
         start = end;
     }

@@ -2,7 +2,8 @@
 //! drives, scale presets, and the surrogate-training helper every app reuses
 //! (the "ML engineer" role in the paper's workflow).
 
-use hpacml_core::RegionStats;
+use hpacml_core::{Region, RegionStats, Session};
+use hpacml_directive::sema::Bindings;
 use hpacml_nn::data::NormAxis;
 use hpacml_nn::optim::Optimizer;
 use hpacml_nn::{InMemoryDataset, ModelSpec, Normalizer, TrainConfig};
@@ -217,6 +218,67 @@ pub trait Benchmark: Send + Sync {
             early_stop_patience: 10,
             ..Default::default()
         }
+    }
+}
+
+/// Compiled sessions for a chunked 1-D sweep (the MiniBUDE/Binomial/Bonds
+/// pattern): each invocation covers `n` sweep elements bound as `N`, with a
+/// flat `[n * feat]` input array and an `[n]` output array. Holds one session
+/// for the full chunk size and lazily builds one more for the tail, so the
+/// whole sweep is served by at most two compilations.
+pub struct ChunkSessions<'r> {
+    region: &'r Region,
+    input: String,
+    feat: usize,
+    output: String,
+    full_n: usize,
+    full: Session<'r>,
+    tail: Option<(usize, Session<'r>)>,
+}
+
+impl<'r> ChunkSessions<'r> {
+    pub fn new(
+        region: &'r Region,
+        input: &str,
+        feat: usize,
+        output: &str,
+        chunk: usize,
+        total: usize,
+    ) -> AppResult<Self> {
+        let full_n = chunk.min(total).max(1);
+        let full = Self::build(region, input, feat, output, full_n)?;
+        Ok(ChunkSessions {
+            region,
+            input: input.to_string(),
+            feat,
+            output: output.to_string(),
+            full_n,
+            full,
+            tail: None,
+        })
+    }
+
+    fn build(
+        region: &'r Region,
+        input: &str,
+        feat: usize,
+        output: &str,
+        n: usize,
+    ) -> AppResult<Session<'r>> {
+        let binds = Bindings::new().with("N", n as i64);
+        Ok(region.session(&binds, &[(input, &[n * feat]), (output, &[n])])?)
+    }
+
+    /// The session compiled for chunks of `n` sweep elements.
+    pub fn for_len(&mut self, n: usize) -> AppResult<&Session<'r>> {
+        if n == self.full_n {
+            return Ok(&self.full);
+        }
+        if self.tail.as_ref().map(|(tn, _)| *tn) != Some(n) {
+            let session = Self::build(self.region, &self.input, self.feat, &self.output, n)?;
+            self.tail = Some((n, session));
+        }
+        Ok(&self.tail.as_ref().expect("tail session built above").1)
     }
 }
 

@@ -15,7 +15,6 @@
 use crate::common::*;
 use crate::metrics;
 use hpacml_core::Region;
-use hpacml_directive::sema::Bindings;
 use hpacml_nn::spec::{Activation, ModelSpec};
 use hpacml_nn::TrainConfig;
 use hpacml_tensor::Tensor;
@@ -249,23 +248,26 @@ fn run_annotated(
     use_model: bool,
 ) -> AppResult<Vec<f32>> {
     let mut out = vec![0.0f32; poses.n];
+    // Compile the region once per chunk shape (full chunks plus at most one
+    // tail) and reuse the sessions across the whole sweep.
+    let mut sessions = ChunkSessions::new(region, "poses", POSE_DOF, "energies", chunk, poses.n)?;
     let mut start = 0usize;
     while start < poses.n {
         let end = (start + chunk).min(poses.n);
         let n = end - start;
-        let binds = Bindings::new().with("N", n as i64);
+        let session = sessions.for_len(n)?;
         let pose_slice = &poses.data[start * POSE_DOF..end * POSE_DOF];
         let out_slice = &mut out[start..end];
         let sub = PoseBatch {
             data: pose_slice.to_vec(),
             n,
         };
-        let mut outcome = region
-            .invoke(&binds)
+        let mut outcome = session
+            .invoke()
             .use_surrogate(use_model)
-            .input("poses", pose_slice, &[n * POSE_DOF])?
+            .input("poses", pose_slice)?
             .run(|| energies(deck, &sub, out_slice))?;
-        outcome.output("energies", out_slice, &[n])?;
+        outcome.output("energies", out_slice)?;
         outcome.finish()?;
         start = end;
     }

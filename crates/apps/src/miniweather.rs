@@ -18,7 +18,7 @@
 
 use crate::common::*;
 use crate::metrics;
-use hpacml_core::Region;
+use hpacml_core::{Region, Session};
 use hpacml_directive::sema::Bindings;
 use hpacml_nn::spec::{LayerSpec, ModelSpec};
 use hpacml_nn::TrainConfig;
@@ -441,30 +441,45 @@ fn build_region(db: Option<&Path>, model: Option<&Path>) -> AppResult<Region> {
     Ok(builder.build()?)
 }
 
-/// Advance `sim` one step through the region: accurate + collected when
-/// `use_model` is false, surrogate when true.
-pub fn region_step(region: &Region, sim: &mut Sim, use_model: bool) -> AppResult<()> {
-    let (nz, nx) = (sim.nz, sim.nx);
-    let binds = Bindings::new().with("NZ", nz as i64).with("NX", nx as i64);
+/// Compile the region into a reusable [`Session`] for this simulation's
+/// grid shape — the compile-once step of the hot auto-regressive loop.
+pub fn weather_session<'r>(region: &'r Region, sim: &Sim) -> AppResult<Session<'r>> {
+    let binds = Bindings::new()
+        .with("NZ", sim.nz as i64)
+        .with("NX", sim.nx as i64);
+    Ok(region.session(&binds, &[("state", &[NUM_VARS, sim.nz, sim.nx])])?)
+}
+
+/// Advance `sim` one step through a compiled session: accurate + collected
+/// when `use_model` is false, surrogate when true.
+pub fn session_step(session: &Session<'_>, sim: &mut Sim, use_model: bool) -> AppResult<()> {
     let mut interior = sim.interior();
     // `inout`: gather the pre-state, run (or skip) the accurate step, then
     // scatter/gather the post-state from the same array.
     let pre = interior.clone();
-    let mut outcome = region
-        .invoke(&binds)
+    let mut outcome = session
+        .invoke()
         .use_surrogate(use_model)
-        .input("state", &pre, &[NUM_VARS, nz, nx])?
+        .input("state", &pre)?
         .run(|| {
             sim.step();
             interior = sim.interior();
         })?;
-    outcome.output("state", &mut interior, &[NUM_VARS, nz, nx])?;
+    outcome.output("state", &mut interior)?;
     outcome.finish()?;
     if use_model {
         sim.set_interior(&interior);
         sim.steps_taken += 1;
     }
     Ok(())
+}
+
+/// Advance `sim` one step through the region (one-shot convenience; the
+/// session core is cached on the region, but hot loops should hold a
+/// [`weather_session`] and call [`session_step`] directly).
+pub fn region_step(region: &Region, sim: &mut Sim, use_model: bool) -> AppResult<()> {
+    let session = weather_session(region, sim)?;
+    session_step(&session, sim, use_model)
 }
 
 /// The MiniWeather benchmark.
@@ -536,9 +551,10 @@ impl Benchmark for MiniWeather {
         let _ = std::fs::remove_file(&db);
         let region = build_region(Some(&db), None)?;
         let mut sim = Sim::new(wc.nx, wc.nz);
+        let session = weather_session(&region, &sim)?;
         let t0 = Instant::now();
         for _ in 0..wc.collect_steps {
-            region_step(&region, &mut sim, false)?;
+            session_step(&session, &mut sim, false)?;
         }
         let collect_runtime = t0.elapsed();
         region.flush_db()?;
@@ -608,12 +624,14 @@ impl Benchmark for MiniWeather {
         }
         let accurate_time = t0.elapsed();
 
-        // Surrogate: auto-regressive CNN for the whole horizon.
+        // Surrogate: auto-regressive CNN for the whole horizon, through a
+        // session compiled once outside the timestep loop.
         let region = build_region(None, Some(model_path))?;
         let mut surrogate = base.clone();
+        let session = weather_session(&region, &surrogate)?;
         let t0 = Instant::now();
         for _ in 0..wc.eval_steps {
-            region_step(&region, &mut surrogate, true)?;
+            session_step(&session, &mut surrogate, true)?;
         }
         let surrogate_time = t0.elapsed();
 

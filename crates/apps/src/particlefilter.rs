@@ -18,6 +18,7 @@
 
 use crate::common::*;
 use hpacml_core::Region;
+use hpacml_core::Session;
 use hpacml_directive::sema::Bindings;
 use hpacml_nn::spec::{LayerSpec, ModelSpec};
 use hpacml_nn::TrainConfig;
@@ -342,6 +343,8 @@ impl Benchmark for ParticleFilter {
         let binds = Bindings::new()
             .with("H", pc.h as i64)
             .with("W", pc.w as i64);
+        // One compiled session serves every frame of every video.
+        let session = region.session(&binds, &[("frame", &[pc.h, pc.w]), ("loc", &[2])])?;
         let t0 = Instant::now();
         let mut rows = 0usize;
         for (v, video) in videos.iter().enumerate() {
@@ -350,16 +353,16 @@ impl Benchmark for ParticleFilter {
             let estimates = particle_filter(video, pc.particles, cfg.seed.wrapping_add(v as u64));
             for (f, estimate) in estimates.iter().enumerate().take(video.frames) {
                 let mut loc = [video.truth[f].0, video.truth[f].1];
-                let mut outcome = region
-                    .invoke(&binds)
+                let mut outcome = session
+                    .invoke()
                     .use_surrogate(false)
-                    .input("frame", video.frame(f), &[pc.h, pc.w])?
+                    .input("frame", video.frame(f))?
                     .run(|| {
                         // Accurate path: the app's own estimate (kept for the
                         // QoI); ground truth is what gets collected.
                         std::hint::black_box(*estimate);
                     })?;
-                outcome.output("loc", &mut loc, &[2])?;
+                outcome.output("loc", &mut loc)?;
                 outcome.finish()?;
                 rows += 1;
             }
@@ -466,8 +469,11 @@ impl Benchmark for ParticleFilter {
         let accurate_time = accurate_total / pc.eval_reps;
         std::hint::black_box(&pf_estimates);
 
-        // Surrogate path: CNN per frame through the region.
+        // Surrogate path: CNN per frame through a session compiled once
+        // outside the frame loop.
         let region = build_region(None, Some(model_path))?;
+        let session: Session<'_> =
+            region.session(&binds, &[("frame", &[pc.h, pc.w]), ("loc", &[2])])?;
         let mut cnn_estimates: Vec<(f32, f32)> = Vec::new();
         let mut surrogate_total = Duration::ZERO;
         for _ in 0..pc.eval_reps {
@@ -476,12 +482,12 @@ impl Benchmark for ParticleFilter {
             let t0 = Instant::now();
             for f in 0..video.frames {
                 let mut loc = [0.0f32; 2];
-                let mut outcome = region
-                    .invoke(&binds)
+                let mut outcome = session
+                    .invoke()
                     .use_surrogate(true)
-                    .input("frame", video.frame(f), &[pc.h, pc.w])?
+                    .input("frame", video.frame(f))?
                     .run(|| unreachable!("surrogate path"))?;
-                outcome.output("loc", &mut loc, &[2])?;
+                outcome.output("loc", &mut loc)?;
                 outcome.finish()?;
                 cnn_estimates.push((loc[0], loc[1]));
             }

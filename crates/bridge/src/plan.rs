@@ -3,8 +3,9 @@
 //! [`compile`] runs steps 1–3 once per (functor, map, array-shape, bindings)
 //! combination; the resulting [`CompiledMap`] is reused on every region
 //! invocation — `gather` for `map(to: ...)`, `scatter` for `map(from: ...)`.
+//! Repeat invocations go through [`crate::cache::PlanCache`], which skips
+//! compilation entirely for a previously seen key.
 
-use crate::compose::{compose, decompose};
 use crate::extract::extract;
 use crate::resolve::{resolve_slice, resolve_sweep, ResolvedView};
 use crate::wrap::{to_view_parts, wrap, wrap_mut};
@@ -27,6 +28,11 @@ pub struct CompiledMap {
     pub lhs_shape: Vec<usize>,
     /// Elements contributed per sweep point by each RHS slice.
     pub elem_counts: Vec<usize>,
+    /// Feature-axis start offset of each RHS slice inside one sweep row
+    /// (prefix sums of `elem_counts`).
+    col_offsets: Vec<usize>,
+    /// Total features per sweep point (sum of `elem_counts`).
+    feat_total: usize,
     views: Vec<ResolvedView>,
 }
 
@@ -56,34 +62,57 @@ impl CompiledMap {
     /// Memory concretization, application → tensor space: wrap each RHS
     /// slice, gather, and compose into the LHS tensor.
     pub fn gather(&self, data: &[f32]) -> Result<Tensor> {
+        let mut out = Tensor::zeros([0usize]);
+        self.gather_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`CompiledMap::gather`] into a caller-owned tensor, resized in place.
+    ///
+    /// Each RHS slice is gathered *directly* into its interleaved position in
+    /// the `[sweep..., features]` LHS layout — no intermediate per-slice
+    /// tensors, and no heap allocation once `out` has capacity. This is the
+    /// hot gather path of a compiled [`Session`](https://docs.rs/hpacml-core).
+    pub fn gather_into(&self, data: &[f32], out: &mut Tensor) -> Result<()> {
         self.check_buffer(data.len())?;
-        let parts = self
+        out.resize(&self.lhs_shape);
+        let od = out.data_mut();
+        for ((rv, &elems), &col) in self
             .views
             .iter()
-            .map(|rv| Ok(wrap(rv, data)?.gather()))
-            .collect::<Result<Vec<_>>>()?;
-        compose(
-            &parts,
-            &self.sweep_counts,
-            &self.elem_counts,
-            &self.lhs_shape,
-        )
+            .zip(&self.elem_counts)
+            .zip(&self.col_offsets)
+        {
+            wrap(rv, data)?.gather_into_chunks(&mut od[col..], elems, self.feat_total);
+        }
+        Ok(())
     }
 
     /// Memory concretization, tensor space → application: split the LHS
     /// tensor per slice and scatter through the mutable views.
     pub fn scatter(&self, lhs: &Tensor, data: &mut [f32]) -> Result<()> {
+        self.scatter_slice(lhs.data(), data)
+    }
+
+    /// [`CompiledMap::scatter`] from a borrowed flat slice in LHS row-major
+    /// layout — the form the runtime uses to scatter a chunk of the model
+    /// output without copying it into a tensor first. Allocation-free.
+    pub fn scatter_slice(&self, lhs: &[f32], data: &mut [f32]) -> Result<()> {
         self.check_buffer(data.len())?;
-        if lhs.numel() != self.numel() {
+        if lhs.len() != self.numel() {
             return Err(BridgeError::Plan(format!(
                 "scatter: tensor has {} elements, map produces {}",
-                lhs.numel(),
+                lhs.len(),
                 self.numel()
             )));
         }
-        let chunks = decompose(lhs, &self.sweep_counts, &self.elem_counts)?;
-        for (rv, chunk) in self.views.iter().zip(&chunks) {
-            wrap_mut(rv, data)?.scatter_from(chunk);
+        for ((rv, &elems), &col) in self
+            .views
+            .iter()
+            .zip(&self.elem_counts)
+            .zip(&self.col_offsets)
+        {
+            wrap_mut(rv, data)?.scatter_from_chunks(&lhs[col..], elems, self.feat_total);
         }
         Ok(())
     }
@@ -141,6 +170,17 @@ pub fn compile(
         });
     }
 
+    let col_offsets: Vec<usize> = info
+        .rhs_elem_counts
+        .iter()
+        .scan(0usize, |acc, &c| {
+            let off = *acc;
+            *acc += c;
+            Some(off)
+        })
+        .collect();
+    let feat_total: usize = info.rhs_elem_counts.iter().sum();
+
     Ok(CompiledMap {
         direction: map.direction,
         array: map.target.array.clone(),
@@ -148,6 +188,8 @@ pub fn compile(
         sweep_counts,
         lhs_shape,
         elem_counts: info.rhs_elem_counts.clone(),
+        col_offsets,
+        feat_total,
         views,
     })
 }

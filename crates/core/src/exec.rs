@@ -1,12 +1,24 @@
 //! Invocation-time execution control: the accurate path, the surrogate path,
 //! data collection and the per-phase timers.
+//!
+//! This is the *one-shot* API: dims travel with every call and the compiled
+//! state (bridge plans, model handle, input-assembly layout) is fetched from
+//! the region's caches on each invocation. It is a thin wrapper over the
+//! same [`SessionCore`](crate::session) machinery that backs
+//! [`Region::session`](crate::Region::session); hot loops should compile a
+//! [`Session`](crate::Session) once and skip the per-call lookups entirely.
+//!
+//! Model-input assembly concatenates the gathered inputs in `in()`/`inout()`
+//! **declaration order**, regardless of the order `input(...)` calls arrive
+//! in — the same canonical layout the compiled [`Session`](crate::Session)
+//! path uses, so the two APIs feed byte-identical batches to the model.
 
 use crate::region::Region;
+use crate::session::ScratchGuard;
 use crate::timing::timed;
 use crate::{CoreError, Result};
 use hpacml_directive::ast::{Direction, MlMode};
 use hpacml_directive::sema::Bindings;
-use hpacml_nn::InferenceEngine;
 use hpacml_tensor::Tensor;
 
 /// Which execution path an invocation took.
@@ -19,13 +31,17 @@ pub enum PathTaken {
 }
 
 impl Region {
-    /// Begin an invocation of this region with concrete integer bindings.
+    /// Begin a one-shot invocation of this region with concrete integer
+    /// bindings. Repeat invocations with the same bindings and shapes reuse
+    /// the compiled plans, model handle and assembly layout through the
+    /// region's caches; see [`Region::session`] for the zero-lookup variant.
     pub fn invoke(&self, binds: &Bindings) -> Invocation<'_> {
         Invocation {
             region: self,
             binds: binds.clone(),
             surrogate_override: None,
-            inputs: Vec::new(),
+            scratch: ScratchGuard::take(),
+            supplied: vec![None; self.input_order().len()],
             to_ns: 0,
         }
     }
@@ -36,7 +52,10 @@ pub struct Invocation<'r> {
     region: &'r Region,
     binds: Bindings,
     surrogate_override: Option<bool>,
-    inputs: Vec<(String, Tensor)>,
+    scratch: ScratchGuard,
+    /// Per *declared* input: the supplied dims, or `None` while missing.
+    /// Gathered tensors live at the same declared index in the scratch.
+    supplied: Vec<Option<Vec<usize>>>,
     to_ns: u64,
 }
 
@@ -51,13 +70,18 @@ impl<'r> Invocation<'r> {
 
     /// Gather one input array into tensor space (steps 1–2 of Fig. 1).
     pub fn input(mut self, name: &str, data: &[f32], dims: &[usize]) -> Result<Self> {
-        if !self.region.input_order().iter().any(|n| n == name) {
-            return Err(CoreError::Region(format!(
-                "region `{}`: `{name}` is not declared in(...)/inout(...)",
-                self.region.name()
-            )));
-        }
-        if self.inputs.iter().any(|(n, _)| n == name) {
+        let index = self
+            .region
+            .input_order()
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| {
+                CoreError::Region(format!(
+                    "region `{}`: `{name}` is not declared in(...)/inout(...)",
+                    self.region.name()
+                ))
+            })?;
+        if self.supplied[index].is_some() {
             return Err(CoreError::Region(format!(
                 "region `{}`: input `{name}` supplied twice",
                 self.region.name()
@@ -66,9 +90,11 @@ impl<'r> Invocation<'r> {
         let plan = self
             .region
             .plan_for(name, Direction::To, dims, &self.binds)?;
-        let (tensor, ns) = timed(|| plan.gather(data));
+        self.scratch.ensure_inputs(self.supplied.len());
+        let (res, ns) = timed(|| plan.gather_into(data, &mut self.scratch.gathered[index]));
+        res?;
         self.to_ns += ns;
-        self.inputs.push((name.to_string(), tensor?));
+        self.supplied[index] = Some(dims.to_vec());
         Ok(self)
     }
 
@@ -93,70 +119,33 @@ impl<'r> Invocation<'r> {
         })
     }
 
-    /// Assemble the model input batch from the gathered tensors: each input
-    /// is flattened to `[sweep, features]`, inputs are concatenated along the
-    /// feature axis, and the batch is reshaped to the model's declared
-    /// per-sample input shape.
-    fn model_input(&self, sample_shape: &[usize]) -> Result<Tensor> {
-        if self.inputs.is_empty() {
-            return Err(CoreError::Region(format!(
-                "region `{}`: surrogate path needs gathered inputs",
-                self.region.name()
-            )));
-        }
-        let flat: Vec<Tensor> = self
-            .inputs
-            .iter()
-            .map(|(_, t)| t.clone().flatten_to_2d(1))
-            .collect::<std::result::Result<_, _>>()?;
-        let joined = if flat.len() == 1 {
-            flat.into_iter().next().expect("one element")
-        } else {
-            let rows = flat[0].dims()[0];
-            for t in &flat {
-                if t.dims()[0] != rows {
-                    return Err(CoreError::Region(format!(
-                        "region `{}`: inputs disagree on sweep size ({} vs {rows})",
-                        self.region.name(),
-                        t.dims()[0]
-                    )));
-                }
-            }
-            let refs: Vec<&Tensor> = flat.iter().collect();
-            Tensor::concat(&refs, 1)?
-        };
-        let per_sample: usize = sample_shape.iter().product::<usize>().max(1);
-        if joined.numel() % per_sample != 0 {
-            return Err(CoreError::Region(format!(
-                "region `{}`: gathered {} elements do not tile the model input shape {sample_shape:?}",
-                self.region.name(),
-                joined.numel()
-            )));
-        }
-        let batch = joined.numel() / per_sample;
-        let mut dims = vec![batch];
-        dims.extend_from_slice(sample_shape);
-        Ok(joined.reshape(dims)?)
-    }
-
-    /// Run the region (steps 3–4 of Fig. 1): either invoke the surrogate or
-    /// execute the accurate closure.
-    pub fn run(self, accurate: impl FnOnce()) -> Result<Outcome<'r>> {
+    /// Run the region (steps 3–4 of Fig. 1): either invoke the surrogate
+    /// through the cached session core or execute the accurate closure.
+    pub fn run(mut self, accurate: impl FnOnce()) -> Result<Outcome<'r>> {
         let surrogate = self.decide_surrogate()?;
-        let (model_out, inference_ns, accurate_ns) = if surrogate {
-            let model_path = self.region.model_path().ok_or_else(|| {
-                CoreError::Region(format!(
-                    "region `{}`: surrogate path requires a model(...) clause or set_model_path",
-                    self.region.name()
-                ))
-            })?;
-            let saved = InferenceEngine::global().load(&model_path)?;
-            let x = self.model_input(&saved.spec.input_shape)?;
-            let (y, inference_ns) = timed(|| saved.infer(&x));
-            (Some(y?), inference_ns, 0)
+        // Compact the gathered tensors to the supplied subset, preserving
+        // declared order, and derive the canonical (name, dims) pairs.
+        let mut pairs: Vec<(String, Vec<usize>)> = Vec::with_capacity(self.supplied.len());
+        let mut names: Vec<String> = Vec::with_capacity(self.supplied.len());
+        let mut next = 0usize;
+        for (index, slot) in self.supplied.iter().enumerate() {
+            if let Some(dims) = slot {
+                if index != next {
+                    self.scratch.gathered.swap(next, index);
+                }
+                let name = self.region.input_order()[index].clone();
+                pairs.push((name.clone(), dims.clone()));
+                names.push(name);
+                next += 1;
+            }
+        }
+        let (inference_ns, accurate_ns) = if surrogate {
+            let core = self.region.session_core(&self.binds, &pairs)?;
+            let ns = core.run_surrogate(self.region, &mut self.scratch)?;
+            (ns, 0)
         } else {
-            let ((), accurate_ns) = timed(accurate);
-            (None, 0, accurate_ns)
+            let ((), ns) = timed(accurate);
+            (0, ns)
         };
         Ok(Outcome {
             region: self.region,
@@ -166,9 +155,9 @@ impl<'r> Invocation<'r> {
             } else {
                 PathTaken::Accurate
             },
-            model_out,
+            scratch: self.scratch,
+            names,
             out_cursor: 0,
-            inputs: self.inputs,
             gathered_outputs: Vec::new(),
             accurate_ns,
             inference_ns,
@@ -185,10 +174,13 @@ pub struct Outcome<'r> {
     region: &'r Region,
     binds: Bindings,
     path: PathTaken,
-    /// Flat surrogate output, consumed in `out()` declaration order.
-    model_out: Option<Tensor>,
+    /// Per-invocation scratch; `scratch.out` holds the flat surrogate
+    /// output, consumed in `out()` declaration order via `out_cursor`.
+    /// Returned to the thread when dropped (error paths included).
+    scratch: ScratchGuard,
+    /// Names of the supplied inputs (for data collection).
+    names: Vec<String>,
     out_cursor: usize,
-    inputs: Vec<(String, Tensor)>,
     gathered_outputs: Vec<(String, Tensor)>,
     accurate_ns: u64,
     inference_ns: u64,
@@ -205,9 +197,9 @@ impl Outcome<'_> {
     /// Handle one output array (steps 5–6 of Fig. 1).
     ///
     /// Surrogate path: the next `plan.numel()` elements of the model output
-    /// are scattered into `data` through the `from` map. Outputs must be
-    /// supplied in `out()` declaration order. Accurate path: the produced
-    /// values are gathered for data collection.
+    /// are scattered into `data` straight from the output buffer (no copy).
+    /// Outputs must be supplied in `out()` declaration order. Accurate path:
+    /// the produced values are gathered for data collection.
     pub fn output(&mut self, name: &str, data: &mut [f32], dims: &[usize]) -> Result<&mut Self> {
         if !self.region.output_order().iter().any(|n| n == name) {
             return Err(CoreError::Region(format!(
@@ -220,7 +212,7 @@ impl Outcome<'_> {
             .plan_for(name, Direction::From, dims, &self.binds)?;
         match self.path {
             PathTaken::Surrogate => {
-                let model_out = self.model_out.as_ref().expect("surrogate path has output");
+                let model_out = &self.scratch.out;
                 let need = plan.numel();
                 let available = model_out.numel() - self.out_cursor;
                 if available < need {
@@ -232,12 +224,11 @@ impl Outcome<'_> {
                         self.out_cursor
                     )));
                 }
-                let chunk = model_out.data()[self.out_cursor..self.out_cursor + need].to_vec();
-                self.out_cursor += need;
-                let lhs = Tensor::from_vec(chunk, plan.lhs_shape.clone())?;
-                let (res, ns) = timed(|| plan.scatter(&lhs, data));
+                let chunk = &model_out.data()[self.out_cursor..self.out_cursor + need];
+                let (res, ns) = timed(|| plan.scatter_slice(chunk, data));
                 self.from_ns += ns;
                 res?;
+                self.out_cursor += need;
                 Ok(self)
             }
             PathTaken::Accurate => {
@@ -257,13 +248,21 @@ impl Outcome<'_> {
         let path = self.path;
         let mut collection_ns = self.collection_ns;
         if path == PathTaken::Accurate && self.region.db_path().is_some() {
+            let inputs: Vec<(&str, &Tensor)> = self
+                .names
+                .iter()
+                .map(String::as_str)
+                .zip(&self.scratch.gathered)
+                .collect();
+            let outputs: Vec<(&str, &Tensor)> = self
+                .gathered_outputs
+                .iter()
+                .map(|(n, t)| (n.as_str(), t))
+                .collect();
             let ((), ns) = {
                 let (res, ns) = timed(|| {
-                    self.region.record_collection(
-                        &self.inputs,
-                        &self.gathered_outputs,
-                        self.accurate_ns,
-                    )
+                    self.region
+                        .record_collection(&inputs, &outputs, self.accurate_ns)
                 });
                 (res?, ns)
             };

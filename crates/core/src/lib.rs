@@ -46,17 +46,27 @@
 //! the layout §IV-B specifies). In `infer` mode the closure is skipped and
 //! the surrogate loaded from the `model` clause produces the outputs.
 //! `predicated` chooses per invocation from a host boolean.
+//!
+//! Invocation is a *two-phase compiled pipeline*: the first invocation with a
+//! given (bindings, shapes) combination compiles the bridge plans, resolves
+//! the model handle and derives the input-assembly layout; every later
+//! invocation reuses them from the region's caches. Hot loops should compile
+//! the region into a [`Session`] once ([`Region::session`]) and invoke that —
+//! it skips even the per-call cache lookups and runs allocation-free in
+//! steady state. See the [`session`] module docs for the idiom.
 
 pub mod error;
 pub mod exec;
 pub mod region;
 pub mod registry;
+pub mod session;
 pub mod timing;
 
 pub use error::CoreError;
 pub use exec::{Invocation, Outcome, PathTaken};
 pub use region::{Region, RegionBuilder};
 pub use registry::{registered_regions, RegionRecord};
+pub use session::{Session, SessionOutcome, SessionRun};
 pub use timing::RegionStats;
 
 /// Crate-wide result alias.

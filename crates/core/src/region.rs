@@ -1,12 +1,14 @@
 //! Approx regions: construction, validation, plan caching and persistence.
 
 use crate::registry::{register, RegionRecord};
+use crate::session::{Session, SessionCore, SessionKey};
 use crate::timing::RegionStats;
 use crate::{CoreError, Result};
-use hpacml_bridge::CompiledMap;
+use hpacml_bridge::{CompiledMap, PlanCache, PlanKey};
 use hpacml_directive::ast::{Direction, Directive, MapDirective, MlDirective, MlMode};
 use hpacml_directive::parse::parse_directives;
 use hpacml_directive::sema::{analyze, Bindings, FunctorInfo};
+use hpacml_nn::SavedModel;
 use hpacml_store::H5File;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
@@ -33,7 +35,14 @@ pub struct Region {
     db_path: Mutex<Option<PathBuf>>,
     db: Mutex<Option<H5File>>,
     stats: Mutex<RegionStats>,
-    plans: Mutex<HashMap<String, Arc<CompiledMap>>>,
+    /// Compiled bridge plans, keyed by (array, direction, dims, binds).
+    plans: PlanCache,
+    /// The model handle resolved once per path — invoke-time inference never
+    /// hashes a path into the engine cache.
+    model: Mutex<Option<(PathBuf, Arc<SavedModel>)>>,
+    /// Compiled invocation cores, keyed by (bindings, input shapes). Both the
+    /// public [`Session`] API and the one-shot `invoke` path share these.
+    sessions: Mutex<HashMap<SessionKey, Arc<SessionCore>>>,
 }
 
 impl Region {
@@ -89,10 +98,27 @@ impl Region {
     }
 
     /// Point the region at a (new) model file, e.g. after a training round.
+    ///
+    /// Invalidates the resolved model handle and every compiled session core
+    /// so subsequent invocations pick up the new weights. [`Session`]s built
+    /// *before* the swap keep the model they compiled against — rebuild them
+    /// to follow the new path.
     pub fn set_model_path(&self, path: impl Into<PathBuf>) {
         let path = path.into();
         hpacml_nn::InferenceEngine::global().evict(&path);
         *self.model_path.lock() = Some(path);
+        *self.model.lock() = None;
+        self.sessions.lock().clear();
+    }
+
+    /// Drop every invoke-time cache this region holds: compiled bridge
+    /// plans, the resolved model handle, and compiled session cores. Useful
+    /// between measurement runs (and used by the overhead benchmark to model
+    /// a cold, uncached invocation).
+    pub fn clear_caches(&self) {
+        self.plans.clear();
+        *self.model.lock() = None;
+        self.sessions.lock().clear();
     }
 
     /// Path of the data-collection database.
@@ -143,32 +169,86 @@ impl Region {
                 }
             ))
         })?;
-        let key = format!(
-            "{array}|{dims:?}|{:?}|{binds:?}",
-            match direction {
-                Direction::To => "to",
-                Direction::From => "from",
-            }
-        );
-        if let Some(plan) = self.plans.lock().get(&key) {
-            return Ok(Arc::clone(plan));
-        }
         let info = self.functors.get(&map.functor).ok_or_else(|| {
             CoreError::Region(format!(
                 "region `{}`: map references undeclared functor `{}`",
                 self.name, map.functor
             ))
         })?;
-        let plan = Arc::new(hpacml_bridge::compile(info, map, dims, binds)?);
-        self.plans.lock().insert(key, Arc::clone(&plan));
+        let key = PlanKey::new(array, direction, dims, binds);
+        let (plan, hit) = self.plans.get_or_compile(key, info, map)?;
+        self.update_stats(|s| {
+            if hit {
+                s.plan_cache_hits += 1;
+            } else {
+                s.plan_cache_misses += 1;
+            }
+        });
         Ok(plan)
+    }
+
+    /// Resolve the surrogate model once per path. The first call loads (or
+    /// fetches from the engine's per-path cache); later calls clone the held
+    /// handle without hashing anything.
+    pub(crate) fn resolve_model(&self) -> Result<Arc<SavedModel>> {
+        let path = self.model_path().ok_or_else(|| {
+            CoreError::Region(format!(
+                "region `{}`: surrogate path requires a model(...) clause or set_model_path",
+                self.name
+            ))
+        })?;
+        let mut guard = self.model.lock();
+        if let Some((held_path, model)) = guard.as_ref() {
+            if *held_path == path {
+                let model = Arc::clone(model);
+                drop(guard);
+                self.update_stats(|s| s.model_cache_hits += 1);
+                return Ok(model);
+            }
+        }
+        let model = hpacml_nn::InferenceEngine::global().load(&path)?;
+        *guard = Some((path, Arc::clone(&model)));
+        drop(guard);
+        self.update_stats(|s| s.model_cache_misses += 1);
+        Ok(model)
+    }
+
+    /// Fetch (or build and cache) the compiled invocation core for this
+    /// bindings + input-shape combination.
+    pub(crate) fn session_core(
+        &self,
+        binds: &Bindings,
+        inputs: &[(String, Vec<usize>)],
+    ) -> Result<Arc<SessionCore>> {
+        let key = SessionKey::new(binds, inputs);
+        if let Some(core) = self.sessions.lock().get(&key) {
+            return Ok(Arc::clone(core));
+        }
+        let core = Arc::new(SessionCore::build(self, binds, inputs)?);
+        Ok(Arc::clone(self.sessions.lock().entry(key).or_insert(core)))
+    }
+
+    /// Compile this region into a reusable [`Session`] for concrete integer
+    /// bindings and array shapes — the compile-once / invoke-many fast path.
+    ///
+    /// `shapes` must name every array declared in `in(...)`, `out(...)` and
+    /// `inout(...)` together with its concrete dims. All bridge plans are
+    /// resolved (and cached) up front; repeated `session.invoke()` calls do
+    /// no plan lookups, no model-path hashing and — in steady state — no
+    /// heap allocation in the gather/inference path.
+    pub fn session<'r>(
+        &'r self,
+        binds: &Bindings,
+        shapes: &[(&str, &[usize])],
+    ) -> Result<Session<'r>> {
+        Session::build(self, binds, shapes)
     }
 
     /// Append one collected sample to the region's database group.
     pub(crate) fn record_collection(
         &self,
-        inputs: &[(String, hpacml_tensor::Tensor)],
-        outputs: &[(String, hpacml_tensor::Tensor)],
+        inputs: &[(&str, &hpacml_tensor::Tensor)],
+        outputs: &[(&str, &hpacml_tensor::Tensor)],
         region_time_ns: u64,
     ) -> Result<()> {
         let path = match self.db_path() {
@@ -192,7 +272,7 @@ impl Region {
         let group = file.root_mut().group_mut(&self.name);
         for (kind, tensors) in [("inputs", inputs), ("outputs", outputs)] {
             let sub = group.group_mut(kind);
-            for (name, tensor) in tensors {
+            for &(name, tensor) in tensors {
                 sub.dataset_mut(name, hpacml_store::DType::F32, tensor.dims())?
                     .append_f32(tensor.data())?;
             }
@@ -381,7 +461,9 @@ impl RegionBuilder {
             db_path: Mutex::new(db_path),
             db: Mutex::new(None),
             stats: Mutex::new(RegionStats::default()),
-            plans: Mutex::new(HashMap::new()),
+            plans: PlanCache::new(),
+            model: Mutex::new(None),
+            sessions: Mutex::new(HashMap::new()),
         })
     }
 }

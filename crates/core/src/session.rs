@@ -1,0 +1,630 @@
+//! Compiled invocations: the compile-once / invoke-many fast path.
+//!
+//! A [`Session`] is a region *compiled* against concrete integer bindings and
+//! array shapes, the same separation an ML runtime draws between a model and
+//! its optimized executable plan. Building a session resolves, once:
+//!
+//! * the gather plan for every `in(...)`/`inout(...)` array and the scatter
+//!   plan for every `out(...)`/`inout(...)` array (shared with the region's
+//!   plan cache, so the one-shot API benefits too);
+//! * the model handle (`Arc<SavedModel>`) — invoke-time inference never
+//!   hashes a path into the engine cache again;
+//! * the input-assembly layout: flatten/concat/reshape become precomputed
+//!   row/column offsets, so building the model input is a straight strided
+//!   copy into a staging buffer.
+//!
+//! Per-invocation scratch (gathered tensors, the staging buffer, the NN
+//! inference workspace) lives in a per-thread scratch slot that each run
+//! borrows and returns, so a thread in steady state performs **no heap
+//! allocation** between `invoke()` and `finish()` on the surrogate path. A
+//! `Session` is `Sync`: many threads may invoke the same compiled session
+//! concurrently, each on its own scratch.
+//!
+//! ```no_run
+//! # fn main() -> hpacml_core::Result<()> {
+//! # let region = hpacml_core::Region::from_source("r", "")?;
+//! # let binds = hpacml_directive::sema::Bindings::new();
+//! # let (n, m) = (8usize, 8usize);
+//! # let t = vec![0.0f32; n * m]; let mut tnew = vec![0.0f32; n * m];
+//! // Compile once...
+//! let session = region.session(&binds, &[("t", &[n, m]), ("tnew", &[n, m])])?;
+//! // ...invoke many times.
+//! for _ in 0..1_000_000 {
+//!     let mut out = session.invoke().input("t", &t)?.run(|| { /* accurate */ })?;
+//!     out.output("tnew", &mut tnew)?;
+//!     out.finish()?;
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::exec::PathTaken;
+use crate::region::Region;
+use crate::timing::timed;
+use crate::{CoreError, Result};
+use hpacml_bridge::CompiledMap;
+use hpacml_directive::ast::{Direction, MlMode};
+use hpacml_directive::sema::Bindings;
+use hpacml_nn::{InferWorkspace, SavedModel};
+use hpacml_tensor::Tensor;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Per-thread scratch
+// ---------------------------------------------------------------------------
+
+/// Reusable per-invocation buffers. Taken from a thread-local slot at
+/// `invoke()` and returned when the invocation's [`ScratchGuard`] drops, so
+/// nested invocations (a region invoked from inside another region's
+/// accurate closure) each get their own scratch instead of fighting over a
+/// `RefCell`.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    /// One gathered tensor per declared input (assembly order).
+    pub(crate) gathered: Vec<Tensor>,
+    /// Staged model-input batch (assembled from `gathered`).
+    pub(crate) staged: Tensor,
+    /// NN inference workspace (normalization staging + activation arenas).
+    pub(crate) ws: InferWorkspace,
+    /// Model output of the current run (swapped out of the arena).
+    pub(crate) out: Tensor,
+}
+
+impl Scratch {
+    pub(crate) fn ensure_inputs(&mut self, n: usize) {
+        if self.gathered.len() < n {
+            self.gathered.resize_with(n, Tensor::default);
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Option<Scratch>> = const { RefCell::new(None) };
+}
+
+/// Owns this thread's warmed [`Scratch`] for the duration of one invocation
+/// and returns it to the thread-local slot when dropped — on `finish()`,
+/// early return, *or* an error path — so the zero-allocation steady state
+/// survives recoverable failures.
+pub(crate) struct ScratchGuard(Option<Scratch>);
+
+impl ScratchGuard {
+    pub(crate) fn take() -> Self {
+        ScratchGuard(Some(
+            SCRATCH
+                .with(|slot| slot.borrow_mut().take())
+                .unwrap_or_default(),
+        ))
+    }
+}
+
+impl std::ops::Deref for ScratchGuard {
+    type Target = Scratch;
+    fn deref(&self) -> &Scratch {
+        self.0.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl std::ops::DerefMut for ScratchGuard {
+    fn deref_mut(&mut self) -> &mut Scratch {
+        self.0.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for ScratchGuard {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.0.take() {
+            SCRATCH.with(|slot| {
+                let mut slot = slot.borrow_mut();
+                if slot.is_none() {
+                    *slot = Some(scratch);
+                }
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session core: the cached, shareable compiled state
+// ---------------------------------------------------------------------------
+
+/// Cache key for compiled invocation cores.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct SessionKey {
+    binds: Vec<(String, i64)>,
+    inputs: Vec<(String, Vec<usize>)>,
+}
+
+impl SessionKey {
+    pub(crate) fn new(binds: &Bindings, inputs: &[(String, Vec<usize>)]) -> Self {
+        SessionKey {
+            binds: binds.iter().map(|(n, v)| (n.to_string(), v)).collect(),
+            inputs: inputs.to_vec(),
+        }
+    }
+}
+
+/// Precomputed input-assembly layout: how the gathered input tensors tile the
+/// model's `[batch, sample...]` input, derived once from the plans' LHS
+/// shapes and the model spec.
+struct Assembly {
+    /// Common sweep-row count across inputs.
+    rows: usize,
+    /// Feature columns contributed by each input (its LHS trailing dim).
+    cols: Vec<usize>,
+    /// Column offset of each input inside one assembled row.
+    col_offsets: Vec<usize>,
+    /// Total features per row (`cols` summed).
+    feat_total: usize,
+    /// Final model-input dims: `[batch, sample_shape...]`.
+    in_dims: Vec<usize>,
+}
+
+/// Model handle plus assembly layout, resolved lazily on the first surrogate
+/// run (so collect-phase sessions whose model file does not exist yet build
+/// fine).
+struct SurrogateState {
+    model: Arc<SavedModel>,
+    assembly: Assembly,
+}
+
+/// The compiled, shareable part of a session: input gather plans in assembly
+/// order plus the lazily resolved surrogate state. Cached on the region per
+/// (bindings, input shapes) so the one-shot `invoke` path compiles once too.
+pub(crate) struct SessionCore {
+    /// (array name, gather plan) in assembly order.
+    inputs: Vec<(String, Arc<CompiledMap>)>,
+    surrogate: Mutex<Option<Arc<SurrogateState>>>,
+}
+
+impl std::fmt::Debug for SessionCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionCore")
+            .field(
+                "inputs",
+                &self.inputs.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            )
+            .field("surrogate_resolved", &self.surrogate.lock().is_some())
+            .finish()
+    }
+}
+
+impl SessionCore {
+    pub(crate) fn build(
+        region: &Region,
+        binds: &Bindings,
+        inputs: &[(String, Vec<usize>)],
+    ) -> Result<SessionCore> {
+        // The per-run supplied-input bookkeeping is a u64 bitmask; enforce
+        // the arity bound here so that invariant holds everywhere downstream.
+        if inputs.len() > 64 {
+            return Err(CoreError::Region(format!(
+                "region `{}`: {} input arrays exceed the supported maximum of 64",
+                region.name(),
+                inputs.len()
+            )));
+        }
+        let mut plans = Vec::with_capacity(inputs.len());
+        for (name, dims) in inputs {
+            let plan = region.plan_for(name, Direction::To, dims, binds)?;
+            plans.push((name.clone(), plan));
+        }
+        Ok(SessionCore {
+            inputs: plans,
+            surrogate: Mutex::new(None),
+        })
+    }
+
+    pub(crate) fn input_index(&self, name: &str) -> Option<usize> {
+        self.inputs.iter().position(|(n, _)| n == name)
+    }
+
+    pub(crate) fn input_plan(&self, index: usize) -> &Arc<CompiledMap> {
+        &self.inputs[index].1
+    }
+
+    pub(crate) fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    pub(crate) fn input_names(&self) -> impl Iterator<Item = &str> {
+        self.inputs.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Resolve (or reuse) the model handle + assembly layout.
+    fn surrogate_state(&self, region: &Region) -> Result<Arc<SurrogateState>> {
+        if let Some(state) = self.surrogate.lock().as_ref() {
+            region.update_stats(|s| s.model_cache_hits += 1);
+            return Ok(Arc::clone(state));
+        }
+        let model = region.resolve_model()?;
+        let assembly = self.assembly_for(region, &model)?;
+        let state = Arc::new(SurrogateState { model, assembly });
+        let mut guard = self.surrogate.lock();
+        Ok(Arc::clone(guard.get_or_insert(state)))
+    }
+
+    /// Derive the assembly layout from the input plans' LHS shapes and the
+    /// model's declared per-sample input shape. Mirrors the semantics of the
+    /// historical flatten→concat→reshape chain, as straight offsets.
+    fn assembly_for(&self, region: &Region, model: &SavedModel) -> Result<Assembly> {
+        if self.inputs.is_empty() {
+            return Err(CoreError::Region(format!(
+                "region `{}`: surrogate path needs gathered inputs",
+                region.name()
+            )));
+        }
+        let mut rows = 0usize;
+        let mut cols = Vec::with_capacity(self.inputs.len());
+        let mut col_offsets = Vec::with_capacity(self.inputs.len());
+        let mut feat_total = 0usize;
+        for (i, (name, plan)) in self.inputs.iter().enumerate() {
+            let numel = plan.numel();
+            let c = plan.lhs_shape.last().copied().unwrap_or(1).max(1);
+            let r = numel / c;
+            if i == 0 {
+                rows = r;
+            } else if r != rows && self.inputs.len() > 1 {
+                return Err(CoreError::Region(format!(
+                    "region `{}`: inputs disagree on sweep size ({r} vs {rows}) at `{name}`",
+                    region.name()
+                )));
+            }
+            col_offsets.push(feat_total);
+            cols.push(c);
+            feat_total += c;
+        }
+        let total = rows * feat_total;
+        let sample_shape = &model.spec.input_shape;
+        let per_sample: usize = sample_shape.iter().product::<usize>().max(1);
+        if !total.is_multiple_of(per_sample) {
+            return Err(CoreError::Region(format!(
+                "region `{}`: gathered {total} elements do not tile the model input shape {sample_shape:?}",
+                region.name()
+            )));
+        }
+        let batch = total / per_sample;
+        let mut in_dims = Vec::with_capacity(1 + sample_shape.len());
+        in_dims.push(batch);
+        in_dims.extend_from_slice(sample_shape);
+        Ok(Assembly {
+            rows,
+            cols,
+            col_offsets,
+            feat_total,
+            in_dims,
+        })
+    }
+
+    /// Execute the surrogate: assemble the staged batch from the gathered
+    /// inputs, run inference into the scratch workspace, and leave the model
+    /// output in `scratch.out`. Returns the inference time in nanoseconds.
+    /// Steady-state allocation-free.
+    pub(crate) fn run_surrogate(&self, region: &Region, scratch: &mut Scratch) -> Result<u64> {
+        let state = self.surrogate_state(region)?;
+        let asm = &state.assembly;
+        if self.inputs.len() == 1 {
+            // Single input: the gathered tensor *is* the staged batch.
+            std::mem::swap(&mut scratch.staged, &mut scratch.gathered[0]);
+        } else {
+            scratch.staged.resize(&[asm.rows, asm.feat_total]);
+            let sd = scratch.staged.data_mut();
+            for (i, t) in scratch.gathered[..self.inputs.len()].iter().enumerate() {
+                let (c, off) = (asm.cols[i], asm.col_offsets[i]);
+                for (r, row) in t.data().chunks_exact(c).enumerate() {
+                    sd[r * asm.feat_total + off..r * asm.feat_total + off + c].copy_from_slice(row);
+                }
+            }
+        }
+        scratch.staged.reshape_in_place(&asm.in_dims)?;
+        let Scratch {
+            ws, staged, out, ..
+        } = scratch;
+        let (y, inference_ns) = timed(|| state.model.infer_with(ws, staged));
+        std::mem::swap(out, y?);
+        Ok(inference_ns)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The public Session API
+// ---------------------------------------------------------------------------
+
+/// A region compiled against concrete bindings and array shapes — build once
+/// with [`Region::session`], invoke many times. See the [module docs] for
+/// the idiom.
+///
+/// [module docs]: self
+pub struct Session<'r> {
+    region: &'r Region,
+    binds: Bindings,
+    core: Arc<SessionCore>,
+    /// (array name, scatter plan, model-output element offset) in `out()`
+    /// declaration order.
+    outputs: Vec<(String, Arc<CompiledMap>, usize)>,
+}
+
+impl<'r> Session<'r> {
+    pub(crate) fn build(
+        region: &'r Region,
+        binds: &Bindings,
+        shapes: &[(&str, &[usize])],
+    ) -> Result<Session<'r>> {
+        let dims_of = |name: &str| -> Result<Vec<usize>> {
+            shapes
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, d)| d.to_vec())
+                .ok_or_else(|| {
+                    CoreError::Region(format!(
+                        "region `{}`: session is missing a shape for array `{name}`",
+                        region.name()
+                    ))
+                })
+        };
+        let mut inputs = Vec::new();
+        for name in region.input_order() {
+            inputs.push((name.clone(), dims_of(name)?));
+        }
+        let core = region.session_core(binds, &inputs)?;
+        let mut outputs = Vec::new();
+        let mut offset = 0usize;
+        for name in region.output_order() {
+            let dims = dims_of(name)?;
+            let plan = region.plan_for(name, Direction::From, &dims, binds)?;
+            let numel = plan.numel();
+            outputs.push((name.clone(), plan, offset));
+            offset += numel;
+        }
+        Ok(Session {
+            region,
+            binds: binds.clone(),
+            core,
+            outputs,
+        })
+    }
+
+    /// The region this session was compiled from.
+    pub fn region(&self) -> &'r Region {
+        self.region
+    }
+
+    /// The integer bindings this session was compiled against.
+    pub fn bindings(&self) -> &Bindings {
+        &self.binds
+    }
+
+    /// Begin one invocation. Cheap: borrows this thread's scratch buffers.
+    pub fn invoke(&self) -> SessionRun<'_, 'r> {
+        SessionRun {
+            session: self,
+            scratch: ScratchGuard::take(),
+            surrogate_override: None,
+            supplied: 0,
+            to_ns: 0,
+        }
+    }
+}
+
+/// The input-gathering phase of one compiled invocation.
+pub struct SessionRun<'s, 'r> {
+    session: &'s Session<'r>,
+    scratch: ScratchGuard,
+    surrogate_override: Option<bool>,
+    /// Bitmask of supplied inputs; `SessionCore::build` rejects regions with
+    /// more than 64 input arrays, so every index fits.
+    supplied: u64,
+    to_ns: u64,
+}
+
+impl<'s, 'r> SessionRun<'s, 'r> {
+    /// Host-side value for the `predicated`/`if` decision, as on
+    /// [`crate::Invocation::use_surrogate`].
+    pub fn use_surrogate(mut self, value: bool) -> Self {
+        self.surrogate_override = Some(value);
+        self
+    }
+
+    /// Gather one input array through its precompiled plan (steps 1–2 of
+    /// Fig. 1). Steady-state allocation-free.
+    pub fn input(mut self, name: &str, data: &[f32]) -> Result<Self> {
+        let core = &self.session.core;
+        let index = core.input_index(name).ok_or_else(|| {
+            CoreError::Region(format!(
+                "region `{}`: `{name}` is not declared in(...)/inout(...)",
+                self.session.region.name()
+            ))
+        })?;
+        // index < 64 is guaranteed: SessionCore::build rejects wider arity.
+        if self.supplied & (1 << index) != 0 {
+            return Err(CoreError::Region(format!(
+                "region `{}`: input `{name}` supplied twice",
+                self.session.region.name()
+            )));
+        }
+        self.scratch.ensure_inputs(core.input_count());
+        let plan = core.input_plan(index);
+        let (res, ns) = timed(|| plan.gather_into(data, &mut self.scratch.gathered[index]));
+        res?;
+        self.to_ns += ns;
+        self.supplied |= 1 << index;
+        Ok(self)
+    }
+
+    fn decide_surrogate(&self) -> Result<bool> {
+        let region = self.session.region;
+        Ok(match region.ml_mode() {
+            MlMode::Infer => self.surrogate_override.unwrap_or(true),
+            MlMode::Collect => false,
+            MlMode::Predicated => match self
+                .surrogate_override
+                .or_else(|| region.default_predicate())
+            {
+                Some(v) => v,
+                None => {
+                    return Err(CoreError::Region(format!(
+                        "region `{}`: predicated mode needs use_surrogate(...) \
+                         (the directive condition `{}` is not a literal)",
+                        region.name(),
+                        region.ml().cond.as_deref().unwrap_or("")
+                    )))
+                }
+            },
+        })
+    }
+
+    /// Run the region (steps 3–4 of Fig. 1): surrogate inference through the
+    /// compiled pipeline, or the accurate closure.
+    pub fn run(mut self, accurate: impl FnOnce()) -> Result<SessionOutcome<'s, 'r>> {
+        let surrogate = self.decide_surrogate()?;
+        let (inference_ns, accurate_ns) = if surrogate {
+            let core = &self.session.core;
+            let count = core.input_count(); // <= 64 by SessionCore::build
+            let all = if count == 64 {
+                u64::MAX
+            } else {
+                (1u64 << count) - 1
+            };
+            if count > 0 && self.supplied != all {
+                let missing: Vec<&str> = core
+                    .input_names()
+                    .enumerate()
+                    .filter(|(i, _)| self.supplied & (1 << i) == 0)
+                    .map(|(_, n)| n)
+                    .collect();
+                return Err(CoreError::Region(format!(
+                    "region `{}`: surrogate run is missing input(s) {missing:?}",
+                    self.session.region.name()
+                )));
+            }
+            let ns = core.run_surrogate(self.session.region, &mut self.scratch)?;
+            (ns, 0)
+        } else {
+            let ((), ns) = timed(accurate);
+            (0, ns)
+        };
+        Ok(SessionOutcome {
+            session: self.session,
+            scratch: self.scratch,
+            supplied: self.supplied,
+            path: if surrogate {
+                PathTaken::Surrogate
+            } else {
+                PathTaken::Accurate
+            },
+            gathered_outputs: Vec::new(),
+            to_ns: self.to_ns,
+            inference_ns,
+            accurate_ns,
+            from_ns: 0,
+            collection_ns: 0,
+        })
+    }
+}
+
+/// The output phase of a compiled invocation.
+pub struct SessionOutcome<'s, 'r> {
+    session: &'s Session<'r>,
+    scratch: ScratchGuard,
+    supplied: u64,
+    path: PathTaken,
+    /// Accurate-path outputs gathered for data collection.
+    gathered_outputs: Vec<(String, Tensor)>,
+    to_ns: u64,
+    inference_ns: u64,
+    accurate_ns: u64,
+    from_ns: u64,
+    collection_ns: u64,
+}
+
+impl SessionOutcome<'_, '_> {
+    pub fn path(&self) -> PathTaken {
+        self.path
+    }
+
+    /// Handle one output array (steps 5–6 of Fig. 1): scatter the model
+    /// output chunk through the precompiled plan, or gather the accurate
+    /// result for collection. The chunk offsets were fixed at session build,
+    /// so outputs may be supplied in any order. Steady-state allocation-free
+    /// on the surrogate path.
+    pub fn output(&mut self, name: &str, data: &mut [f32]) -> Result<&mut Self> {
+        let (_, plan, offset) = self
+            .session
+            .outputs
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .ok_or_else(|| {
+                CoreError::Region(format!(
+                    "region `{}`: `{name}` is not declared out(...)/inout(...)",
+                    self.session.region.name()
+                ))
+            })?;
+        match self.path {
+            PathTaken::Surrogate => {
+                let need = plan.numel();
+                let produced = self.scratch.out.numel();
+                if produced < offset + need {
+                    return Err(CoreError::Region(format!(
+                        "region `{}`: model produced {produced} elements but output `{name}` \
+                         needs {need} at offset {offset}",
+                        self.session.region.name()
+                    )));
+                }
+                let chunk = &self.scratch.out.data()[*offset..offset + need];
+                let (res, ns) = timed(|| plan.scatter_slice(chunk, data));
+                self.from_ns += ns;
+                res?;
+            }
+            PathTaken::Accurate => {
+                if self.session.region.db_path().is_some() {
+                    let (tensor, ns) = timed(|| plan.gather(data));
+                    self.collection_ns += ns;
+                    self.gathered_outputs.push((name.to_string(), tensor?));
+                }
+            }
+        }
+        Ok(self)
+    }
+
+    /// Finalize: persist collected data and fold timings into the region
+    /// stats. The scratch buffers return to this thread for the next
+    /// invocation when `self` drops — including on error or early-drop paths.
+    pub fn finish(self) -> Result<PathTaken> {
+        let path = self.path;
+        let region = self.session.region;
+        let mut collection_ns = self.collection_ns;
+        if path == PathTaken::Accurate && region.db_path().is_some() {
+            let inputs: Vec<(&str, &Tensor)> = self
+                .session
+                .core
+                .input_names()
+                .zip(&self.scratch.gathered)
+                .enumerate()
+                .filter(|(i, _)| self.supplied & (1 << i) != 0)
+                .map(|(_, pair)| pair)
+                .collect();
+            let outputs: Vec<(&str, &Tensor)> = self
+                .gathered_outputs
+                .iter()
+                .map(|(n, t)| (n.as_str(), t))
+                .collect();
+            let (res, ns) = timed(|| region.record_collection(&inputs, &outputs, self.accurate_ns));
+            res?;
+            collection_ns += ns;
+        }
+        region.update_stats(|s| {
+            s.invocations += 1;
+            if path == PathTaken::Surrogate {
+                s.surrogate_invocations += 1;
+            }
+            s.to_tensor_ns += self.to_ns;
+            s.inference_ns += self.inference_ns;
+            s.from_tensor_ns += self.from_ns;
+            s.accurate_ns += self.accurate_ns;
+            s.collection_ns += collection_ns;
+        });
+        Ok(path)
+    }
+}

@@ -21,6 +21,19 @@ pub struct RegionStats {
     pub accurate_ns: u64,
     /// Data-collection bookkeeping (output gathering + store appends).
     pub collection_ns: u64,
+    /// Bridge-plan lookups served from the compiled-plan cache.
+    ///
+    /// Compiled [`Session`](crate::Session)s resolve their plans once at
+    /// build time, so steady-state session invocations add *nothing* here —
+    /// a flat counter under load is the caching claim made observable.
+    pub plan_cache_hits: u64,
+    /// Bridge-plan lookups that had to compile a new plan.
+    pub plan_cache_misses: u64,
+    /// Surrogate invocations that reused an already-resolved model handle
+    /// (no per-call path hashing in the inference engine).
+    pub model_cache_hits: u64,
+    /// Surrogate invocations that had to resolve the model by path.
+    pub model_cache_misses: u64,
 }
 
 impl RegionStats {

@@ -1,0 +1,344 @@
+//! The compiled `Session` API: compile-once/invoke-many equivalence with the
+//! one-shot path, cache-counter observability, thread safety, and the
+//! collect-mode path through a session.
+
+use hpacml_core::{PathTaken, Region, Session};
+use hpacml_directive::sema::Bindings;
+use hpacml_nn::spec::{Activation, ModelSpec};
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hpacml-session-api").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Save an MLP `in_dim -> out_dim` with fixed weights to `path`.
+fn save_mlp(path: &std::path::Path, in_dim: usize, out_dim: usize, seed: u64) {
+    let spec = ModelSpec::mlp(in_dim, &[8], out_dim, Activation::Tanh, 0.0);
+    let mut model = spec.build(seed).unwrap();
+    hpacml_nn::serialize::save_model(path, &spec, &mut model, None, None).unwrap();
+}
+
+fn rows_region(model: &std::path::Path) -> Region {
+    Region::from_source(
+        "session-rows",
+        &format!(
+            r#"
+            #pragma approx tensor functor(rows: [i, 0:2] = ([2*i : 2*i+2]))
+            #pragma approx tensor functor(single: [i, 0:1] = ([i]))
+            #pragma approx tensor map(to: rows(x[0:N]))
+            #pragma approx ml(infer) in(x) out(single(y[0:N])) model("{}")
+            "#,
+            model.display()
+        ),
+    )
+    .unwrap()
+}
+
+#[test]
+fn session_matches_one_shot_invocation() {
+    let dir = tmpdir("parity");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 2, 1, 7);
+    let region = rows_region(&model);
+    let binds = Bindings::new().with("N", 4);
+    let x: Vec<f32> = (0..8).map(|k| k as f32 * 0.11 - 0.4).collect();
+
+    // One-shot reference.
+    let mut y_ref = [0.0f32; 4];
+    let mut out = region
+        .invoke(&binds)
+        .input("x", &x, &[8])
+        .unwrap()
+        .run(|| unreachable!())
+        .unwrap();
+    out.output("y", &mut y_ref, &[4]).unwrap();
+    out.finish().unwrap();
+
+    // Compiled session, invoked repeatedly: identical results every time.
+    let session = region.session(&binds, &[("x", &[8]), ("y", &[4])]).unwrap();
+    for _ in 0..5 {
+        let mut y = [0.0f32; 4];
+        let mut out = session
+            .invoke()
+            .input("x", &x)
+            .unwrap()
+            .run(|| unreachable!())
+            .unwrap();
+        assert_eq!(out.path(), PathTaken::Surrogate);
+        out.output("y", &mut y).unwrap();
+        out.finish().unwrap();
+        assert_eq!(y, y_ref);
+    }
+    let stats = region.stats();
+    assert_eq!(stats.invocations, 6);
+    assert_eq!(stats.surrogate_invocations, 6);
+    assert!(stats.to_tensor_ns > 0 && stats.from_tensor_ns > 0);
+}
+
+#[test]
+fn cache_counters_show_compile_once_execute_many() {
+    let dir = tmpdir("counters");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 2, 1, 3);
+    let region = rows_region(&model);
+    let binds = Bindings::new().with("N", 4);
+    let x = [0.25f32; 8];
+
+    let session = region.session(&binds, &[("x", &[8]), ("y", &[4])]).unwrap();
+    let after_build = region.stats();
+    // Building compiled the two plans (to + from): misses only.
+    assert_eq!(after_build.plan_cache_misses, 2);
+    let plan_hits_at_build = after_build.plan_cache_hits;
+
+    let invocations = 10u64;
+    for _ in 0..invocations {
+        let mut y = [0.0f32; 4];
+        let mut out = session
+            .invoke()
+            .input("x", &x)
+            .unwrap()
+            .run(|| unreachable!())
+            .unwrap();
+        out.output("y", &mut y).unwrap();
+        out.finish().unwrap();
+    }
+    let stats = region.stats();
+    // Steady-state session invocations never touch the plan cache...
+    assert_eq!(stats.plan_cache_hits, plan_hits_at_build);
+    assert_eq!(stats.plan_cache_misses, 2);
+    // ...and resolve the model exactly once.
+    assert_eq!(stats.model_cache_misses, 1);
+    assert_eq!(stats.model_cache_hits, invocations - 1);
+
+    // The one-shot wrapper hits the plan cache per call instead.
+    let mut y = [0.0f32; 4];
+    let mut out = region
+        .invoke(&binds)
+        .input("x", &x, &[8])
+        .unwrap()
+        .run(|| unreachable!())
+        .unwrap();
+    out.output("y", &mut y, &[4]).unwrap();
+    out.finish().unwrap();
+    let stats = region.stats();
+    assert_eq!(stats.plan_cache_hits, plan_hits_at_build + 2);
+}
+
+#[test]
+fn n_threads_invoking_one_session_agree() {
+    let dir = tmpdir("threads");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 2, 1, 11);
+    let region = rows_region(&model);
+    let binds = Bindings::new().with("N", 16);
+    let x: Vec<f32> = (0..32).map(|k| (k as f32).sin()).collect();
+
+    let session = region
+        .session(&binds, &[("x", &[32]), ("y", &[16])])
+        .unwrap();
+
+    // Reference from the main thread.
+    let run_once = |session: &Session| -> Vec<f32> {
+        let mut y = vec![0.0f32; 16];
+        let mut out = session
+            .invoke()
+            .input("x", &x)
+            .unwrap()
+            .run(|| unreachable!())
+            .unwrap();
+        out.output("y", &mut y).unwrap();
+        out.finish().unwrap();
+        y
+    };
+    let reference = run_once(&session);
+
+    let threads = 8;
+    let reps = 25;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let session = &session;
+            let reference = &reference;
+            let run_once = &run_once;
+            scope.spawn(move || {
+                for _ in 0..reps {
+                    assert_eq!(&run_once(session), reference);
+                }
+            });
+        }
+    });
+    let stats = region.stats();
+    assert_eq!(stats.surrogate_invocations, (threads * reps) as u64 + 1);
+    // One model resolution total, across all threads.
+    assert_eq!(stats.model_cache_misses, 1);
+}
+
+#[test]
+fn session_collect_mode_records_samples() {
+    let dir = tmpdir("collect");
+    let db = dir.join("d.h5");
+    let region = Region::from_source(
+        "session-collect",
+        &format!(
+            r#"
+            #pragma approx tensor functor(idf: [i, 0:1] = ([i]))
+            #pragma approx tensor map(to: idf(x[0:N]))
+            #pragma approx tensor map(from: idf(y[0:N]))
+            #pragma approx ml(collect) in(x) out(y) db("{}")
+            "#,
+            db.display()
+        ),
+    )
+    .unwrap();
+    let binds = Bindings::new().with("N", 6);
+    let session = region.session(&binds, &[("x", &[6]), ("y", &[6])]).unwrap();
+    let x: Vec<f32> = (0..6).map(|k| k as f32).collect();
+    for _ in 0..4 {
+        let mut y = vec![0.0f32; 6];
+        let mut out = session
+            .invoke()
+            .input("x", &x)
+            .unwrap()
+            .run(|| y.iter_mut().zip(&x).for_each(|(o, v)| *o = v * 2.0))
+            .unwrap();
+        assert_eq!(out.path(), PathTaken::Accurate);
+        out.output("y", &mut y).unwrap();
+        out.finish().unwrap();
+    }
+    region.flush_db().unwrap();
+    let file = hpacml_store::H5File::open(&db).unwrap();
+    let group = file.root().group("session-collect").unwrap();
+    let xs = group.group("inputs").unwrap().dataset("x").unwrap();
+    let ys = group.group("outputs").unwrap().dataset("y").unwrap();
+    assert_eq!(xs.rows(), 4);
+    assert_eq!(ys.rows(), 4);
+    let read = ys.read_f32().unwrap();
+    assert_eq!(&read[..6], &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+}
+
+#[test]
+fn session_rejects_unknown_arrays_and_missing_inputs() {
+    let dir = tmpdir("errors");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 2, 1, 5);
+    let region = rows_region(&model);
+    let binds = Bindings::new().with("N", 4);
+
+    // Missing shape for a declared array.
+    assert!(region.session(&binds, &[("x", &[8])]).is_err());
+
+    let session = region.session(&binds, &[("x", &[8]), ("y", &[4])]).unwrap();
+    // Unknown input name.
+    assert!(session.invoke().input("z", &[0.0; 8]).is_err());
+    // Duplicate input.
+    let run = session.invoke().input("x", &[0.0; 8]).unwrap();
+    assert!(run.input("x", &[0.0; 8]).is_err());
+    // Surrogate run without inputs.
+    let err = match session.invoke().run(|| {}) {
+        Err(e) => e,
+        Ok(_) => panic!("expected a missing-input error"),
+    };
+    assert!(format!("{err}").contains("missing input"));
+    // Unknown output name.
+    let mut out = session
+        .invoke()
+        .input("x", &[0.0; 8])
+        .unwrap()
+        .run(|| unreachable!())
+        .unwrap();
+    assert!(out.output("nope", &mut [0.0; 4]).is_err());
+}
+
+#[test]
+fn multi_input_assembly_is_declaration_ordered_on_both_apis() {
+    // Two declared inputs `a, b`; supplying them in reversed order must not
+    // change the model input: both APIs assemble in declaration order.
+    let dir = tmpdir("order");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 2, 1, 31); // per sample: [a_i, b_i] -> y_i
+    let region = Region::from_source(
+        "order",
+        &format!(
+            r#"
+            #pragma approx tensor functor(one: [i, 0:1] = ([i]))
+            #pragma approx tensor map(to: one(a[0:N]))
+            #pragma approx tensor map(to: one(b[0:N]))
+            #pragma approx ml(infer) in(a, b) out(one(y[0:N])) model("{}")
+            "#,
+            model.display()
+        ),
+    )
+    .unwrap();
+    let binds = Bindings::new().with("N", 4);
+    let a: Vec<f32> = (0..4).map(|k| k as f32 * 0.1).collect();
+    let b: Vec<f32> = (0..4).map(|k| 1.0 - k as f32 * 0.2).collect();
+
+    let one_shot = |first: &str, second: &str| -> Vec<f32> {
+        let (d1, d2) = if first == "a" { (&a, &b) } else { (&b, &a) };
+        let mut y = vec![0.0f32; 4];
+        let mut out = region
+            .invoke(&binds)
+            .input(first, d1, &[4])
+            .unwrap()
+            .input(second, d2, &[4])
+            .unwrap()
+            .run(|| unreachable!())
+            .unwrap();
+        out.output("y", &mut y, &[4]).unwrap();
+        out.finish().unwrap();
+        y
+    };
+    let declared = one_shot("a", "b");
+    let reversed = one_shot("b", "a");
+    assert_eq!(declared, reversed, "supply order must not change the batch");
+
+    let session = region
+        .session(&binds, &[("a", &[4]), ("b", &[4]), ("y", &[4])])
+        .unwrap();
+    let mut y = vec![0.0f32; 4];
+    let mut out = session
+        .invoke()
+        .input("b", &b)
+        .unwrap()
+        .input("a", &a)
+        .unwrap()
+        .run(|| unreachable!())
+        .unwrap();
+    out.output("y", &mut y).unwrap();
+    out.finish().unwrap();
+    assert_eq!(y, declared, "session path must match the one-shot path");
+}
+
+#[test]
+fn sessions_follow_model_hot_swap_on_rebuild() {
+    let dir = tmpdir("swap");
+    let m1 = dir.join("m1.hml");
+    let m2 = dir.join("m2.hml");
+    save_mlp(&m1, 2, 1, 21);
+    save_mlp(&m2, 2, 1, 22);
+    let region = rows_region(&m1);
+    let binds = Bindings::new().with("N", 4);
+    let x = [0.3f32; 8];
+
+    let run = |session: &Session| -> Vec<f32> {
+        let mut y = vec![0.0f32; 4];
+        let mut out = session
+            .invoke()
+            .input("x", &x)
+            .unwrap()
+            .run(|| unreachable!())
+            .unwrap();
+        out.output("y", &mut y).unwrap();
+        out.finish().unwrap();
+        y
+    };
+    let s1 = region.session(&binds, &[("x", &[8]), ("y", &[4])]).unwrap();
+    let y1 = run(&s1);
+    region.set_model_path(&m2);
+    // A session built after the swap sees the new model.
+    let s2 = region.session(&binds, &[("x", &[8]), ("y", &[4])]).unwrap();
+    let y2 = run(&s2);
+    assert_ne!(y1, y2);
+}

@@ -46,6 +46,12 @@ impl Bindings {
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.0.keys().map(String::as_str)
     }
+
+    /// Iterate `(name, value)` pairs in sorted (BTreeMap) order — the stable
+    /// form cache keys are built from.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), *v))
+    }
 }
 
 /// Affine decomposition of an expression over a symbol set:

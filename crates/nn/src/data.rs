@@ -224,30 +224,55 @@ impl Normalizer {
 
     fn apply(&self, x: &Tensor, forward: bool) -> Tensor {
         let mut out = x.clone();
-        let dims = x.dims().to_vec();
-        let (mean, std) = (&self.mean, &self.std);
-        let data = out.data_mut();
-        let idx_of = |i: usize| -> usize {
-            match self.axis {
-                NormAxis::PerFeature => i % *dims.last().unwrap(),
-                NormAxis::PerChannel => (i / (dims[2] * dims[3])) % dims[1],
-                NormAxis::Global => 0,
-            }
-        };
-        for (i, v) in data.iter_mut().enumerate() {
-            let g = idx_of(i);
-            *v = if forward {
-                (*v - mean[g]) / std[g]
-            } else {
-                *v * std[g] + mean[g]
-            };
-        }
+        self.apply_in_place(&mut out, forward);
         out
     }
 
     /// Standardize.
     pub fn transform(&self, x: &Tensor) -> Tensor {
         self.apply(x, true)
+    }
+
+    /// Standardize into a caller-owned tensor (resized in place;
+    /// allocation-free once `out` has capacity).
+    pub fn transform_into(&self, x: &Tensor, out: &mut Tensor) {
+        x.copy_into(out);
+        self.transform_in_place(out);
+    }
+
+    /// Standardize in place (allocation-free).
+    pub fn transform_in_place(&self, x: &mut Tensor) {
+        self.apply_in_place(x, true);
+    }
+
+    /// Undo standardization in place (allocation-free).
+    pub fn inverse_in_place(&self, x: &mut Tensor) {
+        self.apply_in_place(x, false);
+    }
+
+    fn apply_in_place(&self, x: &mut Tensor, forward: bool) {
+        // Precompute the two layout constants from the shape, then mutate the
+        // data; avoids cloning the dims vector on the hot path.
+        let dims = x.dims();
+        let group_extent = match self.axis {
+            NormAxis::PerFeature => *dims.last().unwrap_or(&1),
+            NormAxis::PerChannel => dims[1],
+            NormAxis::Global => 1,
+        };
+        let inner = match self.axis {
+            NormAxis::PerFeature => 1,
+            NormAxis::PerChannel => dims[2] * dims[3],
+            NormAxis::Global => 1,
+        };
+        let (mean, std) = (&self.mean, &self.std);
+        for (i, v) in x.data_mut().iter_mut().enumerate() {
+            let g = (i / inner) % group_extent;
+            *v = if forward {
+                (*v - mean[g]) / std[g]
+            } else {
+                *v * std[g] + mean[g]
+            };
+        }
     }
 
     /// Undo standardization.

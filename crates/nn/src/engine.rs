@@ -36,16 +36,21 @@ impl InferenceEngine {
     }
 
     /// Fetch a model, loading and caching it on first use.
+    ///
+    /// Concurrent callers racing on the same path observe exactly one load:
+    /// the miss path re-checks under the write lock before touching disk.
     pub fn load(&self, path: impl AsRef<Path>) -> Result<Arc<SavedModel>> {
         let path = path.as_ref();
         if let Some(m) = self.cache.read().get(path) {
             return Ok(Arc::clone(m));
         }
+        let mut cache = self.cache.write();
+        if let Some(m) = cache.get(path) {
+            return Ok(Arc::clone(m));
+        }
         let loaded = Arc::new(load_model(path)?);
         self.loads.fetch_add(1, Ordering::Relaxed);
-        self.cache
-            .write()
-            .insert(path.to_path_buf(), Arc::clone(&loaded));
+        cache.insert(path.to_path_buf(), Arc::clone(&loaded));
         Ok(loaded)
     }
 

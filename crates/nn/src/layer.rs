@@ -38,6 +38,22 @@ pub trait Layer: Send + Sync {
     /// Pure forward pass (inference). Must not mutate the layer.
     fn forward(&self, x: &Tensor) -> Result<Tensor>;
 
+    /// Pure forward pass writing into a caller-owned output tensor (resized
+    /// in place). Built-in layers override this to be allocation-free once
+    /// `out` has capacity — the contract the zero-alloc inference workspace
+    /// relies on. The default falls back to [`Layer::forward`] + move.
+    fn forward_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
+        *out = self.forward(x)?;
+        Ok(())
+    }
+
+    /// Output dims (batch-inclusive) for a given input dims, without running
+    /// the layer. Default: shape-preserving (correct for activations and
+    /// dropout; shape-changing layers override).
+    fn out_dims(&self, in_dims: &[usize]) -> Result<Vec<usize>> {
+        Ok(in_dims.to_vec())
+    }
+
     /// Caching forward pass (training). Default: same as `forward`.
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
         self.forward(x)
@@ -110,6 +126,23 @@ impl Layer for Linear {
         Ok(y)
     }
 
+    fn forward_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
+        ops::matmul_transb_into(x, &self.w.value, out)?;
+        ops::add_bias_rows(out, self.b.value.data())?;
+        Ok(())
+    }
+
+    fn out_dims(&self, in_dims: &[usize]) -> Result<Vec<usize>> {
+        if in_dims.len() != 2 || in_dims[1] != self.in_features() {
+            return Err(NnError::BadSpec(format!(
+                "linear({}→{}) fed dims {in_dims:?}",
+                self.in_features(),
+                self.out_features()
+            )));
+        }
+        Ok(vec![in_dims[0], self.out_features()])
+    }
+
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
         self.cache_x = Some(x.clone());
         self.forward(x)
@@ -165,6 +198,11 @@ impl Layer for ReLU {
         Ok(x.map(|v| v.max(0.0)))
     }
 
+    fn forward_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
+        x.map_into(out, |v| v.max(0.0));
+        Ok(())
+    }
+
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
         self.cache_x = Some(x.clone());
         self.forward(x)
@@ -197,6 +235,11 @@ impl Layer for Tanh {
         Ok(x.map(|v| v.tanh()))
     }
 
+    fn forward_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
+        x.map_into(out, |v| v.tanh());
+        Ok(())
+    }
+
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
         let y = self.forward(x)?;
         self.cache_y = Some(y.clone());
@@ -226,6 +269,11 @@ impl Layer for Sigmoid {
 
     fn forward(&self, x: &Tensor) -> Result<Tensor> {
         Ok(x.map(|v| 1.0 / (1.0 + (-v).exp())))
+    }
+
+    fn forward_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
+        x.map_into(out, |v| 1.0 / (1.0 + (-v).exp()));
+        Ok(())
     }
 
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
@@ -275,6 +323,11 @@ impl Layer for Dropout {
 
     fn forward(&self, x: &Tensor) -> Result<Tensor> {
         Ok(x.clone())
+    }
+
+    fn forward_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
+        x.copy_into(out); // inference-time dropout is the identity
+        Ok(())
     }
 
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
@@ -333,6 +386,21 @@ impl Layer for Flatten {
         let n = x.dims()[0];
         let rest: usize = x.dims()[1..].iter().product();
         Ok(x.clone().reshape([n, rest])?)
+    }
+
+    fn forward_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
+        let n = x.dims()[0];
+        let rest: usize = x.dims()[1..].iter().product();
+        x.copy_into(out);
+        out.reshape_in_place(&[n, rest])?;
+        Ok(())
+    }
+
+    fn out_dims(&self, in_dims: &[usize]) -> Result<Vec<usize>> {
+        if in_dims.is_empty() {
+            return Err(NnError::BadSpec("flatten fed a scalar".into()));
+        }
+        Ok(vec![in_dims[0], in_dims[1..].iter().product()])
     }
 
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
@@ -399,6 +467,19 @@ impl Layer for Conv2d {
         )?)
     }
 
+    fn forward_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
+        ops::conv2d_into(x, &self.w.value, self.b.value.data(), self.geom, out)?;
+        Ok(())
+    }
+
+    fn out_dims(&self, in_dims: &[usize]) -> Result<Vec<usize>> {
+        if in_dims.len() != 4 {
+            return Err(NnError::BadSpec(format!("conv2d fed dims {in_dims:?}")));
+        }
+        let (oh, ow) = self.geom.out_hw(in_dims[2], in_dims[3]);
+        Ok(vec![in_dims[0], self.w.value.dims()[0], oh, ow])
+    }
+
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
         self.cache_x = Some(x.clone());
         self.forward(x)
@@ -452,6 +533,19 @@ impl Layer for MaxPool2d {
 
     fn forward(&self, x: &Tensor) -> Result<Tensor> {
         Ok(ops::maxpool2d(x, self.geom)?.0)
+    }
+
+    fn forward_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
+        ops::maxpool2d_into(x, self.geom, out)?;
+        Ok(())
+    }
+
+    fn out_dims(&self, in_dims: &[usize]) -> Result<Vec<usize>> {
+        if in_dims.len() != 4 {
+            return Err(NnError::BadSpec(format!("maxpool2d fed dims {in_dims:?}")));
+        }
+        let (oh, ow) = self.geom.out_hw(in_dims[2], in_dims[3]);
+        Ok(vec![in_dims[0], in_dims[1], oh, ow])
     }
 
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {

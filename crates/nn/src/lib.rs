@@ -28,13 +28,16 @@ pub mod optim;
 pub mod serialize;
 pub mod spec;
 pub mod train;
+pub mod workspace;
 
 pub use data::{InMemoryDataset, Normalizer};
 pub use engine::InferenceEngine;
 pub use layer::Layer;
 pub use model::Sequential;
+pub use serialize::SavedModel;
 pub use spec::{LayerSpec, ModelSpec};
 pub use train::{train, History, TrainConfig};
+pub use workspace::{ForwardWorkspace, InferWorkspace};
 
 use hpacml_tensor::TensorError;
 

@@ -32,12 +32,15 @@ impl Sequential {
     }
 
     /// Pure forward pass (inference).
+    ///
+    /// Routes through this thread's shared inference workspace: the
+    /// per-layer activations ping-pong inside reusable arenas, so repeated
+    /// calls allocate only the returned output tensor. Hot loops can hold a
+    /// [`crate::workspace::ForwardWorkspace`] and use
+    /// [`ForwardWorkspace::forward`](crate::workspace::ForwardWorkspace::forward)
+    /// to eliminate that last allocation too.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
-        let mut cur = x.clone();
-        for layer in &self.layers {
-            cur = layer.forward(&cur)?;
-        }
-        Ok(cur)
+        crate::workspace::with_thread_workspace(|ws| Ok(ws.fw.forward(self, x)?.clone()))
     }
 
     /// Caching forward pass (training).

@@ -19,6 +19,7 @@
 use crate::data::{NormAxis, Normalizer};
 use crate::model::Sequential;
 use crate::spec::{LayerSpec, ModelSpec};
+use crate::workspace::{with_thread_workspace, InferWorkspace};
 use crate::{NnError, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hpacml_tensor::Tensor;
@@ -27,6 +28,17 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"HMLMODEL";
 const VERSION: u8 = 1;
+
+impl std::fmt::Debug for SavedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SavedModel")
+            .field("spec", &self.spec.summary())
+            .field("params", &self.param_count())
+            .field("in_norm", &self.in_norm.is_some())
+            .field("out_norm", &self.out_norm.is_some())
+            .finish()
+    }
+}
 
 /// A deserialized, inference-ready model.
 pub struct SavedModel {
@@ -39,16 +51,31 @@ pub struct SavedModel {
 impl SavedModel {
     /// End-to-end inference on raw application-space data: normalize input,
     /// run the network, denormalize output.
+    ///
+    /// Routes through this thread's shared [`InferWorkspace`], so repeated
+    /// calls reuse the activation arenas; only the returned output tensor is
+    /// allocated. Hot loops that want the last allocation gone should hold a
+    /// workspace and call [`SavedModel::infer_with`] directly.
     pub fn infer(&self, x: &Tensor) -> Result<Tensor> {
-        let xin = match &self.in_norm {
-            Some(n) => n.transform(x),
-            None => x.clone(),
+        with_thread_workspace(|ws| Ok(self.infer_with(ws, x)?.clone()))
+    }
+
+    /// End-to-end inference into a caller-owned workspace. Steady-state
+    /// allocation-free: normalization stages into `ws`, the forward pass
+    /// ping-pongs inside `ws`, and denormalization happens in place on the
+    /// returned output buffer.
+    pub fn infer_with<'w>(&self, ws: &'w mut InferWorkspace, x: &Tensor) -> Result<&'w mut Tensor> {
+        let y = match &self.in_norm {
+            Some(n) => {
+                n.transform_into(x, &mut ws.staged);
+                ws.fw.forward(&self.model, &ws.staged)?
+            }
+            None => ws.fw.forward(&self.model, x)?,
         };
-        let y = self.model.forward(&xin)?;
-        Ok(match &self.out_norm {
-            Some(n) => n.inverse(&y),
-            None => y,
-        })
+        if let Some(n) = &self.out_norm {
+            n.inverse_in_place(y);
+        }
+        Ok(y)
     }
 
     /// Scalar parameter count.

@@ -24,6 +24,14 @@ fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
 pub fn matmul<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
+    let mut c = Tensor::zeros([0usize; 2]);
+    matmul_into(a, b, &mut c)?;
+    Ok(c)
+}
+
+/// [`matmul`] writing into a caller-owned output tensor (resized in place;
+/// allocation-free once `c` has capacity).
+pub fn matmul_into<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>, c: &mut Tensor<T>) -> Result<()> {
     let (m, k) = mat_dims(a, "matmul lhs")?;
     let (kb, n) = mat_dims(b, "matmul rhs")?;
     if k != kb {
@@ -31,7 +39,8 @@ pub fn matmul<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
             "matmul: lhs is [{m}, {k}], rhs is [{kb}, {n}]"
         )));
     }
-    let mut c = Tensor::zeros([m, n]);
+    c.resize(&[m, n]);
+    c.data_mut().fill(T::ZERO); // the kernel accumulates
     let (ad, bd) = (a.data(), b.data());
     let body = |row0: usize, rows: &mut [T]| {
         for (r, crow) in rows.chunks_exact_mut(n).enumerate() {
@@ -43,11 +52,24 @@ pub fn matmul<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
         }
     };
     dispatch_rows(c.data_mut(), m, n, k, body);
-    Ok(c)
+    Ok(())
 }
 
 /// `C[m,n] = A[m,k] · B[n,k]ᵀ` (dot products of rows — cache friendly).
 pub fn matmul_transb<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
+    let mut c = Tensor::zeros([0usize; 2]);
+    matmul_transb_into(a, b, &mut c)?;
+    Ok(c)
+}
+
+/// [`matmul_transb`] writing into a caller-owned output tensor (resized in
+/// place; allocation-free once `c` has capacity). This is the linear-layer
+/// kernel the zero-alloc inference workspace uses.
+pub fn matmul_transb_into<T: Scalar>(
+    a: &Tensor<T>,
+    b: &Tensor<T>,
+    c: &mut Tensor<T>,
+) -> Result<()> {
     let (m, k) = mat_dims(a, "matmul_transb lhs")?;
     let (n, kb) = mat_dims(b, "matmul_transb rhs")?;
     if k != kb {
@@ -55,7 +77,7 @@ pub fn matmul_transb<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T
             "matmul_transb: lhs is [{m}, {k}], rhs is [{n}, {kb}]"
         )));
     }
-    let mut c = Tensor::zeros([m, n]);
+    c.resize(&[m, n]); // every cell is overwritten below; no zero fill needed
     let (ad, bd) = (a.data(), b.data());
     let body = |row0: usize, rows: &mut [T]| {
         for (r, crow) in rows.chunks_exact_mut(n).enumerate() {
@@ -72,11 +94,22 @@ pub fn matmul_transb<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T
         }
     };
     dispatch_rows(c.data_mut(), m, n, k, body);
-    Ok(c)
+    Ok(())
 }
 
 /// `C[m,n] = A[k,m]ᵀ · B[k,n]`.
 pub fn matmul_transa<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
+    let mut c = Tensor::zeros([0usize; 2]);
+    matmul_transa_into(a, b, &mut c)?;
+    Ok(c)
+}
+
+/// [`matmul_transa`] writing into a caller-owned output tensor.
+pub fn matmul_transa_into<T: Scalar>(
+    a: &Tensor<T>,
+    b: &Tensor<T>,
+    c: &mut Tensor<T>,
+) -> Result<()> {
     let (k, m) = mat_dims(a, "matmul_transa lhs")?;
     let (kb, n) = mat_dims(b, "matmul_transa rhs")?;
     if k != kb {
@@ -84,7 +117,8 @@ pub fn matmul_transa<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T
             "matmul_transa: lhs is [{k}, {m}], rhs is [{kb}, {n}]"
         )));
     }
-    let mut c = Tensor::zeros([m, n]);
+    c.resize(&[m, n]);
+    c.data_mut().fill(T::ZERO); // the kernel accumulates
     let (ad, bd) = (a.data(), b.data());
     let body = |row0: usize, rows: &mut [T]| {
         for (r, crow) in rows.chunks_exact_mut(n).enumerate() {
@@ -96,7 +130,7 @@ pub fn matmul_transa<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T
         }
     };
     dispatch_rows(c.data_mut(), m, n, k, body);
-    Ok(c)
+    Ok(())
 }
 
 fn mat_dims<T: Scalar>(t: &Tensor<T>, what: &str) -> Result<(usize, usize)> {
@@ -273,6 +307,21 @@ pub fn conv2d<T: Scalar>(
     bias: &[T],
     g: Conv2dGeom,
 ) -> Result<Tensor<T>> {
+    let mut out = Tensor::zeros([0usize; 4]);
+    conv2d_into(input, weight, bias, g, &mut out)?;
+    Ok(out)
+}
+
+/// [`conv2d`] writing into a caller-owned output tensor (resized in place).
+/// The stride-1 direct path performs no heap allocation; the strided im2col
+/// fallback still allocates its column matrix per sample.
+pub fn conv2d_into<T: Scalar>(
+    input: &Tensor<T>,
+    weight: &Tensor<T>,
+    bias: &[T],
+    g: Conv2dGeom,
+    out: &mut Tensor<T>,
+) -> Result<()> {
     let [n, c, h, w] = rank4(input, "conv2d input")?;
     let [f, cw, kh, kw] = rank4(weight, "conv2d weight")?;
     if cw != c || (kh, kw) != g.kernel {
@@ -290,7 +339,7 @@ pub fn conv2d<T: Scalar>(
     let (oh, ow) = g.out_hw(h, w);
     let l = oh * ow;
     let ckk = c * kh * kw;
-    let mut out = Tensor::zeros([n, f, oh, ow]);
+    out.resize(&[n, f, oh, ow]); // every cell is overwritten by the kernels
     let in_sample = c * h * w;
     let out_sample = f * l;
     let wd = weight.data();
@@ -317,7 +366,7 @@ pub fn conv2d<T: Scalar>(
             }
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// Direct stride-1 convolution for one sample: for every (filter, channel,
@@ -465,12 +514,36 @@ pub fn conv2d_backward<T: Scalar>(
 /// Forward max-pooling over `[N, C, H, W]`; returns the pooled tensor and the
 /// flat argmax index (into the input) per output element, for backward.
 pub fn maxpool2d<T: Scalar>(input: &Tensor<T>, g: Conv2dGeom) -> Result<(Tensor<T>, Vec<u32>)> {
+    let [n, c, _, _] = rank4(input, "maxpool2d input")?;
+    let (oh, ow) = g.out_hw(input.dims()[2], input.dims()[3]);
+    let mut out = Tensor::zeros([0usize; 4]);
+    let mut arg = vec![0u32; n * c * oh * ow];
+    maxpool2d_body(input, g, &mut out, Some(&mut arg))?;
+    Ok((out, arg))
+}
+
+/// [`maxpool2d`] writing into a caller-owned output tensor, without tracking
+/// the argmax indices (inference only; resized in place, allocation-free once
+/// `out` has capacity).
+pub fn maxpool2d_into<T: Scalar>(
+    input: &Tensor<T>,
+    g: Conv2dGeom,
+    out: &mut Tensor<T>,
+) -> Result<()> {
+    maxpool2d_body(input, g, out, None)
+}
+
+fn maxpool2d_body<T: Scalar>(
+    input: &Tensor<T>,
+    g: Conv2dGeom,
+    out: &mut Tensor<T>,
+    mut arg: Option<&mut [u32]>,
+) -> Result<()> {
     let [n, c, h, w] = rank4(input, "maxpool2d input")?;
     let (kh, kw) = g.kernel;
     let (sh, sw) = g.stride;
     let (oh, ow) = g.out_hw(h, w);
-    let mut out = Tensor::zeros([n, c, oh, ow]);
-    let mut arg = vec![0u32; n * c * oh * ow];
+    out.resize(&[n, c, oh, ow]);
     let id = input.data();
     let od = out.data_mut();
     for nn in 0..n {
@@ -499,12 +572,14 @@ pub fn maxpool2d<T: Scalar>(input: &Tensor<T>, g: Conv2dGeom) -> Result<(Tensor<
                         }
                     }
                     od[oplane + oy * ow + ox] = best;
-                    arg[oplane + oy * ow + ox] = best_ix as u32;
+                    if let Some(arg) = arg.as_deref_mut() {
+                        arg[oplane + oy * ow + ox] = best_ix as u32;
+                    }
                 }
             }
         }
     }
-    Ok((out, arg))
+    Ok(())
 }
 
 /// Backward max-pooling: route `dout` gradients to the argmax positions.

@@ -81,6 +81,14 @@ impl Shape {
         d.push(extra);
         Shape(d)
     }
+
+    /// Overwrite the dims in place, reusing the existing allocation when the
+    /// capacity suffices. This is what lets workspace tensors change shape on
+    /// every forward pass without touching the heap in steady state.
+    pub fn set_dims(&mut self, dims: &[usize]) {
+        self.0.clear();
+        self.0.extend_from_slice(dims);
+    }
 }
 
 impl From<Vec<usize>> for Shape {

@@ -92,6 +92,47 @@ impl<T: Scalar> Tensor<T> {
         &mut self.data[off]
     }
 
+    /// Reshape this tensor in place to `dims`, growing or shrinking the
+    /// backing storage as needed. Existing element values are preserved only
+    /// up to `min(old, new)` elements; callers are expected to overwrite the
+    /// contents. In steady state (same or smaller numel, same rank) this
+    /// performs no heap allocation, which is what the inference workspaces
+    /// rely on.
+    pub fn resize(&mut self, dims: &[usize]) {
+        self.shape.set_dims(dims);
+        self.data.resize(self.shape.numel(), T::ZERO);
+    }
+
+    /// Reshape in place without touching the data; the new dims must describe
+    /// the same element count. Allocation-free when the rank fits the shape's
+    /// existing capacity.
+    pub fn reshape_in_place(&mut self, dims: &[usize]) -> Result<()> {
+        let numel: usize = dims.iter().product();
+        if numel != self.data.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.shape.dims().to_vec(),
+                to: dims.to_vec(),
+            });
+        }
+        self.shape.set_dims(dims);
+        Ok(())
+    }
+
+    /// Write `f` applied to every element of `self` into `out`, resizing
+    /// `out` to match. Allocation-free once `out` has capacity.
+    pub fn map_into(&self, out: &mut Tensor<T>, f: impl Fn(T) -> T) {
+        out.resize(self.dims());
+        for (o, x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(*x);
+        }
+    }
+
+    /// Copy `self` verbatim into `out`, resizing `out` to match.
+    pub fn copy_into(&self, out: &mut Tensor<T>) {
+        out.resize(self.dims());
+        out.data.copy_from_slice(&self.data);
+    }
+
     /// Reinterpret as a new shape with the same element count. O(1).
     pub fn reshape(self, shape: impl Into<Shape>) -> Result<Self> {
         let shape = shape.into();
@@ -239,6 +280,17 @@ impl<T: Scalar> Tensor<T> {
     }
 }
 
+impl<T: Scalar> Default for Tensor<T> {
+    /// An empty rank-1 tensor — the natural seed for workspace arenas that
+    /// grow on first use via [`Tensor::resize`].
+    fn default() -> Self {
+        Tensor {
+            data: Vec::new(),
+            shape: Shape::new([0usize]),
+        }
+    }
+}
+
 impl<T: Scalar> std::ops::Index<&[usize]> for Tensor<T> {
     type Output = T;
     fn index(&self, index: &[usize]) -> &T {
@@ -315,6 +367,31 @@ mod tests {
         let a = Tensor::<f32>::zeros([2, 2]);
         let b = Tensor::<f32>::zeros([3, 1]);
         assert!(Tensor::concat(&[&a, &b], 1).is_err());
+    }
+
+    #[test]
+    fn resize_reuses_capacity_and_reshape_in_place_checks() {
+        let mut t = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        let cap = t.data.capacity();
+        t.resize(&[3, 2]);
+        assert_eq!(t.dims(), &[3, 2]);
+        t.resize(&[1, 4]);
+        assert_eq!(t.numel(), 4);
+        assert_eq!(t.data.capacity(), cap, "shrinking must not reallocate");
+        assert!(t.reshape_in_place(&[4, 1]).is_ok());
+        assert!(t.reshape_in_place(&[5]).is_err());
+    }
+
+    #[test]
+    fn map_into_and_copy_into() {
+        let t = Tensor::from_vec(vec![1.0f32, -2.0], [2]).unwrap();
+        let mut out = Tensor::zeros([7]);
+        t.map_into(&mut out, |x| x * 3.0);
+        assert_eq!(out.dims(), &[2]);
+        assert_eq!(out.data(), &[3.0, -6.0]);
+        let mut c = Tensor::zeros([0]);
+        t.copy_into(&mut c);
+        assert_eq!(c.data(), t.data());
     }
 
     #[test]

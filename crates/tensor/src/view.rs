@@ -34,6 +34,46 @@ fn validate(len: usize, offset: usize, shape: &Shape, strides: &[usize]) -> Resu
 }
 
 /// Walk all row prefixes (all dims except the innermost) in row-major order,
+/// calling `f(row_index, row_start_offset)` — the allocation-free counterpart
+/// of [`row_offsets`] used on the serial hot paths.
+fn for_each_row_offset(
+    offset: usize,
+    shape: &Shape,
+    strides: &[usize],
+    mut f: impl FnMut(usize, usize),
+) {
+    let rank = shape.rank();
+    if rank == 0 {
+        f(0, offset);
+        return;
+    }
+    let outer_dims = &shape.dims()[..rank - 1];
+    let outer_count: usize = outer_dims.iter().product::<usize>().max(1);
+    const MAX_RANK: usize = 16;
+    if rank - 1 > MAX_RANK {
+        for (row, o) in row_offsets(offset, shape, strides).into_iter().enumerate() {
+            f(row, o);
+        }
+        return;
+    }
+    let mut idx = [0usize; MAX_RANK];
+    let mut o = offset;
+    for row in 0..outer_count {
+        f(row, o);
+        // Odometer increment, updating the running offset incrementally.
+        for axis in (0..outer_dims.len()).rev() {
+            idx[axis] += 1;
+            o += strides[axis];
+            if idx[axis] < outer_dims[axis] {
+                break;
+            }
+            o -= idx[axis] * strides[axis];
+            idx[axis] = 0;
+        }
+    }
+}
+
+/// Walk all row prefixes (all dims except the innermost) in row-major order,
 /// yielding the linear offset of each row start.
 fn row_offsets(offset: usize, shape: &Shape, strides: &[usize]) -> Vec<usize> {
     let rank = shape.rank();
@@ -172,6 +212,69 @@ impl<'a, T: Scalar> View<'a, T> {
         self.gather_into(&mut out);
         Tensor::from_vec(out, self.shape.clone()).expect("gather: shape/data agree by construction")
     }
+
+    /// Copy the view's elements in row-major order into `out`, but laid out
+    /// in runs: the `i`-th group of `chunk` elements lands at
+    /// `out[i * stride .. i * stride + chunk]`.
+    ///
+    /// This is the interleaving write the data bridge uses to compose several
+    /// per-slice gathers directly into one `[sweep, features]` tensor without
+    /// intermediate buffers. `chunk` must divide the view's element count and
+    /// be a multiple of (or divided by) the innermost contiguous run; for the
+    /// bridge this holds by construction because `chunk` is the product of
+    /// the view's trailing (feature) dimensions. Allocation-free.
+    pub fn gather_into_chunks(&self, out: &mut [T], chunk: usize, stride: usize) {
+        let total = self.numel();
+        if total == 0 {
+            return;
+        }
+        assert!(
+            chunk > 0 && total.is_multiple_of(chunk),
+            "gather_into_chunks: chunk must tile the view"
+        );
+        if chunk == stride {
+            // Degenerate case: contiguous destination.
+            self.gather_into(&mut out[..total]);
+            return;
+        }
+        let rank = self.shape.rank();
+        if rank == 0 {
+            out[0] = self.data[self.offset];
+            return;
+        }
+        let inner = self.shape.dims()[rank - 1];
+        let inner_stride = self.strides[rank - 1];
+        // Either the chunk covers whole inner rows (feature dims present) or
+        // an inner row spans whole chunks (chunk == 1 for pure-sweep views);
+        // both hold by construction for bridge views.
+        assert!(
+            chunk.is_multiple_of(inner) || inner.is_multiple_of(chunk),
+            "gather_into_chunks: chunk and inner run must nest"
+        );
+        let data = self.data;
+        for_each_row_offset(self.offset, &self.shape, &self.strides, |row, src_base| {
+            let e = row * inner; // global element index of this inner row
+            if chunk.is_multiple_of(inner) {
+                let dst_base = (e / chunk) * stride + (e % chunk);
+                let dst = &mut out[dst_base..dst_base + inner];
+                if inner_stride == 1 {
+                    dst.copy_from_slice(&data[src_base..src_base + inner]);
+                } else {
+                    for (k, d) in dst.iter_mut().enumerate() {
+                        *d = data[src_base + k * inner_stride];
+                    }
+                }
+            } else {
+                // The inner row spans inner/chunk successive chunks.
+                for c0 in (0..inner).step_by(chunk) {
+                    let dst_base = ((e + c0) / chunk) * stride;
+                    for k in 0..chunk {
+                        out[dst_base + k] = data[src_base + (c0 + k) * inner_stride];
+                    }
+                }
+            }
+        });
+    }
 }
 
 /// Mutable strided view; target of scatter (the `from` direction of a
@@ -258,6 +361,60 @@ impl<'a, T: Scalar> ViewMut<'a, T> {
             }
         }
     }
+
+    /// Inverse of [`View::gather_into_chunks`]: read the `i`-th group of
+    /// `chunk` elements from `src[i * stride .. i * stride + chunk]` and
+    /// write the groups through the view in row-major order. This lets the
+    /// data bridge scatter one slice's share of an interleaved
+    /// `[sweep, features]` tensor without materializing per-slice buffers.
+    /// Allocation-free.
+    pub fn scatter_from_chunks(&mut self, src: &[T], chunk: usize, stride: usize) {
+        let total = self.numel();
+        if total == 0 {
+            return;
+        }
+        assert!(
+            chunk > 0 && total.is_multiple_of(chunk),
+            "scatter_from_chunks: chunk must tile the view"
+        );
+        if chunk == stride {
+            self.scatter_from(&src[..total]);
+            return;
+        }
+        let rank = self.shape.rank();
+        if rank == 0 {
+            self.data[self.offset] = src[0];
+            return;
+        }
+        let inner = self.shape.dims()[rank - 1];
+        let inner_stride = self.strides[rank - 1];
+        assert!(
+            chunk.is_multiple_of(inner) || inner.is_multiple_of(chunk),
+            "scatter_from_chunks: chunk and inner run must nest"
+        );
+        let data = &mut *self.data;
+        for_each_row_offset(self.offset, &self.shape, &self.strides, |row, dst_base| {
+            let e = row * inner; // global element index of this inner row
+            if chunk.is_multiple_of(inner) {
+                let src_base = (e / chunk) * stride + (e % chunk);
+                let s = &src[src_base..src_base + inner];
+                if inner_stride == 1 {
+                    data[dst_base..dst_base + inner].copy_from_slice(s);
+                } else {
+                    for (k, v) in s.iter().enumerate() {
+                        data[dst_base + k * inner_stride] = *v;
+                    }
+                }
+            } else {
+                for c0 in (0..inner).step_by(chunk) {
+                    let src_base = ((e + c0) / chunk) * stride;
+                    for k in 0..chunk {
+                        data[dst_base + (c0 + k) * inner_stride] = src[src_base + k];
+                    }
+                }
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +488,34 @@ mod tests {
         vm.scatter_from(dense.data());
         let v2 = View::strided(&dst, 7, Shape::new([2, 3]), vec![12, 2]).unwrap();
         assert_eq!(v2.gather().data(), dense.data());
+    }
+
+    #[test]
+    fn gather_into_chunks_interleaves() {
+        // Two inner rows of 3 elements, chunk == inner: rows land at stride.
+        let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let v = View::strided(&data, 0, Shape::new([2, 3]), vec![6, 1]).unwrap();
+        let mut out = vec![0.0f32; 10];
+        v.gather_into_chunks(&mut out, 3, 5);
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 0.0, 0.0, 6.0, 7.0, 8.0, 0.0, 0.0]);
+        // chunk == 1 (pure sweep view): every element strides independently.
+        let v = View::strided(&data, 0, Shape::new([4]), vec![1]).unwrap();
+        let mut out = vec![-1.0f32; 8];
+        v.gather_into_chunks(&mut out, 1, 2);
+        assert_eq!(out, vec![0.0, -1.0, 1.0, -1.0, 2.0, -1.0, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn scatter_from_chunks_inverts_gather_into_chunks() {
+        let data: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        let v = View::strided(&data, 1, Shape::new([3, 2]), vec![8, 2]).unwrap();
+        let mut packed = vec![0.0f32; 3 * 7];
+        v.gather_into_chunks(&mut packed, 2, 7);
+        let mut dst = vec![0.0f32; 24];
+        let mut vm = ViewMut::strided(&mut dst, 1, Shape::new([3, 2]), vec![8, 2]).unwrap();
+        vm.scatter_from_chunks(&packed, 2, 7);
+        let v2 = View::strided(&dst, 1, Shape::new([3, 2]), vec![8, 2]).unwrap();
+        assert_eq!(v2.gather().data(), v.gather().data());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! cargo run --release --example weather_interleaving
 //! ```
 
-use hpac_ml::apps::miniweather::{region_step, MiniWeather, Sim, WeatherConfig};
+use hpac_ml::apps::miniweather::{session_step, weather_session, MiniWeather, Sim, WeatherConfig};
 use hpac_ml::apps::{BenchConfig, Benchmark, Scale};
 use hpac_ml::core::Region;
 
@@ -61,16 +61,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reference.step();
     }
 
+    // Compile the region once; every timestep below reuses the session
+    // (cached bridge plans, resolved model, preallocated workspaces).
+    let session = weather_session(&region, &base)?;
+
     // All-surrogate: error compounds auto-regressively.
     let mut all_surrogate = base.clone();
     for _ in 0..horizon {
-        region_step(&region, &mut all_surrogate, true)?;
+        session_step(&session, &mut all_surrogate, true)?;
     }
 
     // 1:1 interleaving: one accurate step between surrogate steps.
     let mut mixed = base.clone();
     for step in 0..horizon {
-        region_step(&region, &mut mixed, step % 2 == 1)?;
+        session_step(&session, &mut mixed, step % 2 == 1)?;
     }
 
     println!("\nafter {horizon} steps beyond the training horizon:");

@@ -18,6 +18,10 @@ pub struct Criterion {
     /// Substring filter from the command line (cargo bench passes the free
     /// argument through).
     filter: Option<String>,
+    /// Smoke mode (`cargo bench -- --test`): run each routine a couple of
+    /// times without calibration so CI validates every bench cheaply, like
+    /// upstream criterion's test mode.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -25,6 +29,7 @@ impl Default for Criterion {
         Criterion {
             sample_size: 30,
             filter: None,
+            test_mode: false,
         }
     }
 }
@@ -41,12 +46,20 @@ impl Criterion {
         self
     }
 
+    /// Enable smoke mode (see [`Criterion::default`] docs); used by the
+    /// `criterion_main!` entry point when `--test` is on the command line.
+    pub fn with_test_mode(mut self, on: bool) -> Self {
+        self.test_mode = on;
+        self
+    }
+
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
         BenchmarkGroup {
             name: name.into(),
-            sample_size: self.sample_size,
+            sample_size: if self.test_mode { 2 } else { self.sample_size },
             throughput: None,
             filter: self.filter.clone(),
+            test_mode: self.test_mode,
         }
     }
 
@@ -105,11 +118,14 @@ pub struct BenchmarkGroup {
     sample_size: usize,
     throughput: Option<Throughput>,
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(2);
+        if !self.test_mode {
+            self.sample_size = n.max(2);
+        }
         self
     }
 
@@ -136,6 +152,7 @@ impl BenchmarkGroup {
         let mut b = Bencher {
             samples: Vec::with_capacity(self.sample_size),
             target: self.sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut b);
         report(&full, &b.samples, self.throughput);
@@ -161,12 +178,23 @@ impl BenchmarkGroup {
 pub struct Bencher {
     samples: Vec<Duration>,
     target: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Time `routine`, collecting `sample_size` samples. Iterations per
     /// sample auto-scale so very fast routines still get resolvable timings.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            // Smoke mode: execute once per sample, no calibration — just
+            // prove the routine runs.
+            for _ in 0..self.target {
+                let t0 = Instant::now();
+                black_box(routine());
+                self.samples.push(t0.elapsed());
+            }
+            return;
+        }
         // Warm up and calibrate: aim for >= 20us per sample.
         let mut iters_per_sample = 1u64;
         loop {
@@ -233,10 +261,11 @@ fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
 macro_rules! criterion_group {
     (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
         pub fn $name(filter: Option<String>) {
+            let test_mode = std::env::args().any(|a| a == "--test");
             $(
                 {
                     let mut c: $crate::Criterion = $cfg;
-                    c = c.with_filter(filter.clone());
+                    c = c.with_filter(filter.clone()).with_test_mode(test_mode);
                     $target(&mut c);
                 }
             )+
