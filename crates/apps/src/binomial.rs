@@ -164,8 +164,10 @@ fn build_region(db: Option<&Path>, model: Option<&Path>) -> AppResult<Region> {
     Ok(builder.build()?)
 }
 
-/// Run the annotated application over `batch`: one region invocation per
-/// `chunk` options, either collecting or inferring.
+/// Run the annotated application over `batch`: one *batched* region
+/// invocation per up-to-`chunk` options (the runtime batch dimension),
+/// either collecting or inferring. One compiled session serves every chunk,
+/// tail included.
 fn run_annotated(
     region: &Region,
     batch: &OptionBatch,
@@ -174,29 +176,14 @@ fn run_annotated(
     use_model: bool,
 ) -> AppResult<Vec<f32>> {
     let mut prices = vec![0.0f32; batch.n];
-    // Compile the region once per chunk shape (full chunks plus at most one
-    // tail) and reuse the sessions across the whole sweep.
-    let mut sessions = ChunkSessions::new(region, "opts", FEATURES, "prices", chunk, batch.n)?;
-    let mut start = 0usize;
-    while start < batch.n {
-        let end = (start + chunk).min(batch.n);
-        let n = end - start;
-        let session = sessions.for_len(n)?;
-        let opts = &batch.data[start * FEATURES..end * FEATURES];
-        let out_slice = &mut prices[start..end];
+    let sweep = SweepSession::new(region, "opts", FEATURES, "prices", chunk)?;
+    sweep.run(&batch.data, &mut prices, use_model, |start, end, out| {
         let sub = OptionBatch {
-            data: opts.to_vec(),
-            n,
+            data: batch.data[start * FEATURES..end * FEATURES].to_vec(),
+            n: end - start,
         };
-        let mut outcome = session
-            .invoke()
-            .use_surrogate(use_model)
-            .input("opts", opts)?
-            .run(|| price_batch(&sub, steps, out_slice))?;
-        outcome.output("prices", out_slice)?;
-        outcome.finish()?;
-        start = end;
-    }
+        price_batch(&sub, steps, out);
+    })?;
     Ok(prices)
 }
 
@@ -247,7 +234,9 @@ impl Benchmark for BinomialOptions {
 
         // Collection must not change results.
         debug_assert_eq!(plain, collected);
-        let rows = batch.n.div_ceil(bc.collect_batch);
+        // Batched invocations record one database row per option, exactly as
+        // per-option invocations would.
+        let rows = batch.n;
         Ok(CollectStats {
             plain_runtime,
             collect_runtime,
@@ -397,14 +386,15 @@ mod tests {
         price_batch(&batch, 32, &mut plain);
         assert_eq!(annotated, plain);
         region.flush_db().unwrap();
-        // Two invocations recorded (128 options / 64 per chunk).
+        // One row per option: 128 options, regardless of the 64-wide runtime
+        // batches the sweep ran in.
         let file = hpacml_store::H5File::open(&db).unwrap();
         let g = file.root().group("binomial").unwrap();
         assert_eq!(
             g.group("inputs").unwrap().dataset("opts").unwrap().rows(),
-            2
+            128
         );
-        assert_eq!(g.dataset("region_time_ns").unwrap().rows(), 2);
+        assert_eq!(g.dataset("region_time_ns").unwrap().rows(), 128);
     }
 
     #[test]

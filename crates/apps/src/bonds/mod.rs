@@ -262,29 +262,16 @@ fn run_annotated(
     use_model: bool,
 ) -> AppResult<Vec<f32>> {
     let mut out = vec![0.0f32; batch.n];
-    // Compile the region once per chunk shape (full chunks plus at most one
-    // tail) and reuse the sessions across the whole sweep.
-    let mut sessions = ChunkSessions::new(region, "bonds", FEATURES, "accrued", chunk, batch.n)?;
-    let mut start = 0usize;
-    while start < batch.n {
-        let end = (start + chunk).min(batch.n);
-        let n = end - start;
-        let session = sessions.for_len(n)?;
-        let feats = &batch.data[start * FEATURES..end * FEATURES];
-        let out_slice = &mut out[start..end];
+    // One compiled session; each chunk (tail included) is one *batched*
+    // region invocation through the runtime batch dimension.
+    let sweep = SweepSession::new(region, "bonds", FEATURES, "accrued", chunk)?;
+    sweep.run(&batch.data, &mut out, use_model, |start, end, out_chunk| {
         let sub = BondBatch {
-            data: feats.to_vec(),
-            n,
+            data: batch.data[start * FEATURES..end * FEATURES].to_vec(),
+            n: end - start,
         };
-        let mut outcome = session
-            .invoke()
-            .use_surrogate(use_model)
-            .input("bonds", feats)?
-            .run(|| bonds_kernel(&sub, out_slice))?;
-        outcome.output("accrued", out_slice)?;
-        outcome.finish()?;
-        start = end;
-    }
+        bonds_kernel(&sub, out_chunk);
+    })?;
     Ok(out)
 }
 
@@ -336,7 +323,9 @@ impl Benchmark for Bonds {
             plain_runtime,
             collect_runtime,
             db_bytes: region.db_size_bytes(),
-            rows: batch.n.div_ceil(bc.collect_batch),
+            // One collection row per sweep element (batched invocations record
+            // per-sample rows).
+            rows: batch.n,
         })
     }
 

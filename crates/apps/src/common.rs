@@ -221,64 +221,82 @@ pub trait Benchmark: Send + Sync {
     }
 }
 
-/// Compiled sessions for a chunked 1-D sweep (the MiniBUDE/Binomial/Bonds
-/// pattern): each invocation covers `n` sweep elements bound as `N`, with a
-/// flat `[n * feat]` input array and an `[n]` output array. Holds one session
-/// for the full chunk size and lazily builds one more for the tail, so the
-/// whole sweep is served by at most two compilations.
-pub struct ChunkSessions<'r> {
-    region: &'r Region,
+/// One compiled batched session for a 1-D sweep (the MiniBUDE/Binomial/Bonds
+/// pattern). The region's unit of work is **one** sweep element (`N = 1`:
+/// `feat` input features, one output value); a whole sweep of any length is
+/// served by [`Session::invoke_batch`] in chunks of up to `max_batch` —
+/// one forward pass per chunk, the tail included, through a single
+/// compilation. This replaces the old full+tail two-session workaround: the
+/// batch dimension is a runtime parameter now.
+pub struct SweepSession<'r> {
+    session: Session<'r>,
     input: String,
     feat: usize,
     output: String,
-    full_n: usize,
-    full: Session<'r>,
-    tail: Option<(usize, Session<'r>)>,
 }
 
-impl<'r> ChunkSessions<'r> {
+impl<'r> SweepSession<'r> {
     pub fn new(
         region: &'r Region,
         input: &str,
         feat: usize,
         output: &str,
-        chunk: usize,
-        total: usize,
+        max_batch: usize,
     ) -> AppResult<Self> {
-        let full_n = chunk.min(total).max(1);
-        let full = Self::build(region, input, feat, output, full_n)?;
-        Ok(ChunkSessions {
-            region,
+        let binds = Bindings::new().with("N", 1);
+        let session = region.session(
+            &binds,
+            &[(input, &[feat]), (output, &[1])],
+            max_batch.max(1),
+        )?;
+        Ok(SweepSession {
+            session,
             input: input.to_string(),
             feat,
             output: output.to_string(),
-            full_n,
-            full,
-            tail: None,
         })
     }
 
-    fn build(
-        region: &'r Region,
-        input: &str,
-        feat: usize,
-        output: &str,
-        n: usize,
-    ) -> AppResult<Session<'r>> {
-        let binds = Bindings::new().with("N", n as i64);
-        Ok(region.session(&binds, &[(input, &[n * feat]), (output, &[n])])?)
+    /// The underlying compiled session.
+    pub fn session(&self) -> &Session<'r> {
+        &self.session
     }
 
-    /// The session compiled for chunks of `n` sweep elements.
-    pub fn for_len(&mut self, n: usize) -> AppResult<&Session<'r>> {
-        if n == self.full_n {
-            return Ok(&self.full);
+    /// Run the whole sweep: `data` holds `out.len() * feat` features, and
+    /// each chunk of up to `max_batch` sweep elements is one batched region
+    /// invocation — surrogate when `use_model`, otherwise the `accurate`
+    /// kernel invoked as `accurate(start, end, out_chunk)`.
+    pub fn run(
+        &self,
+        data: &[f32],
+        out: &mut [f32],
+        use_model: bool,
+        mut accurate: impl FnMut(usize, usize, &mut [f32]),
+    ) -> AppResult<()> {
+        let total = out.len();
+        assert_eq!(
+            data.len(),
+            total * self.feat,
+            "sweep input/output lengths disagree"
+        );
+        let max_batch = self.session.max_batch();
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + max_batch).min(total);
+            let n = end - start;
+            let chunk_in = &data[start * self.feat..end * self.feat];
+            let out_chunk = &mut out[start..end];
+            let mut outcome = self
+                .session
+                .invoke_batch(n)?
+                .use_surrogate(use_model)
+                .input(&self.input, chunk_in)?
+                .run(|| accurate(start, end, out_chunk))?;
+            outcome.output(&self.output, out_chunk)?;
+            outcome.finish()?;
+            start = end;
         }
-        if self.tail.as_ref().map(|(tn, _)| *tn) != Some(n) {
-            let session = Self::build(self.region, &self.input, self.feat, &self.output, n)?;
-            self.tail = Some((n, session));
-        }
-        Ok(&self.tail.as_ref().expect("tail session built above").1)
+        Ok(())
     }
 }
 

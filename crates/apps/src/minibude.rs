@@ -248,29 +248,16 @@ fn run_annotated(
     use_model: bool,
 ) -> AppResult<Vec<f32>> {
     let mut out = vec![0.0f32; poses.n];
-    // Compile the region once per chunk shape (full chunks plus at most one
-    // tail) and reuse the sessions across the whole sweep.
-    let mut sessions = ChunkSessions::new(region, "poses", POSE_DOF, "energies", chunk, poses.n)?;
-    let mut start = 0usize;
-    while start < poses.n {
-        let end = (start + chunk).min(poses.n);
-        let n = end - start;
-        let session = sessions.for_len(n)?;
-        let pose_slice = &poses.data[start * POSE_DOF..end * POSE_DOF];
-        let out_slice = &mut out[start..end];
+    // One compiled session; each chunk (tail included) is one *batched*
+    // region invocation through the runtime batch dimension.
+    let sweep = SweepSession::new(region, "poses", POSE_DOF, "energies", chunk)?;
+    sweep.run(&poses.data, &mut out, use_model, |start, end, out_chunk| {
         let sub = PoseBatch {
-            data: pose_slice.to_vec(),
-            n,
+            data: poses.data[start * POSE_DOF..end * POSE_DOF].to_vec(),
+            n: end - start,
         };
-        let mut outcome = session
-            .invoke()
-            .use_surrogate(use_model)
-            .input("poses", pose_slice)?
-            .run(|| energies(deck, &sub, out_slice))?;
-        outcome.output("energies", out_slice)?;
-        outcome.finish()?;
-        start = end;
-    }
+        energies(deck, &sub, out_chunk);
+    })?;
     Ok(out)
 }
 
@@ -323,7 +310,9 @@ impl Benchmark for MiniBude {
             plain_runtime,
             collect_runtime,
             db_bytes: region.db_size_bytes(),
-            rows: poses.n.div_ceil(bc.collect_batch),
+            // One collection row per sweep element (batched invocations record
+            // per-sample rows).
+            rows: poses.n,
         })
     }
 

@@ -447,7 +447,9 @@ pub fn weather_session<'r>(region: &'r Region, sim: &Sim) -> AppResult<Session<'
     let binds = Bindings::new()
         .with("NZ", sim.nz as i64)
         .with("NX", sim.nx as i64);
-    Ok(region.session(&binds, &[("state", &[NUM_VARS, sim.nz, sim.nx])])?)
+    // The auto-regressive timestep loop is inherently sequential (each step
+    // feeds the next), so one sample per invocation: max_batch = 1.
+    Ok(region.session(&binds, &[("state", &[NUM_VARS, sim.nz, sim.nx])], 1)?)
 }
 
 /// Advance `sim` one step through a compiled session: accurate + collected

@@ -26,6 +26,11 @@ use hpacml_tensor::Tensor;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
+/// Frames coalesced into one batched region invocation wherever frames are
+/// independent (collection and surrogate evaluation). A runtime batch — any
+/// tail length reuses the same compiled session.
+pub const FRAME_BATCH: usize = 32;
+
 /// Foreground (object) pixel intensity, per Rodinia.
 pub const FG: f32 = 100.0;
 /// Background pixel intensity, per Rodinia.
@@ -336,35 +341,49 @@ impl Benchmark for ParticleFilter {
 
         // Collection: per frame, store the frame and the ground-truth
         // location (the paper: "captures the ground-truth values to create
-        // the training dataset").
+        // the training dataset"). Frames are independent, so chunks of up to
+        // `FRAME_BATCH` go through one *batched* region invocation each; the
+        // database still gets one row per frame.
         let db = cfg.db_path(self.name());
         let _ = std::fs::remove_file(&db);
         let region = build_region(Some(&db), None)?;
         let binds = Bindings::new()
             .with("H", pc.h as i64)
             .with("W", pc.w as i64);
-        // One compiled session serves every frame of every video.
-        let session = region.session(&binds, &[("frame", &[pc.h, pc.w]), ("loc", &[2])])?;
+        // One compiled session serves every frame chunk of every video.
+        let session = region.session(
+            &binds,
+            &[("frame", &[pc.h, pc.w]), ("loc", &[2])],
+            FRAME_BATCH,
+        )?;
+        let frame_len = pc.h * pc.w;
         let t0 = Instant::now();
         let mut rows = 0usize;
         for (v, video) in videos.iter().enumerate() {
             // The PF itself runs once per video (the accurate path), and each
-            // frame is one region invocation.
+            // frame is one logical region invocation, batched per chunk.
             let estimates = particle_filter(video, pc.particles, cfg.seed.wrapping_add(v as u64));
-            for (f, estimate) in estimates.iter().enumerate().take(video.frames) {
-                let mut loc = [video.truth[f].0, video.truth[f].1];
+            let mut f0 = 0usize;
+            while f0 < video.frames {
+                let f1 = (f0 + FRAME_BATCH).min(video.frames);
+                let n = f1 - f0;
+                let mut locs: Vec<f32> = video.truth[f0..f1]
+                    .iter()
+                    .flat_map(|&(x, y)| [x, y])
+                    .collect();
                 let mut outcome = session
-                    .invoke()
+                    .invoke_batch(n)?
                     .use_surrogate(false)
-                    .input("frame", video.frame(f))?
+                    .input("frame", &video.pixels[f0 * frame_len..f1 * frame_len])?
                     .run(|| {
-                        // Accurate path: the app's own estimate (kept for the
-                        // QoI); ground truth is what gets collected.
-                        std::hint::black_box(*estimate);
+                        // Accurate path: the app's own estimates (kept for
+                        // the QoI); ground truth is what gets collected.
+                        std::hint::black_box(&estimates[f0..f1]);
                     })?;
-                outcome.output("loc", &mut loc)?;
+                outcome.output("loc", &mut locs)?;
                 outcome.finish()?;
-                rows += 1;
+                rows += n;
+                f0 = f1;
             }
         }
         let collect_runtime = t0.elapsed();
@@ -469,27 +488,36 @@ impl Benchmark for ParticleFilter {
         let accurate_time = accurate_total / pc.eval_reps;
         std::hint::black_box(&pf_estimates);
 
-        // Surrogate path: CNN per frame through a session compiled once
-        // outside the frame loop.
+        // Surrogate path: frames are independent here, so chunks of up to
+        // FRAME_BATCH frames share one CNN forward pass each, through a
+        // session compiled once outside the loop.
         let region = build_region(None, Some(model_path))?;
-        let session: Session<'_> =
-            region.session(&binds, &[("frame", &[pc.h, pc.w]), ("loc", &[2])])?;
+        let session: Session<'_> = region.session(
+            &binds,
+            &[("frame", &[pc.h, pc.w]), ("loc", &[2])],
+            FRAME_BATCH,
+        )?;
+        let frame_len = pc.h * pc.w;
         let mut cnn_estimates: Vec<(f32, f32)> = Vec::new();
+        let mut locs = vec![0.0f32; FRAME_BATCH * 2];
         let mut surrogate_total = Duration::ZERO;
         for _ in 0..pc.eval_reps {
             region.reset_stats();
             cnn_estimates.clear();
             let t0 = Instant::now();
-            for f in 0..video.frames {
-                let mut loc = [0.0f32; 2];
+            let mut f0 = 0usize;
+            while f0 < video.frames {
+                let f1 = (f0 + FRAME_BATCH).min(video.frames);
+                let n = f1 - f0;
                 let mut outcome = session
-                    .invoke()
+                    .invoke_batch(n)?
                     .use_surrogate(true)
-                    .input("frame", video.frame(f))?
+                    .input("frame", &video.pixels[f0 * frame_len..f1 * frame_len])?
                     .run(|| unreachable!("surrogate path"))?;
-                outcome.output("loc", &mut loc)?;
+                outcome.output("loc", &mut locs[..n * 2])?;
                 outcome.finish()?;
-                cnn_estimates.push((loc[0], loc[1]));
+                cnn_estimates.extend(locs[..n * 2].chunks_exact(2).map(|l| (l[0], l[1])));
+                f0 = f1;
             }
             surrogate_total += t0.elapsed();
         }

@@ -1,0 +1,101 @@
+//! Criterion: per-sample cost of runtime-batched invocation vs sequential
+//! one-sample invokes, on one compiled per-sample session.
+//!
+//! The region's unit of work is a single 2-feature sample; one `Session`
+//! (max_batch = 64) serves every rung:
+//!
+//! * `sequential_64`   — 64 × `invoke()` (one forward pass per sample);
+//! * `invoke_batch_n`  — one `invoke_batch(n)` for n ∈ {1, 16, 64}: one
+//!   gather pass, one forward pass, one scatter pass for the whole batch.
+//!
+//! The acceptance bar for first-class batching is `invoke_batch(64)`
+//! delivering ≥ 2x the per-sample throughput of `sequential_64`; in practice
+//! the gap is larger because per-invocation overhead and per-pass fixed
+//! costs amortize across the batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpacml_core::Region;
+use hpacml_directive::sema::Bindings;
+use hpacml_nn::spec::{Activation, ModelSpec};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const FEATURES: usize = 2;
+const MAX_BATCH: usize = 64;
+
+fn model_path() -> PathBuf {
+    let dir = std::env::temp_dir().join("hpacml-bench-batched");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("small-mlp.hml");
+    let spec = ModelSpec::mlp(FEATURES, &[16], 1, Activation::ReLU, 0.0);
+    let mut model = spec.build(7).unwrap();
+    hpacml_nn::serialize::save_model(&path, &spec, &mut model, None, None).unwrap();
+    path
+}
+
+fn region(model: &std::path::Path) -> Region {
+    Region::from_source(
+        "bench-batched",
+        &format!(
+            r#"
+            #pragma approx tensor functor(rows: [i, 0:2] = ([2*i : 2*i+2]))
+            #pragma approx tensor functor(single: [i, 0:1] = ([i]))
+            #pragma approx tensor map(to: rows(x[0:N]))
+            #pragma approx ml(infer) in(x) out(single(y[0:N])) model("{}")
+            "#,
+            model.display()
+        ),
+    )
+    .unwrap()
+}
+
+fn bench_batched_invoke(c: &mut Criterion) {
+    let path = model_path();
+    let region = region(&path);
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[FEATURES]), ("y", &[1])], MAX_BATCH)
+        .unwrap();
+    let x: Vec<f32> = (0..MAX_BATCH * FEATURES)
+        .map(|k| (k as f32).sin() * 0.5)
+        .collect();
+    let mut y = vec![0.0f32; MAX_BATCH];
+
+    let mut group = c.benchmark_group("batched_invoke");
+
+    group.bench_function("sequential_64", |b| {
+        b.iter(|| {
+            for i in 0..MAX_BATCH {
+                let mut out = session
+                    .invoke()
+                    .input("x", black_box(&x[i * FEATURES..(i + 1) * FEATURES]))
+                    .unwrap()
+                    .run(|| unreachable!())
+                    .unwrap();
+                out.output("y", black_box(&mut y[i..i + 1])).unwrap();
+                out.finish().unwrap();
+            }
+        });
+    });
+
+    for n in [1usize, 16, 64] {
+        group.bench_function(format!("invoke_batch_{n}"), |b| {
+            b.iter(|| {
+                let mut out = session
+                    .invoke_batch(n)
+                    .unwrap()
+                    .input("x", black_box(&x[..n * FEATURES]))
+                    .unwrap()
+                    .run(|| unreachable!())
+                    .unwrap();
+                out.output("y", black_box(&mut y[..n])).unwrap();
+                out.finish().unwrap();
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_invoke);
+criterion_main!(benches);

@@ -91,7 +91,7 @@ fn bench_session_overhead(c: &mut Criterion) {
     });
 
     let session = region
-        .session(&binds, &[("x", &[N * FEATURES]), ("y", &[N])])
+        .session(&binds, &[("x", &[N * FEATURES]), ("y", &[N])], 1)
         .unwrap();
     group.bench_function("session_reuse", |b| {
         b.iter(|| {

@@ -224,7 +224,7 @@ fn main() {
     });
     entries.push(("invoke.one_shot_cached_ns".into(), cached));
     let session = region
-        .session(&binds, &[("x", &[rn * 2]), ("y", &[rn])])
+        .session(&binds, &[("x", &[rn * 2]), ("y", &[rn])], 1)
         .unwrap();
     let sess = measure(samples, 200, || {
         let mut out = session
@@ -245,10 +245,57 @@ fn main() {
     });
     entries.push(("invoke.inference_floor_ns".into(), floor));
 
-    // Derived: per-invocation overhead (total minus the inference floor) and
-    // the session-vs-uncached overhead ratio the acceptance bar asks for.
+    // --- Runtime batching: per-sample cost vs batch size on one session ---
+    // Per-sample region (N = 1): each logical invocation is one 2-feature
+    // sample; one compiled session serves every runtime batch size.
+    let max_batch = 64usize;
+    let binds1 = Bindings::new().with("N", 1);
+    let bsession = region
+        .session(&binds1, &[("x", &[2]), ("y", &[1])], max_batch)
+        .unwrap();
+    let xb: Vec<f32> = (0..max_batch * 2).map(|k| (k as f32).cos() * 0.4).collect();
+    let mut yb = vec![0.0f32; max_batch];
+    // Sequential baseline: 64 one-sample session invokes per measurement.
+    let seq64 = measure(samples, 20, || {
+        for i in 0..max_batch {
+            let mut out = bsession
+                .invoke()
+                .input("x", black_box(&xb[i * 2..(i + 1) * 2]))
+                .unwrap()
+                .run(|| unreachable!())
+                .unwrap();
+            out.output("y", black_box(&mut yb[i..i + 1])).unwrap();
+            out.finish().unwrap();
+        }
+    }) / max_batch as u64;
+    entries.push(("invoke.sequential64_per_sample_ns".into(), seq64.max(1)));
+    let mut batch64_per_sample = 1u64;
+    for bn in [1usize, 16, 64] {
+        let per = measure(samples, 100, || {
+            let mut out = bsession
+                .invoke_batch(bn)
+                .unwrap()
+                .input("x", black_box(&xb[..bn * 2]))
+                .unwrap()
+                .run(|| unreachable!())
+                .unwrap();
+            out.output("y", black_box(&mut yb[..bn])).unwrap();
+            out.finish().unwrap();
+        }) / bn as u64;
+        let per = per.max(1);
+        entries.push((format!("invoke.batch{bn}_per_sample_ns"), per));
+        if bn == 64 {
+            batch64_per_sample = per;
+        }
+    }
+
+    // Derived: per-invocation overhead (total minus the inference floor),
+    // the session-vs-uncached overhead ratio, and the batched-throughput
+    // ratio (per-sample time of 64 sequential invokes over one
+    // invoke_batch(64)) the acceptance bars ask for.
     let overhead = |total: u64| total.saturating_sub(floor).max(1);
     let ratio = overhead(uncached) as f64 / overhead(sess) as f64;
+    let batch_ratio = seq64 as f64 / batch64_per_sample as f64;
 
     let mut json = String::from("{\n");
     json.push_str("  \"schema\": \"hpacml-bench-baseline-v1\",\n");
@@ -265,7 +312,10 @@ fn main() {
         overhead(uncached)
     ));
     json.push_str(&format!(
-        "  \"invoke.uncached_over_session_overhead_ratio\": {ratio:.2}\n"
+        "  \"invoke.uncached_over_session_overhead_ratio\": {ratio:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"invoke.batched_throughput_ratio_64\": {batch_ratio:.2}\n"
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write baseline json");
@@ -276,6 +326,11 @@ fn main() {
             ratio >= min,
             "overhead gate: cached Session must show >= {min}x lower per-invocation \
              overhead than the uncached one-shot path (got {ratio:.2}x)"
+        );
+        assert!(
+            batch_ratio >= min,
+            "batching gate: invoke_batch(64) must deliver >= {min}x per-sample \
+             throughput over 64 sequential session invokes (got {batch_ratio:.2}x)"
         );
     }
 }

@@ -7,14 +7,36 @@
 //! compilation entirely for a previously seen key.
 
 use crate::extract::extract;
-use crate::resolve::{resolve_slice, resolve_sweep, ResolvedView};
-use crate::wrap::{to_view_parts, wrap, wrap_mut};
+use crate::resolve::{resolve_slice, resolve_sweep};
+use crate::wrap::to_view_parts;
 use crate::{BridgeError, Result};
 use hpacml_directive::ast::{Direction, MapDirective};
 use hpacml_directive::sema::{Bindings, FunctorInfo, LhsDim};
-use hpacml_tensor::Tensor;
+use hpacml_tensor::{gather_chunks_raw, scatter_chunks_raw, Tensor};
+
+/// Element-count threshold above which batched gather/scatter parallelize
+/// over the leading (sample) dimension. Matches the view layer's threshold
+/// for parallel single-view gathers.
+const PAR_ELEMS: usize = 1 << 16;
+
+/// One RHS slice as a *validated* raw strided view over a per-sample
+/// application array: `(offset, dims, strides)` checked against the array
+/// bounds once at compile time, so every later gather/scatter runs the raw
+/// copy kernels with no per-call view construction (and no allocation).
+#[derive(Debug, Clone)]
+struct CompiledView {
+    offset: usize,
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+}
 
 /// A fully resolved tensor map, ready to move data.
+///
+/// A plan is compiled against *per-sample* array dims; the batched entry
+/// points ([`CompiledMap::gather_batch_into`], [`CompiledMap::scatter_batch`])
+/// apply the same precompiled strides to `n` back-to-back samples in one
+/// pass over the leading dimension — the runtime batch dimension never
+/// recompiles a plan.
 #[derive(Debug, Clone)]
 pub struct CompiledMap {
     pub direction: Direction,
@@ -33,7 +55,7 @@ pub struct CompiledMap {
     col_offsets: Vec<usize>,
     /// Total features per sweep point (sum of `elem_counts`).
     feat_total: usize,
-    views: Vec<ResolvedView>,
+    views: Vec<CompiledView>,
 }
 
 impl CompiledMap {
@@ -47,10 +69,11 @@ impl CompiledMap {
         self.array_dims.iter().product()
     }
 
-    fn check_buffer(&self, len: usize) -> Result<()> {
-        if len != self.array_numel() {
+    fn check_buffer(&self, len: usize, n: usize) -> Result<()> {
+        if len != n * self.array_numel() {
             return Err(BridgeError::Plan(format!(
-                "array `{}`: buffer has {len} elements, map was compiled for {:?} = {}",
+                "array `{}`: buffer has {len} elements, map was compiled for {:?} = {} \
+                 per sample (batch of {n})",
                 self.array,
                 self.array_dims,
                 self.array_numel()
@@ -59,8 +82,54 @@ impl CompiledMap {
         Ok(())
     }
 
-    /// Memory concretization, application → tensor space: wrap each RHS
-    /// slice, gather, and compose into the LHS tensor.
+    /// Gather one sample's RHS slices into its interleaved position in a
+    /// per-sample `[sweep..., features]` chunk. The precompiled view parts
+    /// were bounds-checked at compile time against the per-sample array.
+    #[inline]
+    fn gather_sample(&self, sample: &[f32], dst: &mut [f32]) {
+        for ((cv, &elems), &col) in self
+            .views
+            .iter()
+            .zip(&self.elem_counts)
+            .zip(&self.col_offsets)
+        {
+            gather_chunks_raw(
+                sample,
+                cv.offset,
+                &cv.dims,
+                &cv.strides,
+                &mut dst[col..],
+                elems,
+                self.feat_total,
+            );
+        }
+    }
+
+    /// Scatter one sample's `[sweep..., features]` chunk back through the
+    /// precompiled strided views into the per-sample application array.
+    #[inline]
+    fn scatter_sample(&self, src: &[f32], sample: &mut [f32]) {
+        for ((cv, &elems), &col) in self
+            .views
+            .iter()
+            .zip(&self.elem_counts)
+            .zip(&self.col_offsets)
+        {
+            scatter_chunks_raw(
+                sample,
+                cv.offset,
+                &cv.dims,
+                &cv.strides,
+                &src[col..],
+                elems,
+                self.feat_total,
+            );
+        }
+    }
+
+    /// Memory concretization, application → tensor space: gather each RHS
+    /// slice through its precompiled strided view and compose into the LHS
+    /// tensor.
     pub fn gather(&self, data: &[f32]) -> Result<Tensor> {
         let mut out = Tensor::zeros([0usize]);
         self.gather_into(data, &mut out)?;
@@ -71,25 +140,44 @@ impl CompiledMap {
     ///
     /// Each RHS slice is gathered *directly* into its interleaved position in
     /// the `[sweep..., features]` LHS layout — no intermediate per-slice
-    /// tensors, and no heap allocation once `out` has capacity. This is the
-    /// hot gather path of a compiled [`Session`](https://docs.rs/hpacml-core).
+    /// tensors, no per-call view construction, and no heap allocation once
+    /// `out` has capacity. This is the hot gather path of a compiled
+    /// [`Session`](https://docs.rs/hpacml-core).
     pub fn gather_into(&self, data: &[f32], out: &mut Tensor) -> Result<()> {
-        self.check_buffer(data.len())?;
-        out.resize(&self.lhs_shape);
+        self.gather_batch_into(data, 1, out)
+    }
+
+    /// Batched gather: `data` holds `n` per-sample arrays back to back, and
+    /// the LHS tensor becomes the `n` per-sample tensors stacked along the
+    /// leading dimension (`[n * sweep_0, sweep_1..., features]`). One pass
+    /// over the leading dimension through the same precompiled per-sample
+    /// strides — any `n` runs on a plan compiled once. Allocation-free once
+    /// `out` has capacity; large batches parallelize over samples on the
+    /// `hpacml-par` pool.
+    pub fn gather_batch_into(&self, data: &[f32], n: usize, out: &mut Tensor) -> Result<()> {
+        self.check_buffer(data.len(), n)?;
+        let pn = self.numel();
+        let an = self.array_numel();
+        resize_batched(out, n, &self.lhs_shape);
+        if pn == 0 || n == 0 {
+            return Ok(());
+        }
         let od = out.data_mut();
-        for ((rv, &elems), &col) in self
-            .views
-            .iter()
-            .zip(&self.elem_counts)
-            .zip(&self.col_offsets)
-        {
-            wrap(rv, data)?.gather_into_chunks(&mut od[col..], elems, self.feat_total);
+        if n > 1 && n * pn >= PAR_ELEMS {
+            hpacml_par::par_chunks_mut(od, pn, |start, dst| {
+                let i = start / pn;
+                self.gather_sample(&data[i * an..(i + 1) * an], dst);
+            });
+        } else {
+            for (i, dst) in od.chunks_exact_mut(pn).enumerate() {
+                self.gather_sample(&data[i * an..(i + 1) * an], dst);
+            }
         }
         Ok(())
     }
 
     /// Memory concretization, tensor space → application: split the LHS
-    /// tensor per slice and scatter through the mutable views.
+    /// tensor per slice and scatter through the precompiled strided views.
     pub fn scatter(&self, lhs: &Tensor, data: &mut [f32]) -> Result<()> {
         self.scatter_slice(lhs.data(), data)
     }
@@ -98,7 +186,6 @@ impl CompiledMap {
     /// layout — the form the runtime uses to scatter a chunk of the model
     /// output without copying it into a tensor first. Allocation-free.
     pub fn scatter_slice(&self, lhs: &[f32], data: &mut [f32]) -> Result<()> {
-        self.check_buffer(data.len())?;
         if lhs.len() != self.numel() {
             return Err(BridgeError::Plan(format!(
                 "scatter: tensor has {} elements, map produces {}",
@@ -106,15 +193,68 @@ impl CompiledMap {
                 self.numel()
             )));
         }
-        for ((rv, &elems), &col) in self
-            .views
-            .iter()
-            .zip(&self.elem_counts)
-            .zip(&self.col_offsets)
-        {
-            wrap_mut(rv, data)?.scatter_from_chunks(&lhs[col..], elems, self.feat_total);
+        self.scatter_batch(lhs, self.numel(), 0, 1, data)
+    }
+
+    /// Batched scatter: write `n` samples back through the per-sample plan in
+    /// one pass over the leading dimension. Sample `i` reads the
+    /// `self.numel()` elements at `lhs[i * lhs_stride + lhs_offset ..]` and
+    /// scatters them into `data[i * array_numel ..]` — the stride/offset form
+    /// lets the runtime consume one model-output chunk per sample without
+    /// copying when a forward pass produces several output arrays
+    /// interleaved. Allocation-free; large batches parallelize over samples.
+    pub fn scatter_batch(
+        &self,
+        lhs: &[f32],
+        lhs_stride: usize,
+        lhs_offset: usize,
+        n: usize,
+        data: &mut [f32],
+    ) -> Result<()> {
+        self.check_buffer(data.len(), n)?;
+        let pn = self.numel();
+        let an = self.array_numel();
+        if pn == 0 || n == 0 {
+            return Ok(());
+        }
+        let need = (n - 1) * lhs_stride + lhs_offset + pn;
+        if lhs.len() < need {
+            return Err(BridgeError::Plan(format!(
+                "scatter: batch of {n} needs {need} source elements \
+                 (stride {lhs_stride}, offset {lhs_offset}) but tensor has {}",
+                lhs.len()
+            )));
+        }
+        if n > 1 && n * pn >= PAR_ELEMS {
+            hpacml_par::par_chunks_mut(data, an, |start, sample| {
+                let i = start / an;
+                self.scatter_sample(&lhs[i * lhs_stride + lhs_offset..][..pn], sample);
+            });
+        } else {
+            for (i, sample) in data.chunks_exact_mut(an).enumerate() {
+                self.scatter_sample(&lhs[i * lhs_stride + lhs_offset..][..pn], sample);
+            }
         }
         Ok(())
+    }
+}
+
+/// Resize `out` to `n` stacked per-sample tensors: `[n * dims[0], dims[1..]]`
+/// (or `[n]` for a rank-0 per-sample shape), without allocating for the dims
+/// on the hot path.
+fn resize_batched(out: &mut Tensor, n: usize, dims: &[usize]) {
+    const MAX_RANK: usize = 16;
+    if dims.is_empty() {
+        out.resize(&[n]);
+    } else if dims.len() <= MAX_RANK {
+        let mut buf = [0usize; MAX_RANK];
+        buf[..dims.len()].copy_from_slice(dims);
+        buf[0] *= n;
+        out.resize(&buf[..dims.len()]);
+    } else {
+        let mut v = dims.to_vec();
+        v[0] *= n;
+        out.resize(&v);
     }
 }
 
@@ -155,9 +295,14 @@ pub fn compile(
     let mut views = Vec::with_capacity(extracts.len());
     for ex in &extracts {
         let rv = resolve_slice(ex, array_dims, &sweep)?;
-        // Validate bounds now, at compile time.
-        to_view_parts(&rv, array_numel)?;
-        views.push(rv);
+        // Validate bounds now, at compile time, and keep the validated raw
+        // parts — invocations run the raw copy kernels on them directly.
+        let (offset, dims, strides) = to_view_parts(&rv, array_numel)?;
+        views.push(CompiledView {
+            offset,
+            dims,
+            strides,
+        });
     }
 
     let sweep_counts: Vec<usize> = sweep.iter().map(|s| s.count).collect();
@@ -351,6 +496,78 @@ mod tests {
         let wrong = Tensor::zeros([2, 1]);
         let mut buf = vec![0.0f32; 4];
         assert!(plan.scatter(&wrong, &mut buf).is_err());
+    }
+
+    /// Batched gather stacks per-sample gathers along the leading dimension,
+    /// bit-identically to running the per-sample plan n times.
+    #[test]
+    fn gather_batch_matches_per_sample_loop() {
+        let info =
+            functor_info("tensor functor(st: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))");
+        let map = map_dir("tensor map(to: st(t[1:N-1, 1:M-1]))");
+        let (nr, mc) = (5usize, 6usize);
+        let binds = Bindings::new().with("N", nr as i64).with("M", mc as i64);
+        let plan = compile(&info, &map, &[nr, mc], &binds).unwrap();
+        let an = plan.array_numel();
+        let pn = plan.numel();
+        let n = 4usize;
+        let data: Vec<f32> = (0..n * an).map(|k| (k * 7 % 113) as f32).collect();
+
+        let mut batched = Tensor::zeros([0usize]);
+        plan.gather_batch_into(&data, n, &mut batched).unwrap();
+        assert_eq!(batched.dims()[0], n * plan.lhs_shape[0]);
+        assert_eq!(&batched.dims()[1..], &plan.lhs_shape[1..]);
+
+        for i in 0..n {
+            let one = plan.gather(&data[i * an..(i + 1) * an]).unwrap();
+            assert_eq!(
+                &batched.data()[i * pn..(i + 1) * pn],
+                one.data(),
+                "sample {i}"
+            );
+        }
+    }
+
+    /// Batched scatter with a per-sample stride/offset is the inverse of the
+    /// batched gather, and rejects undersized sources.
+    #[test]
+    fn scatter_batch_strided_roundtrips() {
+        let info = functor_info("tensor functor(id: [i, j, 0:1] = ([i, j]))");
+        let to = map_dir("tensor map(to: id(a[0:N, 0:M]))");
+        let from = map_dir("tensor map(from: id(a[0:N, 0:M]))");
+        let binds = Bindings::new().with("N", 3).with("M", 4);
+        let plan_to = compile(&info, &to, &[3, 4], &binds).unwrap();
+        let plan_from = compile(&info, &from, &[3, 4], &binds).unwrap();
+        let an = plan_to.array_numel();
+        let pn = plan_to.numel();
+        let n = 3usize;
+        let src: Vec<f32> = (0..n * an).map(|k| (k * k % 59) as f32).collect();
+        let mut t = Tensor::zeros([0usize]);
+        plan_to.gather_batch_into(&src, n, &mut t).unwrap();
+
+        // Embed each sample's chunk in a wider strided buffer (as if the
+        // model emitted extra features per sample) and scatter back.
+        let stride = pn + 3;
+        let offset = 2usize;
+        let mut wide = vec![-1.0f32; (n - 1) * stride + offset + pn];
+        for i in 0..n {
+            wide[i * stride + offset..i * stride + offset + pn]
+                .copy_from_slice(&t.data()[i * pn..(i + 1) * pn]);
+        }
+        let mut dst = vec![0.0f32; n * an];
+        plan_from
+            .scatter_batch(&wide, stride, offset, n, &mut dst)
+            .unwrap();
+        assert_eq!(dst, src);
+
+        // Undersized source is rejected.
+        assert!(plan_from
+            .scatter_batch(&wide[..wide.len() - 1], stride, offset, n, &mut dst)
+            .is_err());
+        // Wrong destination length is rejected.
+        assert!(plan_from
+            .scatter_batch(&wide, stride, offset, n, &mut dst[..an])
+            .is_err());
     }
 
     /// Channel-major functor for CNN-style inputs: sweep (c, i, j) with a

@@ -141,7 +141,7 @@ impl<'r> Invocation<'r> {
         }
         let (inference_ns, accurate_ns) = if surrogate {
             let core = self.region.session_core(&self.binds, &pairs)?;
-            let ns = core.run_surrogate(self.region, &mut self.scratch)?;
+            let ns = core.run_surrogate(self.region, &mut self.scratch, 1, 1)?;
             (ns, 0)
         } else {
             let ((), ns) = timed(accurate);
@@ -272,6 +272,10 @@ impl Outcome<'_> {
             s.invocations += 1;
             if path == PathTaken::Surrogate {
                 s.surrogate_invocations += 1;
+                // A one-shot surrogate invocation is a forward pass of its
+                // own — a batch of one, for the occupancy counters.
+                s.batch_submitted += 1;
+                s.batches_flushed += 1;
             }
             s.to_tensor_ns += self.to_ns;
             s.inference_ns += self.inference_ns;

@@ -54,11 +54,19 @@
 //! the region into a [`Session`] once ([`Region::session`]) and invoke that —
 //! it skips even the per-call cache lookups and runs allocation-free in
 //! steady state. See the [`session`] module docs for the idiom.
+//!
+//! The batch dimension is a **runtime parameter**: a session is compiled for
+//! *per-sample* shapes plus a `max_batch`, and [`Session::invoke_batch`]
+//! folds any `1..=max_batch` logical invocations into one forward pass —
+//! bit-identical to the same invocations run one by one. For concurrent
+//! callers, [`serve::BatchServer`] coalesces submissions from many threads
+//! into shared batched passes. See the [`session`] and [`serve`] module docs.
 
 pub mod error;
 pub mod exec;
 pub mod region;
 pub mod registry;
+pub mod serve;
 pub mod session;
 pub mod timing;
 
@@ -66,6 +74,7 @@ pub use error::CoreError;
 pub use exec::{Invocation, Outcome, PathTaken};
 pub use region::{Region, RegionBuilder};
 pub use registry::{registered_regions, RegionRecord};
+pub use serve::BatchServer;
 pub use session::{Session, SessionOutcome, SessionRun};
 pub use timing::RegionStats;
 

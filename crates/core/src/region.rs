@@ -229,26 +229,60 @@ impl Region {
     }
 
     /// Compile this region into a reusable [`Session`] for concrete integer
-    /// bindings and array shapes — the compile-once / invoke-many fast path.
+    /// bindings and **per-sample** array shapes — the compile-once /
+    /// invoke-many fast path, with a first-class runtime batch dimension.
     ///
     /// `shapes` must name every array declared in `in(...)`, `out(...)` and
-    /// `inout(...)` together with its concrete dims. All bridge plans are
-    /// resolved (and cached) up front; repeated `session.invoke()` calls do
-    /// no plan lookups, no model-path hashing and — in steady state — no
-    /// heap allocation in the gather/inference path.
+    /// `inout(...)` together with the concrete dims of **one sample** (one
+    /// logical invocation). `max_batch` fixes the largest runtime batch one
+    /// invocation may carry: [`Session::invoke_batch`]`(n)` serves any
+    /// `1 <= n <= max_batch` through the same compiled plans — one forward
+    /// pass for `n` invocations, no per-batch-size recompilation and no tail
+    /// session. All bridge plans are resolved (and cached) up front;
+    /// repeated invocations do no plan lookups, no model-path hashing and —
+    /// in steady state — no heap allocation in the gather/inference/scatter
+    /// path, for any batch up to `max_batch` (buffers are sized to
+    /// `max_batch` once per thread).
     pub fn session<'r>(
         &'r self,
         binds: &Bindings,
         shapes: &[(&str, &[usize])],
+        max_batch: usize,
     ) -> Result<Session<'r>> {
-        Session::build(self, binds, shapes)
+        Session::build(self, binds, shapes, max_batch)
     }
 
-    /// Append one collected sample to the region's database group.
+    /// Append one collected sample to the region's database group. Thin
+    /// adapter over [`Region::record_collection_batch`] with a batch of 1.
     pub(crate) fn record_collection(
         &self,
         inputs: &[(&str, &hpacml_tensor::Tensor)],
         outputs: &[(&str, &hpacml_tensor::Tensor)],
+        region_time_ns: u64,
+    ) -> Result<()> {
+        fn as_rows<'a>(
+            pairs: &'a [(&'a str, &'a hpacml_tensor::Tensor)],
+        ) -> Vec<(&'a str, &'a [usize], &'a [f32])> {
+            pairs
+                .iter()
+                .map(|&(name, t)| (name, t.dims(), t.data()))
+                .collect()
+        }
+        self.record_collection_batch(1, &as_rows(inputs), &as_rows(outputs), region_time_ns)
+    }
+
+    /// Append `n` collected samples from batched tensors — the collection
+    /// path of [`Session::invoke_batch`]. Each entry is
+    /// `(array name, per-sample dims, batched data)` where the data holds the
+    /// `n` per-sample tensors back to back; row `i` of every dataset gets
+    /// sample `i`'s slice, so the database is laid out exactly as `n`
+    /// sequential one-shot invocations would have left it. Each dataset is
+    /// resolved once and fed its `n` rows in a burst.
+    pub(crate) fn record_collection_batch(
+        &self,
+        n: usize,
+        inputs: &[(&str, &[usize], &[f32])],
+        outputs: &[(&str, &[usize], &[f32])],
         region_time_ns: u64,
     ) -> Result<()> {
         let path = match self.db_path() {
@@ -272,14 +306,18 @@ impl Region {
         let group = file.root_mut().group_mut(&self.name);
         for (kind, tensors) in [("inputs", inputs), ("outputs", outputs)] {
             let sub = group.group_mut(kind);
-            for &(name, tensor) in tensors {
-                sub.dataset_mut(name, hpacml_store::DType::F32, tensor.dims())?
-                    .append_f32(tensor.data())?;
+            for &(name, dims, data) in tensors {
+                let per: usize = dims.iter().product();
+                let ds = sub.dataset_mut(name, hpacml_store::DType::F32, dims)?;
+                for i in 0..n {
+                    ds.append_f32(&data[i * per..(i + 1) * per])?;
+                }
             }
         }
-        group
-            .dataset_mut("region_time_ns", hpacml_store::DType::F64, &[])?
-            .append_f64(&[region_time_ns as f64])?;
+        let ds = group.dataset_mut("region_time_ns", hpacml_store::DType::F64, &[])?;
+        for _ in 0..n {
+            ds.append_f64(&[region_time_ns as f64])?;
+        }
         Ok(())
     }
 

@@ -1,0 +1,363 @@
+//! Concurrent auto-batching: many submitters, one forward pass.
+//!
+//! A [`BatchServer`] wraps a compiled [`Session`] and coalesces invocations
+//! submitted from any number of threads into shared batched forward passes —
+//! the serving pattern of AI-coupled HPC workflows, where concurrent workers
+//! (MPI ranks, ensemble members, request handlers) each need one sample
+//! inferred and nobody wants to pay a full per-invocation forward pass.
+//!
+//! The coalescer is leader/follower, with no background thread of its own:
+//!
+//! 1. A submitter stages its per-sample inputs into the forming batch under
+//!    the server lock. The **first** member becomes the batch's *leader* and
+//!    waits up to `max_wait` for company; later members just wait for
+//!    results.
+//! 2. Whoever **closes** the batch executes it: the member that fills it to
+//!    the session's `max_batch` flushes immediately, otherwise the leader
+//!    flushes at the deadline. Execution is one
+//!    [`Session::invoke_batch`]`(n)` — a single forward pass on the
+//!    `hpacml-par` pool for everything pending.
+//! 3. Every member wakes and copies its own slice of the batched output.
+//!
+//! Occupancy is observable: the region's
+//! [`RegionStats::batch_submitted`](crate::RegionStats) /
+//! [`RegionStats::batches_flushed`](crate::RegionStats) counters (and
+//! [`mean_batch_fill`](crate::RegionStats::mean_batch_fill)) report how well
+//! submissions coalesced.
+//!
+//! ```no_run
+//! # fn main() -> hpacml_core::Result<()> {
+//! use hpacml_core::serve::BatchServer;
+//! use std::time::Duration;
+//!
+//! # let region = hpacml_core::Region::from_source("r", "")?;
+//! # let binds = hpacml_directive::sema::Bindings::new();
+//! // Per-sample session, up to 64 invocations per forward pass.
+//! let session = region.session(&binds, &[("x", &[5]), ("y", &[1])], 64)?;
+//! let server = BatchServer::new(&session, Duration::from_micros(200))?;
+//!
+//! std::thread::scope(|scope| {
+//!     for w in 0..8 {
+//!         let server = &server;
+//!         scope.spawn(move || {
+//!             let sample = [w as f32; 5];
+//!             let mut result = [0.0f32; 1];
+//!             // Blocks until a coalesced forward pass produced this
+//!             // sample's output; concurrent submitters share one pass.
+//!             server.submit(&[&sample], &mut [&mut result]).unwrap();
+//!         });
+//!     }
+//! });
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::session::Session;
+use crate::{CoreError, Result};
+use hpacml_directive::ast::MlMode;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One flushed batch's published outcome: a buffer per declared output
+/// array, or an error message fanned out to every member.
+type BatchOutcome = std::result::Result<Arc<Vec<Vec<f32>>>, String>;
+
+/// Per-batch result cell: members park on `cv` until the executor publishes
+/// one output buffer per declared output array (or an error, fanned out to
+/// every member).
+struct Cell {
+    done: Mutex<Option<BatchOutcome>>,
+    cv: Condvar,
+}
+
+impl Cell {
+    fn new() -> Self {
+        Cell {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The batch currently accepting members.
+struct Forming {
+    cell: Arc<Cell>,
+    /// One staging buffer per input array; member `i`'s sample occupies
+    /// `[i * per_sample .. (i + 1) * per_sample]`.
+    staging: Vec<Vec<f32>>,
+    n: usize,
+    deadline: Instant,
+}
+
+struct ServerState {
+    forming: Option<Forming>,
+    /// Recycled staging sets, so steady-state batches reuse grown buffers.
+    spare: Vec<Vec<Vec<f32>>>,
+}
+
+/// What a submitter must do after staging its sample.
+enum Role {
+    /// First member: wait for the batch to fill, flush at the deadline.
+    Lead(Instant),
+    /// Filled the batch to `max_batch`: execute it now.
+    Execute(Forming),
+    /// Joined a forming batch: just wait for the result.
+    Wait,
+}
+
+/// A concurrent auto-batching submitter over a shared compiled [`Session`].
+/// See the [module docs](self) for the coalescing protocol.
+pub struct BatchServer<'s, 'r> {
+    session: &'s Session<'r>,
+    max_wait: Duration,
+    state: Mutex<ServerState>,
+    /// Leaders park here; whoever fills a batch signals so the leader stops
+    /// waiting for a batch that is already on its way.
+    leader_cv: Condvar,
+    /// (name, per-sample element count) per declared input, assembly order.
+    in_arrays: Vec<(String, usize)>,
+    /// (name, per-sample element count) per declared output.
+    out_arrays: Vec<(String, usize)>,
+}
+
+impl<'s, 'r> BatchServer<'s, 'r> {
+    /// Wrap a compiled session. `max_wait` bounds how long the first sample
+    /// of a batch waits for company before flushing a partial batch —
+    /// latency the deployment trades for occupancy. The session's region
+    /// must be able to take the surrogate path (`infer` or `predicated`
+    /// mode); a collect-mode region has no model to serve.
+    pub fn new(session: &'s Session<'r>, max_wait: Duration) -> Result<Self> {
+        if session.region().ml_mode() == MlMode::Collect {
+            return Err(CoreError::Region(format!(
+                "region `{}`: a collect-mode region cannot serve batched inference",
+                session.region().name()
+            )));
+        }
+        let in_arrays: Vec<(String, usize)> = session
+            .input_arrays()
+            .map(|(n, c)| (n.to_string(), c))
+            .collect();
+        let out_arrays: Vec<(String, usize)> = session
+            .output_arrays()
+            .map(|(n, c)| (n.to_string(), c))
+            .collect();
+        Ok(BatchServer {
+            session,
+            max_wait,
+            state: Mutex::new(ServerState {
+                forming: None,
+                spare: Vec::new(),
+            }),
+            leader_cv: Condvar::new(),
+            in_arrays,
+            out_arrays,
+        })
+    }
+
+    /// The wrapped session.
+    pub fn session(&self) -> &'s Session<'r> {
+        self.session
+    }
+
+    /// Submit **one** sample and block until a coalesced forward pass has
+    /// produced its outputs. `inputs` and `outputs` are slices per declared
+    /// array in declaration order (the order of
+    /// [`Session::input_arrays`]/[`Session::output_arrays`]), each exactly
+    /// one per-sample array long. Safe to call from any number of threads;
+    /// whatever is pending when a batch closes shares one forward pass.
+    pub fn submit(&self, inputs: &[&[f32]], outputs: &mut [&mut [f32]]) -> Result<()> {
+        self.check_arity(inputs, outputs)?;
+        let (cell, slot, role) = self.stage(inputs);
+        match role {
+            Role::Execute(f) => {
+                // Wake a leader that may be parked on this (now closed) batch.
+                self.leader_cv.notify_all();
+                self.execute(f);
+            }
+            Role::Lead(deadline) => self.lead(&cell, deadline),
+            Role::Wait => {}
+        }
+        self.collect(&cell, slot, outputs)
+    }
+
+    fn check_arity(&self, inputs: &[&[f32]], outputs: &mut [&mut [f32]]) -> Result<()> {
+        if inputs.len() != self.in_arrays.len() {
+            return Err(CoreError::Region(format!(
+                "region `{}`: submit got {} input arrays, session declares {}",
+                self.session.region().name(),
+                inputs.len(),
+                self.in_arrays.len()
+            )));
+        }
+        for (data, (name, per)) in inputs.iter().zip(&self.in_arrays) {
+            if data.len() != *per {
+                return Err(CoreError::Region(format!(
+                    "region `{}`: input `{name}` sample has {} elements, expected {per}",
+                    self.session.region().name(),
+                    data.len()
+                )));
+            }
+        }
+        if outputs.len() != self.out_arrays.len() {
+            return Err(CoreError::Region(format!(
+                "region `{}`: submit got {} output arrays, session declares {}",
+                self.session.region().name(),
+                outputs.len(),
+                self.out_arrays.len()
+            )));
+        }
+        for (data, (name, per)) in outputs.iter().zip(&self.out_arrays) {
+            if data.len() != *per {
+                return Err(CoreError::Region(format!(
+                    "region `{}`: output `{name}` sample has {} elements, expected {per}",
+                    self.session.region().name(),
+                    data.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Stage one sample into the forming batch (creating it if none) and
+    /// decide this submitter's role. All staging happens under the server
+    /// lock, so a closed batch is always fully staged.
+    fn stage(&self, inputs: &[&[f32]]) -> (Arc<Cell>, usize, Role) {
+        let mut st = self.state.lock().expect("server state poisoned");
+        if st.forming.is_none() {
+            let staging = st.spare.pop().unwrap_or_else(|| {
+                self.in_arrays
+                    .iter()
+                    .map(|(_, per)| Vec::with_capacity(self.session.max_batch() * per))
+                    .collect()
+            });
+            st.forming = Some(Forming {
+                cell: Arc::new(Cell::new()),
+                staging,
+                n: 0,
+                deadline: Instant::now() + self.max_wait,
+            });
+        }
+        let f = st.forming.as_mut().expect("forming batch present");
+        let slot = f.n;
+        for (buf, data) in f.staging.iter_mut().zip(inputs) {
+            buf.extend_from_slice(data);
+        }
+        f.n += 1;
+        let cell = Arc::clone(&f.cell);
+        let role = if f.n == self.session.max_batch() {
+            Role::Execute(st.forming.take().expect("forming batch present"))
+        } else if slot == 0 {
+            Role::Lead(f.deadline)
+        } else {
+            Role::Wait
+        };
+        (cell, slot, role)
+    }
+
+    /// Leader protocol: wait (bounded) for the batch to fill; if the
+    /// deadline passes while the batch is still ours, close and execute it.
+    fn lead(&self, cell: &Arc<Cell>, deadline: Instant) {
+        let mut st = self.state.lock().expect("server state poisoned");
+        loop {
+            let still_ours = st
+                .forming
+                .as_ref()
+                .is_some_and(|f| Arc::ptr_eq(&f.cell, cell));
+            if !still_ours {
+                return; // someone filled it and is executing
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let f = st.forming.take().expect("batch checked above");
+                drop(st);
+                self.execute(f);
+                return;
+            }
+            let (guard, _timeout) = self
+                .leader_cv
+                .wait_timeout(st, deadline - now)
+                .expect("server state poisoned");
+            st = guard;
+        }
+    }
+
+    /// Run one batched forward pass for everything staged in `f`, publish
+    /// the per-array output buffers (or the error) to every member, and
+    /// recycle the staging set. A panic inside the pass is caught and
+    /// published as an error — followers wait with no timeout, so the
+    /// executor must *always* reach the publish step.
+    fn execute(&self, f: Forming) {
+        let n = f.n;
+        let pass =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<Vec<Vec<f32>>> {
+                let mut run = self
+                    .session
+                    .invoke_batch(n)?
+                    // The server exists to serve the surrogate; `predicated`
+                    // regions take the model path unconditionally here.
+                    .use_surrogate(true);
+                for ((name, per), staged) in self.in_arrays.iter().zip(&f.staging) {
+                    run = run.input(name, &staged[..n * per])?;
+                }
+                let mut out = run
+                    .run(|| unreachable!("BatchServer::execute always takes the surrogate path"))?;
+                let mut bufs = Vec::with_capacity(self.out_arrays.len());
+                for (name, per) in &self.out_arrays {
+                    let mut buf = vec![0.0f32; n * per];
+                    out.output(name, &mut buf)?;
+                    bufs.push(buf);
+                }
+                out.finish()?;
+                Ok(bufs)
+            }));
+        let result = pass.unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "batched forward pass panicked".to_string());
+            Err(CoreError::Region(format!("panic in batched pass: {msg}")))
+        });
+
+        // Publish before any other locking: once the pass has an outcome,
+        // nothing may stand between it and the waiting members.
+        {
+            let mut done = f.cell.done.lock().expect("batch cell poisoned");
+            *done = Some(result.map(Arc::new).map_err(|e| e.to_string()));
+            f.cell.cv.notify_all();
+        }
+
+        let mut st = self.state.lock().expect("server state poisoned");
+        let mut staging = f.staging;
+        for b in &mut staging {
+            b.clear();
+        }
+        st.spare.push(staging);
+    }
+
+    /// Wait for this sample's batch to complete and copy out its slice. The
+    /// published buffers are behind an `Arc`, so the cell lock is released
+    /// before copying — all members of a batch copy their slices in parallel.
+    fn collect(&self, cell: &Arc<Cell>, slot: usize, outputs: &mut [&mut [f32]]) -> Result<()> {
+        let outcome = {
+            let mut done = cell.done.lock().expect("batch cell poisoned");
+            while done.is_none() {
+                done = cell.cv.wait(done).expect("batch cell poisoned");
+            }
+            done.as_ref().expect("checked above").clone()
+        };
+        match outcome {
+            Ok(bufs) => {
+                for ((out, buf), (_, per)) in
+                    outputs.iter_mut().zip(bufs.iter()).zip(&self.out_arrays)
+                {
+                    out.copy_from_slice(&buf[slot * per..(slot + 1) * per]);
+                }
+                Ok(())
+            }
+            Err(msg) => Err(CoreError::Region(format!(
+                "batched forward pass failed: {msg}"
+            ))),
+        }
+    }
+}

@@ -1,8 +1,10 @@
-//! Compiled invocations: the compile-once / invoke-many fast path.
+//! Compiled invocations: the compile-once / invoke-many fast path, with a
+//! first-class **runtime batch dimension**.
 //!
 //! A [`Session`] is a region *compiled* against concrete integer bindings and
-//! array shapes, the same separation an ML runtime draws between a model and
-//! its optimized executable plan. Building a session resolves, once:
+//! **per-sample** array shapes, the same separation an ML runtime draws
+//! between a model and its optimized executable plan. Building a session
+//! resolves, once:
 //!
 //! * the gather plan for every `in(...)`/`inout(...)` array and the scatter
 //!   plan for every `out(...)`/`inout(...)` array (shared with the region's
@@ -13,25 +15,41 @@
 //!   row/column offsets, so building the model input is a straight strided
 //!   copy into a staging buffer.
 //!
+//! The batch dimension is a **runtime parameter**: a session built with
+//! `max_batch = B` serves [`Session::invoke_batch`]`(n)` for *any*
+//! `1 <= n <= B` through the same compiled plans — `n` input sets gather
+//! into `[n, D]` tensors, one forward pass runs, and `n` outputs scatter
+//! back. No per-batch-size recompilation, and no separate "tail" session for
+//! a sweep remainder.
+//!
 //! Per-invocation scratch (gathered tensors, the staging buffer, the NN
 //! inference workspace) lives in a per-thread scratch slot that each run
-//! borrows and returns, so a thread in steady state performs **no heap
-//! allocation** between `invoke()` and `finish()` on the surrogate path. A
-//! `Session` is `Sync`: many threads may invoke the same compiled session
-//! concurrently, each on its own scratch.
+//! borrows and returns. All buffers are sized **once for `max_batch`** on a
+//! thread's first invocation, so a thread in steady state performs **no heap
+//! allocation** between `invoke_batch(n)` and `finish()` on the surrogate
+//! path, for any `n` up to `max_batch`. A `Session` is `Sync`: many threads
+//! may invoke the same compiled session concurrently, each on its own
+//! scratch — or hand their samples to a [`crate::serve::BatchServer`], which
+//! coalesces concurrent submissions into shared forward passes.
 //!
 //! ```no_run
 //! # fn main() -> hpacml_core::Result<()> {
 //! # let region = hpacml_core::Region::from_source("r", "")?;
 //! # let binds = hpacml_directive::sema::Bindings::new();
-//! # let (n, m) = (8usize, 8usize);
-//! # let t = vec![0.0f32; n * m]; let mut tnew = vec![0.0f32; n * m];
-//! // Compile once...
-//! let session = region.session(&binds, &[("t", &[n, m]), ("tnew", &[n, m])])?;
-//! // ...invoke many times.
-//! for _ in 0..1_000_000 {
-//!     let mut out = session.invoke().input("t", &t)?.run(|| { /* accurate */ })?;
-//!     out.output("tnew", &mut tnew)?;
+//! # let feat = 5usize;
+//! # let samples = vec![0.0f32; 1000 * feat];
+//! # let mut results = vec![0.0f32; 1000];
+//! // Compile once, for per-sample shapes and a maximum runtime batch.
+//! let session = region.session(&binds, &[("x", &[feat]), ("y", &[1])], 64)?;
+//! // One forward pass for up to 64 invocations; the tail reuses the same
+//! // compiled plans.
+//! for (xs, ys) in samples.chunks(64 * feat).zip(results.chunks_mut(64)) {
+//!     let n = ys.len();
+//!     let mut out = session
+//!         .invoke_batch(n)?
+//!         .input("x", xs)?
+//!         .run(|| { /* accurate path for all n samples */ })?;
+//!     out.output("y", ys)?;
 //!     out.finish()?;
 //! }
 //! # Ok(())
@@ -70,6 +88,14 @@ pub(crate) struct Scratch {
     pub(crate) ws: InferWorkspace,
     /// Model output of the current run (swapped out of the arena).
     pub(crate) out: Tensor,
+    /// Reusable dims scratch for batched reshapes (no per-run allocation).
+    pub(crate) dims_buf: Vec<usize>,
+    /// `(session-core address, max_batch)` the gather/staging buffers were
+    /// last sized for. See [`Scratch::warm_buffers`].
+    buf_warm: (usize, usize),
+    /// `(session-core address, max_batch)` the inference workspace was last
+    /// reserved for (set on the first surrogate run, when the model exists).
+    ws_warm: (usize, usize),
 }
 
 impl Scratch {
@@ -77,6 +103,39 @@ impl Scratch {
         if self.gathered.len() < n {
             self.gathered.resize_with(n, Tensor::default);
         }
+    }
+
+    /// Size every gather/staging buffer for `max_batch` samples of `core`'s
+    /// per-sample plans, once per (thread, core, max_batch). After this,
+    /// gathers and assembly at any `n <= max_batch` reuse capacity — the
+    /// zero-allocation steady state holds from the first invocation
+    /// regardless of the order batch sizes arrive in.
+    fn warm_buffers(&mut self, core: &Arc<SessionCore>, max_batch: usize) {
+        let count = core.input_count();
+        // The arity check runs unconditionally: the warm token keys on the
+        // core's address, and a dropped core's allocation can be reused by a
+        // new one (ABA) — capacity warming is only a perf hint then, but
+        // `gathered` must always have one slot per declared input.
+        self.ensure_inputs(count);
+        let token = (Arc::as_ptr(core) as usize, max_batch);
+        if self.buf_warm == token {
+            return;
+        }
+        let mut total = 0usize;
+        for i in 0..count {
+            let pn = core.input_plan(i).numel();
+            total += pn;
+            if self.gathered[i].capacity() < max_batch * pn {
+                self.gathered[i].resize(&[max_batch * pn]);
+            }
+        }
+        // The staging buffer ping-pongs with `gathered[0]` on single-input
+        // regions and holds the interleaved batch on multi-input ones; size
+        // it for the full batch either way.
+        if self.staged.capacity() < max_batch * total {
+            self.staged.resize(&[max_batch * total]);
+        }
+        self.buf_warm = token;
     }
 }
 
@@ -148,9 +207,10 @@ impl SessionKey {
 
 /// Precomputed input-assembly layout: how the gathered input tensors tile the
 /// model's `[batch, sample...]` input, derived once from the plans' LHS
-/// shapes and the model spec.
+/// shapes and the model spec. All quantities are **per sample**; a runtime
+/// batch of `n` scales the leading dimension by `n`.
 struct Assembly {
-    /// Common sweep-row count across inputs.
+    /// Common per-sample sweep-row count across inputs.
     rows: usize,
     /// Feature columns contributed by each input (its LHS trailing dim).
     cols: Vec<usize>,
@@ -158,7 +218,7 @@ struct Assembly {
     col_offsets: Vec<usize>,
     /// Total features per row (`cols` summed).
     feat_total: usize,
-    /// Final model-input dims: `[batch, sample_shape...]`.
+    /// Per-sample model-input dims: `[batch, sample_shape...]`.
     in_dims: Vec<usize>,
 }
 
@@ -298,18 +358,51 @@ impl SessionCore {
         })
     }
 
-    /// Execute the surrogate: assemble the staged batch from the gathered
-    /// inputs, run inference into the scratch workspace, and leave the model
-    /// output in `scratch.out`. Returns the inference time in nanoseconds.
-    /// Steady-state allocation-free.
-    pub(crate) fn run_surrogate(&self, region: &Region, scratch: &mut Scratch) -> Result<u64> {
+    /// Execute the surrogate for a runtime batch of `n` samples: assemble the
+    /// staged `[n * rows, features]` batch from the gathered inputs, run one
+    /// forward pass into the scratch workspace, and leave the model output in
+    /// `scratch.out`. Returns the inference time in nanoseconds.
+    /// Steady-state allocation-free for any `n <= max_batch` — the workspace
+    /// is reserved for `max_batch` on this thread's first surrogate run.
+    pub(crate) fn run_surrogate(
+        &self,
+        region: &Region,
+        scratch: &mut Scratch,
+        n: usize,
+        max_batch: usize,
+    ) -> Result<u64> {
         let state = self.surrogate_state(region)?;
         let asm = &state.assembly;
+
+        // Reserve the inference workspace for the largest batch this session
+        // can see, once per (thread, core, max_batch). Skipped entirely for
+        // max_batch == 1 (the one-shot exec path and single-sample sessions):
+        // the forward pass sizes the arenas naturally there, and skipping
+        // keeps a thread that alternates one-shot and batched invocations of
+        // the same core from re-reserving on every flip of the single-slot
+        // warm token.
+        let token = (self as *const SessionCore as usize, max_batch);
+        if max_batch > 1 && scratch.ws_warm != token {
+            scratch.dims_buf.clear();
+            scratch.dims_buf.push(max_batch * asm.in_dims[0]);
+            scratch.dims_buf.extend_from_slice(&asm.in_dims[1..]);
+            let widest = state
+                .model
+                .reserve_workspace(&mut scratch.ws, &scratch.dims_buf)?;
+            // `out` swaps with the final activation arena every run; size it
+            // to match so the swapped-in buffer never has to regrow.
+            if scratch.out.capacity() < widest {
+                scratch.out.resize(&[widest]);
+            }
+            scratch.ws_warm = token;
+        }
+
         if self.inputs.len() == 1 {
-            // Single input: the gathered tensor *is* the staged batch.
+            // Single input: the gathered batch *is* the staged batch.
             std::mem::swap(&mut scratch.staged, &mut scratch.gathered[0]);
         } else {
-            scratch.staged.resize(&[asm.rows, asm.feat_total]);
+            let rows = n * asm.rows;
+            scratch.staged.resize(&[rows, asm.feat_total]);
             let sd = scratch.staged.data_mut();
             for (i, t) in scratch.gathered[..self.inputs.len()].iter().enumerate() {
                 let (c, off) = (asm.cols[i], asm.col_offsets[i]);
@@ -318,10 +411,17 @@ impl SessionCore {
                 }
             }
         }
-        scratch.staged.reshape_in_place(&asm.in_dims)?;
+        scratch.dims_buf.clear();
+        scratch.dims_buf.push(n * asm.in_dims[0]);
+        scratch.dims_buf.extend_from_slice(&asm.in_dims[1..]);
         let Scratch {
-            ws, staged, out, ..
+            ws,
+            staged,
+            out,
+            dims_buf,
+            ..
         } = scratch;
+        staged.reshape_in_place(dims_buf)?;
         let (y, inference_ns) = timed(|| state.model.infer_with(ws, staged));
         std::mem::swap(out, y?);
         Ok(inference_ns)
@@ -332,17 +432,19 @@ impl SessionCore {
 // The public Session API
 // ---------------------------------------------------------------------------
 
-/// A region compiled against concrete bindings and array shapes — build once
-/// with [`Region::session`], invoke many times. See the [module docs] for
-/// the idiom.
+/// A region compiled against concrete bindings and **per-sample** array
+/// shapes — build once with [`Region::session`], invoke many times, batching
+/// up to `max_batch` invocations into one forward pass with
+/// [`Session::invoke_batch`]. See the [module docs] for the idiom.
 ///
 /// [module docs]: self
 pub struct Session<'r> {
     region: &'r Region,
     binds: Bindings,
     core: Arc<SessionCore>,
-    /// (array name, scatter plan, model-output element offset) in `out()`
-    /// declaration order.
+    max_batch: usize,
+    /// (array name, scatter plan, per-sample model-output element offset) in
+    /// `out()` declaration order.
     outputs: Vec<(String, Arc<CompiledMap>, usize)>,
 }
 
@@ -351,7 +453,14 @@ impl<'r> Session<'r> {
         region: &'r Region,
         binds: &Bindings,
         shapes: &[(&str, &[usize])],
+        max_batch: usize,
     ) -> Result<Session<'r>> {
+        if max_batch == 0 {
+            return Err(CoreError::Region(format!(
+                "region `{}`: session max_batch must be at least 1",
+                region.name()
+            )));
+        }
         let dims_of = |name: &str| -> Result<Vec<usize>> {
             shapes
                 .iter()
@@ -382,6 +491,7 @@ impl<'r> Session<'r> {
             region,
             binds: binds.clone(),
             core,
+            max_batch,
             outputs,
         })
     }
@@ -396,11 +506,58 @@ impl<'r> Session<'r> {
         &self.binds
     }
 
-    /// Begin one invocation. Cheap: borrows this thread's scratch buffers.
+    /// The largest runtime batch one invocation may carry.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Declared input arrays with their **per-sample** element counts, in
+    /// assembly (declaration) order. A batched invocation's `input` data for
+    /// array `i` holds `n *` this many elements, samples back to back.
+    pub fn input_arrays(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.core
+            .inputs
+            .iter()
+            .map(|(n, p)| (n.as_str(), p.array_numel()))
+    }
+
+    /// Declared output arrays with their **per-sample** element counts, in
+    /// `out()` declaration order.
+    pub fn output_arrays(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.outputs
+            .iter()
+            .map(|(n, p, _)| (n.as_str(), p.array_numel()))
+    }
+
+    /// Begin one invocation (a batch of 1). Cheap: borrows this thread's
+    /// scratch buffers.
     pub fn invoke(&self) -> SessionRun<'_, 'r> {
+        self.begin(1)
+    }
+
+    /// Begin one invocation carrying a runtime batch of `n` samples,
+    /// `1 <= n <= max_batch`: every `input` supplies `n` per-sample arrays
+    /// back to back, one forward pass serves all of them, and every `output`
+    /// receives `n` per-sample results. Bit-identical to `n` sequential
+    /// [`Session::invoke`] calls.
+    pub fn invoke_batch(&self, n: usize) -> Result<SessionRun<'_, 'r>> {
+        if n == 0 || n > self.max_batch {
+            return Err(CoreError::Region(format!(
+                "region `{}`: invoke_batch({n}) is outside 1..={} (the session's max_batch)",
+                self.region.name(),
+                self.max_batch
+            )));
+        }
+        Ok(self.begin(n))
+    }
+
+    fn begin(&self, n: usize) -> SessionRun<'_, 'r> {
+        let mut scratch = ScratchGuard::take();
+        scratch.warm_buffers(&self.core, self.max_batch);
         SessionRun {
             session: self,
-            scratch: ScratchGuard::take(),
+            scratch,
+            n,
             surrogate_override: None,
             supplied: 0,
             to_ns: 0,
@@ -408,10 +565,12 @@ impl<'r> Session<'r> {
     }
 }
 
-/// The input-gathering phase of one compiled invocation.
+/// The input-gathering phase of one compiled invocation (batch of `n`).
 pub struct SessionRun<'s, 'r> {
     session: &'s Session<'r>,
     scratch: ScratchGuard,
+    /// Runtime batch carried by this invocation.
+    n: usize,
     surrogate_override: Option<bool>,
     /// Bitmask of supplied inputs; `SessionCore::build` rejects regions with
     /// more than 64 input arrays, so every index fits.
@@ -428,7 +587,9 @@ impl<'s, 'r> SessionRun<'s, 'r> {
     }
 
     /// Gather one input array through its precompiled plan (steps 1–2 of
-    /// Fig. 1). Steady-state allocation-free.
+    /// Fig. 1). For a batch of `n`, `data` holds the `n` per-sample arrays
+    /// back to back (`n * per_sample_len` elements) and is gathered in one
+    /// strided pass over the leading dimension. Steady-state allocation-free.
     pub fn input(mut self, name: &str, data: &[f32]) -> Result<Self> {
         let core = &self.session.core;
         let index = core.input_index(name).ok_or_else(|| {
@@ -444,9 +605,10 @@ impl<'s, 'r> SessionRun<'s, 'r> {
                 self.session.region.name()
             )));
         }
-        self.scratch.ensure_inputs(core.input_count());
         let plan = core.input_plan(index);
-        let (res, ns) = timed(|| plan.gather_into(data, &mut self.scratch.gathered[index]));
+        let n = self.n;
+        let (res, ns) =
+            timed(|| plan.gather_batch_into(data, n, &mut self.scratch.gathered[index]));
         res?;
         self.to_ns += ns;
         self.supplied |= 1 << index;
@@ -475,8 +637,9 @@ impl<'s, 'r> SessionRun<'s, 'r> {
         })
     }
 
-    /// Run the region (steps 3–4 of Fig. 1): surrogate inference through the
-    /// compiled pipeline, or the accurate closure.
+    /// Run the region (steps 3–4 of Fig. 1): one surrogate forward pass for
+    /// the whole batch through the compiled pipeline, or the accurate closure
+    /// (which is responsible for all `n` samples).
     pub fn run(mut self, accurate: impl FnOnce()) -> Result<SessionOutcome<'s, 'r>> {
         let surrogate = self.decide_surrogate()?;
         let (inference_ns, accurate_ns) = if surrogate {
@@ -499,7 +662,12 @@ impl<'s, 'r> SessionRun<'s, 'r> {
                     self.session.region.name()
                 )));
             }
-            let ns = core.run_surrogate(self.session.region, &mut self.scratch)?;
+            let ns = core.run_surrogate(
+                self.session.region,
+                &mut self.scratch,
+                self.n,
+                self.session.max_batch,
+            )?;
             (ns, 0)
         } else {
             let ((), ns) = timed(accurate);
@@ -508,6 +676,7 @@ impl<'s, 'r> SessionRun<'s, 'r> {
         Ok(SessionOutcome {
             session: self.session,
             scratch: self.scratch,
+            n: self.n,
             supplied: self.supplied,
             path: if surrogate {
                 PathTaken::Surrogate
@@ -528,10 +697,12 @@ impl<'s, 'r> SessionRun<'s, 'r> {
 pub struct SessionOutcome<'s, 'r> {
     session: &'s Session<'r>,
     scratch: ScratchGuard,
+    n: usize,
     supplied: u64,
     path: PathTaken,
-    /// Accurate-path outputs gathered for data collection.
-    gathered_outputs: Vec<(String, Tensor)>,
+    /// Accurate-path outputs gathered for data collection: (index into the
+    /// session's output declarations, batched gathered tensor).
+    gathered_outputs: Vec<(usize, Tensor)>,
     to_ns: u64,
     inference_ns: u64,
     accurate_ns: u64,
@@ -544,17 +715,19 @@ impl SessionOutcome<'_, '_> {
         self.path
     }
 
-    /// Handle one output array (steps 5–6 of Fig. 1): scatter the model
-    /// output chunk through the precompiled plan, or gather the accurate
-    /// result for collection. The chunk offsets were fixed at session build,
-    /// so outputs may be supplied in any order. Steady-state allocation-free
-    /// on the surrogate path.
+    /// Handle one output array (steps 5–6 of Fig. 1): scatter each sample's
+    /// chunk of the model output through the precompiled plan in one strided
+    /// pass, or gather the accurate results for collection. For a batch of
+    /// `n`, `data` receives the `n` per-sample arrays back to back. The chunk
+    /// offsets were fixed at session build, so outputs may be supplied in any
+    /// order. Steady-state allocation-free on the surrogate path.
     pub fn output(&mut self, name: &str, data: &mut [f32]) -> Result<&mut Self> {
-        let (_, plan, offset) = self
+        let (decl_index, (_, plan, offset)) = self
             .session
             .outputs
             .iter()
-            .find(|(n, _, _)| n == name)
+            .enumerate()
+            .find(|(_, (n, _, _))| n == name)
             .ok_or_else(|| {
                 CoreError::Region(format!(
                     "region `{}`: `{name}` is not declared out(...)/inout(...)",
@@ -565,23 +738,31 @@ impl SessionOutcome<'_, '_> {
             PathTaken::Surrogate => {
                 let need = plan.numel();
                 let produced = self.scratch.out.numel();
-                if produced < offset + need {
+                // Per-sample stride through the model output: the forward
+                // pass stacks `n` per-sample outputs along the leading dim.
+                let stride = produced / self.n.max(1);
+                if !produced.is_multiple_of(self.n.max(1)) || stride < offset + need {
                     return Err(CoreError::Region(format!(
-                        "region `{}`: model produced {produced} elements but output `{name}` \
-                         needs {need} at offset {offset}",
-                        self.session.region.name()
+                        "region `{}`: model produced {produced} elements for a batch of {} \
+                         but output `{name}` needs {need} at per-sample offset {offset}",
+                        self.session.region.name(),
+                        self.n
                     )));
                 }
-                let chunk = &self.scratch.out.data()[*offset..offset + need];
-                let (res, ns) = timed(|| plan.scatter_slice(chunk, data));
+                let n = self.n;
+                let src = self.scratch.out.data();
+                let (res, ns) = timed(|| plan.scatter_batch(src, stride, *offset, n, data));
                 self.from_ns += ns;
                 res?;
             }
             PathTaken::Accurate => {
                 if self.session.region.db_path().is_some() {
-                    let (tensor, ns) = timed(|| plan.gather(data));
+                    let mut gathered = Tensor::default();
+                    let n = self.n;
+                    let (res, ns) = timed(|| plan.gather_batch_into(data, n, &mut gathered));
                     self.collection_ns += ns;
-                    self.gathered_outputs.push((name.to_string(), tensor?));
+                    res?;
+                    self.gathered_outputs.push((decl_index, gathered));
                 }
             }
         }
@@ -589,35 +770,48 @@ impl SessionOutcome<'_, '_> {
     }
 
     /// Finalize: persist collected data and fold timings into the region
-    /// stats. The scratch buffers return to this thread for the next
-    /// invocation when `self` drops — including on error or early-drop paths.
+    /// stats. A batch of `n` records `n` collection rows — exactly what `n`
+    /// sequential one-shot invocations would have recorded. The scratch
+    /// buffers return to this thread for the next invocation when `self`
+    /// drops — including on error or early-drop paths.
     pub fn finish(self) -> Result<PathTaken> {
         let path = self.path;
         let region = self.session.region;
+        let n = self.n;
         let mut collection_ns = self.collection_ns;
         if path == PathTaken::Accurate && region.db_path().is_some() {
-            let inputs: Vec<(&str, &Tensor)> = self
-                .session
-                .core
-                .input_names()
-                .zip(&self.scratch.gathered)
-                .enumerate()
-                .filter(|(i, _)| self.supplied & (1 << i) != 0)
-                .map(|(_, pair)| pair)
+            let core = &self.session.core;
+            let inputs: Vec<(&str, &[usize], &[f32])> = (0..core.input_count())
+                .filter(|i| self.supplied & (1 << i) != 0)
+                .map(|i| {
+                    let plan = core.input_plan(i);
+                    (
+                        core.inputs[i].0.as_str(),
+                        plan.lhs_shape.as_slice(),
+                        self.scratch.gathered[i].data(),
+                    )
+                })
                 .collect();
-            let outputs: Vec<(&str, &Tensor)> = self
+            let outputs: Vec<(&str, &[usize], &[f32])> = self
                 .gathered_outputs
                 .iter()
-                .map(|(n, t)| (n.as_str(), t))
+                .map(|(decl, t)| {
+                    let (name, plan, _) = &self.session.outputs[*decl];
+                    (name.as_str(), plan.lhs_shape.as_slice(), t.data())
+                })
                 .collect();
-            let (res, ns) = timed(|| region.record_collection(&inputs, &outputs, self.accurate_ns));
+            let (res, ns) = timed(|| {
+                region.record_collection_batch(n, &inputs, &outputs, self.accurate_ns / n as u64)
+            });
             res?;
             collection_ns += ns;
         }
         region.update_stats(|s| {
-            s.invocations += 1;
+            s.invocations += n as u64;
             if path == PathTaken::Surrogate {
-                s.surrogate_invocations += 1;
+                s.surrogate_invocations += n as u64;
+                s.batch_submitted += n as u64;
+                s.batches_flushed += 1;
             }
             s.to_tensor_ns += self.to_ns;
             s.inference_ns += self.inference_ns;

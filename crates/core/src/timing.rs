@@ -34,6 +34,13 @@ pub struct RegionStats {
     pub model_cache_hits: u64,
     /// Surrogate invocations that had to resolve the model by path.
     pub model_cache_misses: u64,
+    /// Logical invocations (samples) that went through a surrogate forward
+    /// pass — batch-occupancy numerator. A one-shot invocation submits 1; an
+    /// `invoke_batch(n)` submits `n`; the concurrent auto-batching submitter
+    /// adds whatever it coalesced.
+    pub batch_submitted: u64,
+    /// Surrogate forward passes executed — batch-occupancy denominator.
+    pub batches_flushed: u64,
 }
 
 impl RegionStats {
@@ -58,6 +65,17 @@ impl RegionStats {
     /// of the inference engine").
     pub fn bridge_overhead_ratio(&self) -> f64 {
         (self.to_tensor_ns + self.from_tensor_ns) as f64 / self.inference_ns.max(1) as f64
+    }
+
+    /// Mean samples per surrogate forward pass (batch occupancy). 1.0 means
+    /// every invocation paid a full forward pass of its own; higher means
+    /// invocations were coalesced (`invoke_batch` or the auto-batching
+    /// submitter amortized the per-pass overhead).
+    pub fn mean_batch_fill(&self) -> f64 {
+        if self.batches_flushed == 0 {
+            return 0.0;
+        }
+        self.batch_submitted as f64 / self.batches_flushed as f64
     }
 }
 

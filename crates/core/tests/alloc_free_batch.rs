@@ -1,0 +1,140 @@
+//! Counting-allocator proof of the batched zero-allocation steady state:
+//! after a session's per-thread buffers are warm, `invoke_batch(n)` performs
+//! **no** heap allocation on the surrogate path — gather, assembly, forward
+//! pass, scatter and stats included — for *any* `n` up to `max_batch`
+//! (buffers are sized to `max_batch` once, so varying `n` between calls
+//! stays allocation-free too).
+//!
+//! The counter is a `#[global_allocator]` that tallies allocations on the
+//! calling thread only (const-initialized thread-locals, so the bookkeeping
+//! itself never allocates), which keeps the counts immune to other threads.
+
+use hpacml_core::Region;
+use hpacml_directive::sema::Bindings;
+use hpacml_nn::spec::{Activation, ModelSpec};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    static TL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static TL_TRACKING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_if_tracking() {
+    let _ = TL_TRACKING.try_with(|t| {
+        if t.get() {
+            let _ = TL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_if_tracking();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_if_tracking();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Count heap allocations performed by the current thread while running `f`.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = TL_ALLOCS.with(|c| c.get());
+    TL_TRACKING.with(|t| t.set(true));
+    f();
+    TL_TRACKING.with(|t| t.set(false));
+    let after = TL_ALLOCS.with(|c| c.get());
+    after - before
+}
+
+#[test]
+fn steady_state_batched_invocation_is_allocation_free() {
+    let dir = std::env::temp_dir().join("hpacml-alloc-free-batch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("m.hml");
+    let spec = ModelSpec::mlp(2, &[16], 1, Activation::ReLU, 0.0);
+    let mut model = spec.build(7).unwrap();
+    hpacml_nn::serialize::save_model(&model_path, &spec, &mut model, None, None).unwrap();
+
+    let region = Region::from_source(
+        "alloc-free-batch",
+        &format!(
+            r#"
+            #pragma approx tensor functor(rows: [i, 0:2] = ([2*i : 2*i+2]))
+            #pragma approx tensor functor(single: [i, 0:1] = ([i]))
+            #pragma approx tensor map(to: rows(x[0:N]))
+            #pragma approx ml(infer) in(x) out(single(y[0:N])) model("{}")
+            "#,
+            model_path.display()
+        ),
+    )
+    .unwrap();
+
+    const MAX_BATCH: usize = 64;
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[2]), ("y", &[1])], MAX_BATCH)
+        .unwrap();
+
+    let x: Vec<f32> = (0..MAX_BATCH * 2)
+        .map(|k| (k as f32 * 0.11).sin())
+        .collect();
+    let mut y = vec![0.0f32; MAX_BATCH];
+
+    let run_batch = |n: usize, y: &mut [f32]| {
+        let mut out = session
+            .invoke_batch(n)
+            .unwrap()
+            .input("x", &x[..n * 2])
+            .unwrap()
+            .run(|| unreachable!())
+            .unwrap();
+        out.output("y", &mut y[..n]).unwrap();
+        out.finish().unwrap();
+    };
+
+    // Warm-up: resolves the model, sizes every buffer for MAX_BATCH, lazily
+    // initializes thread-locals and the global inference engine.
+    run_batch(MAX_BATCH, &mut y);
+    run_batch(3, &mut y);
+
+    // Steady state: zero heap allocations per batched invocation, with the
+    // runtime batch size varying call to call.
+    const ITERS: u64 = 200;
+    let sizes = [MAX_BATCH, 1, 17, 64, 5, 33];
+    let allocs = allocations_during(|| {
+        for i in 0..ITERS {
+            run_batch(sizes[(i as usize) % sizes.len()], &mut y);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state batched invocation allocated {allocs} times over {ITERS} iterations \
+         (gather, assembly, forward, scatter and stats must all reuse warmed buffers)"
+    );
+
+    // The results are still right (guards against a silent no-op).
+    run_batch(2, &mut y);
+    let mut y1 = [0.0f32; 1];
+    let mut out = session
+        .invoke()
+        .input("x", &x[..2])
+        .unwrap()
+        .run(|| unreachable!())
+        .unwrap();
+    out.output("y", &mut y1).unwrap();
+    out.finish().unwrap();
+    assert_eq!(y[0], y1[0]);
+}

@@ -1,0 +1,222 @@
+//! The concurrent auto-batching submitter: coalesced submissions must match
+//! direct per-sample session invocations exactly (order-independent), the
+//! occupancy counters must add up, and misuse must fail loudly.
+
+use hpacml_core::serve::BatchServer;
+use hpacml_core::Region;
+use hpacml_directive::sema::Bindings;
+use hpacml_nn::spec::{Activation, ModelSpec};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hpacml-serve-api").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn save_mlp(path: &std::path::Path, in_dim: usize, out_dim: usize, seed: u64) {
+    let spec = ModelSpec::mlp(in_dim, &[8], out_dim, Activation::Tanh, 0.0);
+    let mut model = spec.build(seed).unwrap();
+    hpacml_nn::serialize::save_model(path, &spec, &mut model, None, None).unwrap();
+}
+
+/// Per-sample region: 3 features in, 1 value out.
+fn region_for(model: &std::path::Path) -> Region {
+    Region::from_source(
+        "serve",
+        &format!(
+            r#"
+            #pragma approx tensor functor(rows: [i, 0:3] = ([3*i : 3*i+3]))
+            #pragma approx tensor functor(single: [i, 0:1] = ([i]))
+            #pragma approx tensor map(to: rows(x[0:N]))
+            #pragma approx ml(infer) in(x) out(single(y[0:N])) model("{}")
+            "#,
+            model.display()
+        ),
+    )
+    .unwrap()
+}
+
+#[test]
+fn concurrent_submitters_match_direct_invokes() {
+    let dir = tmpdir("parity");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 3, 1, 7);
+    let region = region_for(&model);
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 8)
+        .unwrap();
+
+    let workers = 16usize;
+    let samples: Vec<Vec<f32>> = (0..workers)
+        .map(|w| (0..3).map(|k| ((w * 3 + k) as f32).sin()).collect())
+        .collect();
+
+    // Direct per-sample reference.
+    let mut direct = vec![0.0f32; workers];
+    for (w, s) in samples.iter().enumerate() {
+        let mut out = session
+            .invoke()
+            .input("x", s)
+            .unwrap()
+            .run(|| unreachable!())
+            .unwrap();
+        out.output("y", &mut direct[w..w + 1]).unwrap();
+        out.finish().unwrap();
+    }
+    region.reset_stats();
+
+    // Concurrent submissions: whatever interleaving the scheduler produces,
+    // every worker must get exactly its own sample's result.
+    let server = BatchServer::new(&session, Duration::from_millis(20)).unwrap();
+    let mut results = vec![0.0f32; workers];
+    std::thread::scope(|scope| {
+        for (w, r) in results.iter_mut().enumerate() {
+            let server = &server;
+            let sample = &samples[w];
+            scope.spawn(move || {
+                let mut out = [0.0f32; 1];
+                server.submit(&[sample], &mut [&mut out]).unwrap();
+                *r = out[0];
+            });
+        }
+    });
+    assert_eq!(results, direct);
+
+    // Occupancy: every sample went through the surrogate, in at least
+    // ceil(workers / max_batch) and at most `workers` forward passes.
+    let stats = region.stats();
+    assert_eq!(stats.batch_submitted, workers as u64);
+    assert!(stats.batches_flushed >= (workers as u64).div_ceil(8));
+    assert!(stats.batches_flushed <= workers as u64);
+    assert!(stats.mean_batch_fill() >= 1.0);
+}
+
+#[test]
+fn zero_wait_server_still_serves_sequential_submitters() {
+    let dir = tmpdir("zero-wait");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 3, 1, 9);
+    let region = region_for(&model);
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 4)
+        .unwrap();
+    let server = BatchServer::new(&session, Duration::ZERO).unwrap();
+    for w in 0..6 {
+        let sample = [w as f32 * 0.1; 3];
+        let mut direct = [0.0f32; 1];
+        let mut out = session
+            .invoke()
+            .input("x", &sample)
+            .unwrap()
+            .run(|| unreachable!())
+            .unwrap();
+        out.output("y", &mut direct).unwrap();
+        out.finish().unwrap();
+
+        let mut served = [0.0f32; 1];
+        server.submit(&[&sample], &mut [&mut served]).unwrap();
+        assert_eq!(served, direct);
+    }
+}
+
+#[test]
+fn submit_validates_arity_and_lengths() {
+    let dir = tmpdir("arity");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 3, 1, 11);
+    let region = region_for(&model);
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 4)
+        .unwrap();
+    let server = BatchServer::new(&session, Duration::ZERO).unwrap();
+    let sample = [0.5f32; 3];
+    let mut out = [0.0f32; 1];
+    // Wrong input count.
+    assert!(server.submit(&[], &mut [&mut out]).is_err());
+    // Wrong per-sample input length.
+    assert!(server.submit(&[&sample[..2]], &mut [&mut out]).is_err());
+    // Wrong output count / length.
+    assert!(server.submit(&[&sample], &mut []).is_err());
+    let mut wide = [0.0f32; 2];
+    assert!(server.submit(&[&sample], &mut [&mut wide]).is_err());
+    // A valid submit still works after the failures.
+    assert!(server.submit(&[&sample], &mut [&mut out]).is_ok());
+}
+
+#[test]
+fn collect_mode_regions_are_rejected() {
+    let dir = tmpdir("collect");
+    let db = dir.join("d.h5");
+    let region = Region::from_source(
+        "serve-collect",
+        &format!(
+            r#"
+            #pragma approx tensor functor(idf: [i, 0:1] = ([i]))
+            #pragma approx tensor map(to: idf(x[0:N]))
+            #pragma approx tensor map(from: idf(y[0:N]))
+            #pragma approx ml(collect) in(x) out(y) db("{}")
+            "#,
+            db.display()
+        ),
+    )
+    .unwrap();
+    let binds = Bindings::new().with("N", 2);
+    let session = region
+        .session(&binds, &[("x", &[2]), ("y", &[2])], 4)
+        .unwrap();
+    assert!(BatchServer::new(&session, Duration::ZERO).is_err());
+}
+
+/// Many rounds of concurrent submission against a small max_batch: exercises
+/// leader handoff, batch close races, and staging recycling.
+#[test]
+fn sustained_concurrent_load_is_correct() {
+    let dir = tmpdir("sustained");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 3, 1, 13);
+    let region = region_for(&model);
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 3)
+        .unwrap();
+    let server = BatchServer::new(&session, Duration::from_micros(300)).unwrap();
+
+    let threads = 4usize;
+    let rounds = 25usize;
+    // Reference results computed directly, one per (thread, round) sample.
+    let expect = |t: usize, r: usize| -> f32 {
+        let sample = [t as f32 * 0.3, r as f32 * 0.05, 1.0];
+        let mut y = [0.0f32; 1];
+        let mut out = session
+            .invoke()
+            .input("x", &sample)
+            .unwrap()
+            .run(|| unreachable!())
+            .unwrap();
+        out.output("y", &mut y).unwrap();
+        out.finish().unwrap();
+        y[0]
+    };
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let server = &server;
+            scope.spawn(move || {
+                for r in 0..rounds {
+                    let sample = [t as f32 * 0.3, r as f32 * 0.05, 1.0];
+                    let mut y = [0.0f32; 1];
+                    server.submit(&[&sample], &mut [&mut y]).unwrap();
+                    assert_eq!(y[0], expect(t, r), "thread {t} round {r}");
+                }
+            });
+        }
+    });
+    let stats = region.stats();
+    // threads*rounds served submissions + threads*rounds reference invokes.
+    assert_eq!(stats.batch_submitted, 2 * (threads * rounds) as u64);
+}

@@ -58,7 +58,9 @@ fn session_matches_one_shot_invocation() {
     out.finish().unwrap();
 
     // Compiled session, invoked repeatedly: identical results every time.
-    let session = region.session(&binds, &[("x", &[8]), ("y", &[4])]).unwrap();
+    let session = region
+        .session(&binds, &[("x", &[8]), ("y", &[4])], 1)
+        .unwrap();
     for _ in 0..5 {
         let mut y = [0.0f32; 4];
         let mut out = session
@@ -87,7 +89,9 @@ fn cache_counters_show_compile_once_execute_many() {
     let binds = Bindings::new().with("N", 4);
     let x = [0.25f32; 8];
 
-    let session = region.session(&binds, &[("x", &[8]), ("y", &[4])]).unwrap();
+    let session = region
+        .session(&binds, &[("x", &[8]), ("y", &[4])], 1)
+        .unwrap();
     let after_build = region.stats();
     // Building compiled the two plans (to + from): misses only.
     assert_eq!(after_build.plan_cache_misses, 2);
@@ -137,7 +141,7 @@ fn n_threads_invoking_one_session_agree() {
     let x: Vec<f32> = (0..32).map(|k| (k as f32).sin()).collect();
 
     let session = region
-        .session(&binds, &[("x", &[32]), ("y", &[16])])
+        .session(&binds, &[("x", &[32]), ("y", &[16])], 1)
         .unwrap();
 
     // Reference from the main thread.
@@ -193,7 +197,9 @@ fn session_collect_mode_records_samples() {
     )
     .unwrap();
     let binds = Bindings::new().with("N", 6);
-    let session = region.session(&binds, &[("x", &[6]), ("y", &[6])]).unwrap();
+    let session = region
+        .session(&binds, &[("x", &[6]), ("y", &[6])], 1)
+        .unwrap();
     let x: Vec<f32> = (0..6).map(|k| k as f32).collect();
     for _ in 0..4 {
         let mut y = vec![0.0f32; 6];
@@ -227,9 +233,11 @@ fn session_rejects_unknown_arrays_and_missing_inputs() {
     let binds = Bindings::new().with("N", 4);
 
     // Missing shape for a declared array.
-    assert!(region.session(&binds, &[("x", &[8])]).is_err());
+    assert!(region.session(&binds, &[("x", &[8])], 1).is_err());
 
-    let session = region.session(&binds, &[("x", &[8]), ("y", &[4])]).unwrap();
+    let session = region
+        .session(&binds, &[("x", &[8]), ("y", &[4])], 1)
+        .unwrap();
     // Unknown input name.
     assert!(session.invoke().input("z", &[0.0; 8]).is_err());
     // Duplicate input.
@@ -295,7 +303,7 @@ fn multi_input_assembly_is_declaration_ordered_on_both_apis() {
     assert_eq!(declared, reversed, "supply order must not change the batch");
 
     let session = region
-        .session(&binds, &[("a", &[4]), ("b", &[4]), ("y", &[4])])
+        .session(&binds, &[("a", &[4]), ("b", &[4]), ("y", &[4])], 1)
         .unwrap();
     let mut y = vec![0.0f32; 4];
     let mut out = session
@@ -309,6 +317,196 @@ fn multi_input_assembly_is_declaration_ordered_on_both_apis() {
     out.output("y", &mut y).unwrap();
     out.finish().unwrap();
     assert_eq!(y, declared, "session path must match the one-shot path");
+}
+
+/// A per-sample region (`N = 1`): 2 features in, 1 value out per sample.
+fn per_sample_region(model: &std::path::Path) -> Region {
+    Region::from_source(
+        "session-batch",
+        &format!(
+            r#"
+            #pragma approx tensor functor(rows: [i, 0:2] = ([2*i : 2*i+2]))
+            #pragma approx tensor functor(single: [i, 0:1] = ([i]))
+            #pragma approx tensor map(to: rows(x[0:N]))
+            #pragma approx ml(infer) in(x) out(single(y[0:N])) model("{}")
+            "#,
+            model.display()
+        ),
+    )
+    .unwrap()
+}
+
+#[test]
+fn invoke_batch_matches_sequential_invokes_bitwise() {
+    let dir = tmpdir("batch-parity");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 2, 1, 13);
+    let region = per_sample_region(&model);
+    let binds = Bindings::new().with("N", 1);
+    let max_batch = 16usize;
+    let session = region
+        .session(&binds, &[("x", &[2]), ("y", &[1])], max_batch)
+        .unwrap();
+    let x: Vec<f32> = (0..max_batch * 2)
+        .map(|k| (k as f32 * 0.37).sin())
+        .collect();
+
+    // Sequential reference: one invoke() per sample.
+    let mut y_seq = vec![0.0f32; max_batch];
+    for i in 0..max_batch {
+        let mut out = session
+            .invoke()
+            .input("x", &x[i * 2..(i + 1) * 2])
+            .unwrap()
+            .run(|| unreachable!())
+            .unwrap();
+        out.output("y", &mut y_seq[i..i + 1]).unwrap();
+        out.finish().unwrap();
+    }
+
+    // Every batch size up to max_batch must reproduce the same bits.
+    for n in 1..=max_batch {
+        let mut y = vec![0.0f32; n];
+        let mut out = session
+            .invoke_batch(n)
+            .unwrap()
+            .input("x", &x[..n * 2])
+            .unwrap()
+            .run(|| unreachable!())
+            .unwrap();
+        assert_eq!(out.path(), PathTaken::Surrogate);
+        out.output("y", &mut y).unwrap();
+        out.finish().unwrap();
+        assert_eq!(y, y_seq[..n], "batch {n} diverged from sequential");
+    }
+}
+
+#[test]
+fn invoke_batch_validates_n_and_input_len() {
+    let dir = tmpdir("batch-errors");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 2, 1, 17);
+    let region = per_sample_region(&model);
+    let binds = Bindings::new().with("N", 1);
+    // max_batch of zero is rejected at build.
+    assert!(region
+        .session(&binds, &[("x", &[2]), ("y", &[1])], 0)
+        .is_err());
+    let session = region
+        .session(&binds, &[("x", &[2]), ("y", &[1])], 8)
+        .unwrap();
+    // n outside 1..=max_batch.
+    assert!(session.invoke_batch(0).is_err());
+    assert!(session.invoke_batch(9).is_err());
+    // Input data must carry exactly n per-sample arrays.
+    let run = session.invoke_batch(4).unwrap();
+    assert!(run.input("x", &[0.0; 7]).is_err());
+    // Output buffer must carry exactly n per-sample arrays.
+    let mut out = session
+        .invoke_batch(2)
+        .unwrap()
+        .input("x", &[0.1; 4])
+        .unwrap()
+        .run(|| unreachable!())
+        .unwrap();
+    assert!(out.output("y", &mut [0.0; 3]).is_err());
+    assert!(out.output("y", &mut [0.0; 2]).is_ok());
+}
+
+#[test]
+fn batch_occupancy_counters_track_coalescing() {
+    let dir = tmpdir("batch-counters");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 2, 1, 19);
+    let region = per_sample_region(&model);
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[2]), ("y", &[1])], 32)
+        .unwrap();
+    let x = [0.2f32; 64];
+    let mut y = [0.0f32; 32];
+    // 3 batched invocations of 20 + 2 single invokes.
+    for _ in 0..3 {
+        let mut out = session
+            .invoke_batch(20)
+            .unwrap()
+            .input("x", &x[..40])
+            .unwrap()
+            .run(|| unreachable!())
+            .unwrap();
+        out.output("y", &mut y[..20]).unwrap();
+        out.finish().unwrap();
+    }
+    for _ in 0..2 {
+        let mut out = session
+            .invoke()
+            .input("x", &x[..2])
+            .unwrap()
+            .run(|| unreachable!())
+            .unwrap();
+        out.output("y", &mut y[..1]).unwrap();
+        out.finish().unwrap();
+    }
+    let stats = region.stats();
+    assert_eq!(stats.invocations, 62);
+    assert_eq!(stats.surrogate_invocations, 62);
+    assert_eq!(stats.batch_submitted, 62);
+    assert_eq!(stats.batches_flushed, 5);
+    assert!((stats.mean_batch_fill() - 62.0 / 5.0).abs() < 1e-9);
+}
+
+#[test]
+fn batched_collect_records_one_row_per_sample() {
+    let dir = tmpdir("batch-collect");
+    let db = dir.join("d.h5");
+    let region = Region::from_source(
+        "batch-collect",
+        &format!(
+            r#"
+            #pragma approx tensor functor(idf: [i, 0:1] = ([i]))
+            #pragma approx tensor map(to: idf(x[0:N]))
+            #pragma approx tensor map(from: idf(y[0:N]))
+            #pragma approx ml(collect) in(x) out(y) db("{}")
+            "#,
+            db.display()
+        ),
+    )
+    .unwrap();
+    let binds = Bindings::new().with("N", 3);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[3])], 4)
+        .unwrap();
+    let x: Vec<f32> = (0..12).map(|k| k as f32).collect();
+    let mut y = vec![0.0f32; 12];
+    let n = 4usize;
+    let mut out = session
+        .invoke_batch(n)
+        .unwrap()
+        .use_surrogate(false)
+        .input("x", &x)
+        .unwrap()
+        .run(|| {
+            for (o, v) in y.iter_mut().zip(&x) {
+                *o = v * 3.0;
+            }
+        })
+        .unwrap();
+    assert_eq!(out.path(), PathTaken::Accurate);
+    out.output("y", &mut y).unwrap();
+    out.finish().unwrap();
+    region.flush_db().unwrap();
+
+    // One database row per *sample*, exactly like n sequential invocations.
+    let file = hpacml_store::H5File::open(&db).unwrap();
+    let group = file.root().group("batch-collect").unwrap();
+    let xs = group.group("inputs").unwrap().dataset("x").unwrap();
+    let ys = group.group("outputs").unwrap().dataset("y").unwrap();
+    assert_eq!(xs.rows(), n);
+    assert_eq!(ys.rows(), n);
+    assert_eq!(group.dataset("region_time_ns").unwrap().rows(), n);
+    let read = ys.read_f32().unwrap();
+    let expect: Vec<f32> = (0..12).map(|k| k as f32 * 3.0).collect();
+    assert_eq!(read, expect);
 }
 
 #[test]
@@ -334,11 +532,15 @@ fn sessions_follow_model_hot_swap_on_rebuild() {
         out.finish().unwrap();
         y
     };
-    let s1 = region.session(&binds, &[("x", &[8]), ("y", &[4])]).unwrap();
+    let s1 = region
+        .session(&binds, &[("x", &[8]), ("y", &[4])], 1)
+        .unwrap();
     let y1 = run(&s1);
     region.set_model_path(&m2);
     // A session built after the swap sees the new model.
-    let s2 = region.session(&binds, &[("x", &[8]), ("y", &[4])]).unwrap();
+    let s2 = region
+        .session(&binds, &[("x", &[8]), ("y", &[4])], 1)
+        .unwrap();
     let y2 = run(&s2);
     assert_ne!(y1, y2);
 }

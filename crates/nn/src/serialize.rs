@@ -82,6 +82,21 @@ impl SavedModel {
     pub fn param_count(&self) -> usize {
         self.spec.param_count()
     }
+
+    /// Pre-size `ws` for inference on inputs of `in_dims` (batch dimension
+    /// included): the normalization staging buffer and both forward arenas
+    /// grow once, so every later [`SavedModel::infer_with`] call at that
+    /// batch — or any smaller one — performs zero heap allocation. Compiled
+    /// sessions call this with their `max_batch` input shape at warm-up.
+    /// Returns the widest activation element count (see
+    /// [`crate::ForwardWorkspace::reserve`]).
+    pub fn reserve_workspace(&self, ws: &mut InferWorkspace, in_dims: &[usize]) -> Result<usize> {
+        let numel: usize = in_dims.iter().product();
+        if self.in_norm.is_some() && ws.staged.capacity() < numel {
+            ws.staged.resize(&[numel]);
+        }
+        ws.fw.reserve(&self.model, in_dims)
+    }
 }
 
 /// Serialize a trained model (plus normalizers) to `path`.

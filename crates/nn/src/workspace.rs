@@ -53,7 +53,31 @@ impl ForwardWorkspace {
     /// Capacity currently held by the two arenas, in elements — lets tests
     /// assert that repeated passes reuse storage instead of growing it.
     pub fn capacity_elems(&self) -> (usize, usize) {
-        (self.ping.numel(), self.pong.numel())
+        (self.ping.capacity(), self.pong.capacity())
+    }
+
+    /// Pre-size both activation arenas for `model` fed inputs of `in_dims`
+    /// (batch dimension included), by walking the layers' static shape
+    /// functions. After reserving for the *largest* batch a caller will use
+    /// (e.g. a session's `max_batch`), forward passes at **any** smaller
+    /// batch reuse the grown arenas — the zero-allocation guarantee of
+    /// runtime-batched inference. Returns the widest activation element
+    /// count, so callers that swap buffers with the arenas (the runtime's
+    /// model-output hand-off) can size those to match.
+    pub fn reserve(&mut self, model: &Sequential, in_dims: &[usize]) -> Result<usize> {
+        let mut dims = in_dims.to_vec();
+        let mut max_elems: usize = dims.iter().product();
+        for layer in model.layers() {
+            dims = layer.out_dims(&dims)?;
+            max_elems = max_elems.max(dims.iter().product());
+        }
+        if self.ping.capacity() < max_elems {
+            self.ping.resize(&[max_elems]);
+        }
+        if self.pong.capacity() < max_elems {
+            self.pong.resize(&[max_elems]);
+        }
+        Ok(max_elems)
     }
 }
 

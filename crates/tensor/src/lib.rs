@@ -21,7 +21,7 @@ pub mod view;
 pub use scalar::Scalar;
 pub use shape::Shape;
 pub use tensor::Tensor;
-pub use view::{View, ViewMut};
+pub use view::{gather_chunks_raw, scatter_chunks_raw, View, ViewMut};
 
 /// Errors raised by tensor construction and shape manipulation.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -67,6 +67,12 @@ impl<T: Scalar> Tensor<T> {
         self.data.len()
     }
 
+    /// Elements the backing storage can hold without reallocating — what the
+    /// inference workspaces reserve up front and tests assert stays flat.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     pub fn data(&self) -> &[T] {
         &self.data
     }

@@ -38,20 +38,20 @@ fn validate(len: usize, offset: usize, shape: &Shape, strides: &[usize]) -> Resu
 /// of [`row_offsets`] used on the serial hot paths.
 fn for_each_row_offset(
     offset: usize,
-    shape: &Shape,
+    dims: &[usize],
     strides: &[usize],
     mut f: impl FnMut(usize, usize),
 ) {
-    let rank = shape.rank();
+    let rank = dims.len();
     if rank == 0 {
         f(0, offset);
         return;
     }
-    let outer_dims = &shape.dims()[..rank - 1];
+    let outer_dims = &dims[..rank - 1];
     let outer_count: usize = outer_dims.iter().product::<usize>().max(1);
     const MAX_RANK: usize = 16;
     if rank - 1 > MAX_RANK {
-        for (row, o) in row_offsets(offset, shape, strides).into_iter().enumerate() {
+        for (row, o) in row_offsets(offset, dims, strides).into_iter().enumerate() {
             f(row, o);
         }
         return;
@@ -75,12 +75,12 @@ fn for_each_row_offset(
 
 /// Walk all row prefixes (all dims except the innermost) in row-major order,
 /// yielding the linear offset of each row start.
-fn row_offsets(offset: usize, shape: &Shape, strides: &[usize]) -> Vec<usize> {
-    let rank = shape.rank();
+fn row_offsets(offset: usize, dims: &[usize], strides: &[usize]) -> Vec<usize> {
+    let rank = dims.len();
     if rank == 0 {
         return vec![offset];
     }
-    let outer_dims = &shape.dims()[..rank - 1];
+    let outer_dims = &dims[..rank - 1];
     let outer_count: usize = outer_dims.iter().product();
     let mut offs = Vec::with_capacity(outer_count.max(1));
     let mut idx = vec![0usize; rank - 1];
@@ -99,6 +99,139 @@ fn row_offsets(offset: usize, shape: &Shape, strides: &[usize]) -> Vec<usize> {
         }
     }
     offs
+}
+
+/// [`View::gather_into_chunks`] on raw view parts — the form the data
+/// bridge's *compiled* plans use, so a plan resolved once at compile time can
+/// gather on every invocation without materializing a [`View`] (and thus
+/// without any per-call allocation). Reads the strided view described by
+/// `(offset, dims, strides)` over `data` in row-major order and lands the
+/// `i`-th group of `chunk` elements at `out[i * stride .. i * stride + chunk]`.
+///
+/// Caller contract (upheld by the bridge at plan-compile time): the view is
+/// in bounds for `data`, `chunk` tiles the view's element count, and `chunk`
+/// nests with the innermost contiguous run.
+pub fn gather_chunks_raw<T: Scalar>(
+    data: &[T],
+    offset: usize,
+    dims: &[usize],
+    strides: &[usize],
+    out: &mut [T],
+    chunk: usize,
+    stride: usize,
+) {
+    if dims.is_empty() {
+        out[0] = data[offset];
+        return;
+    }
+    let total: usize = dims.iter().product();
+    if total == 0 {
+        return;
+    }
+    debug_assert!(chunk > 0 && total.is_multiple_of(chunk));
+    let rank = dims.len();
+    let inner = dims[rank - 1];
+    let inner_stride = strides[rank - 1];
+    if chunk == stride {
+        // Contiguous destination: whole inner rows land back to back.
+        for_each_row_offset(offset, dims, strides, |row, src_base| {
+            let dst = &mut out[row * inner..(row + 1) * inner];
+            if inner_stride == 1 {
+                dst.copy_from_slice(&data[src_base..src_base + inner]);
+            } else {
+                for (k, d) in dst.iter_mut().enumerate() {
+                    *d = data[src_base + k * inner_stride];
+                }
+            }
+        });
+        return;
+    }
+    debug_assert!(chunk.is_multiple_of(inner) || inner.is_multiple_of(chunk));
+    for_each_row_offset(offset, dims, strides, |row, src_base| {
+        let e = row * inner; // global element index of this inner row
+        if chunk.is_multiple_of(inner) {
+            let dst_base = (e / chunk) * stride + (e % chunk);
+            let dst = &mut out[dst_base..dst_base + inner];
+            if inner_stride == 1 {
+                dst.copy_from_slice(&data[src_base..src_base + inner]);
+            } else {
+                for (k, d) in dst.iter_mut().enumerate() {
+                    *d = data[src_base + k * inner_stride];
+                }
+            }
+        } else {
+            // The inner row spans inner/chunk successive chunks.
+            for c0 in (0..inner).step_by(chunk) {
+                let dst_base = ((e + c0) / chunk) * stride;
+                for k in 0..chunk {
+                    out[dst_base + k] = data[src_base + (c0 + k) * inner_stride];
+                }
+            }
+        }
+    });
+}
+
+/// Inverse of [`gather_chunks_raw`]: read the `i`-th group of `chunk`
+/// elements from `src[i * stride .. i * stride + chunk]` and write the groups
+/// through the raw strided view over `data` in row-major order. Same caller
+/// contract; allocation-free.
+pub fn scatter_chunks_raw<T: Scalar>(
+    data: &mut [T],
+    offset: usize,
+    dims: &[usize],
+    strides: &[usize],
+    src: &[T],
+    chunk: usize,
+    stride: usize,
+) {
+    if dims.is_empty() {
+        data[offset] = src[0];
+        return;
+    }
+    let total: usize = dims.iter().product();
+    if total == 0 {
+        return;
+    }
+    debug_assert!(chunk > 0 && total.is_multiple_of(chunk));
+    let rank = dims.len();
+    let inner = dims[rank - 1];
+    let inner_stride = strides[rank - 1];
+    if chunk == stride {
+        // Contiguous source: whole inner rows read back to back.
+        for_each_row_offset(offset, dims, strides, |row, dst_base| {
+            let s = &src[row * inner..(row + 1) * inner];
+            if inner_stride == 1 {
+                data[dst_base..dst_base + inner].copy_from_slice(s);
+            } else {
+                for (k, v) in s.iter().enumerate() {
+                    data[dst_base + k * inner_stride] = *v;
+                }
+            }
+        });
+        return;
+    }
+    debug_assert!(chunk.is_multiple_of(inner) || inner.is_multiple_of(chunk));
+    for_each_row_offset(offset, dims, strides, |row, dst_base| {
+        let e = row * inner; // global element index of this inner row
+        if chunk.is_multiple_of(inner) {
+            let src_base = (e / chunk) * stride + (e % chunk);
+            let s = &src[src_base..src_base + inner];
+            if inner_stride == 1 {
+                data[dst_base..dst_base + inner].copy_from_slice(s);
+            } else {
+                for (k, v) in s.iter().enumerate() {
+                    data[dst_base + k * inner_stride] = *v;
+                }
+            }
+        } else {
+            for c0 in (0..inner).step_by(chunk) {
+                let src_base = ((e + c0) / chunk) * stride;
+                for k in 0..chunk {
+                    data[dst_base + (c0 + k) * inner_stride] = src[src_base + k];
+                }
+            }
+        }
+    });
 }
 
 /// Read-only strided view.
@@ -183,7 +316,7 @@ impl<'a, T: Scalar> View<'a, T> {
         }
         let inner = self.shape.dims()[rank - 1];
         let inner_stride = self.strides[rank - 1];
-        let rows = row_offsets(self.offset, &self.shape, &self.strides);
+        let rows = row_offsets(self.offset, self.shape.dims(), &self.strides);
         let data = self.data;
         let do_row = |row: usize, dst: &mut [T]| {
             let src_base = rows[row];
@@ -238,42 +371,25 @@ impl<'a, T: Scalar> View<'a, T> {
             return;
         }
         let rank = self.shape.rank();
-        if rank == 0 {
-            out[0] = self.data[self.offset];
-            return;
+        if rank > 0 {
+            let inner = self.shape.dims()[rank - 1];
+            // Either the chunk covers whole inner rows (feature dims present)
+            // or an inner row spans whole chunks (chunk == 1 for pure-sweep
+            // views); both hold by construction for bridge views.
+            assert!(
+                chunk.is_multiple_of(inner) || inner.is_multiple_of(chunk),
+                "gather_into_chunks: chunk and inner run must nest"
+            );
         }
-        let inner = self.shape.dims()[rank - 1];
-        let inner_stride = self.strides[rank - 1];
-        // Either the chunk covers whole inner rows (feature dims present) or
-        // an inner row spans whole chunks (chunk == 1 for pure-sweep views);
-        // both hold by construction for bridge views.
-        assert!(
-            chunk.is_multiple_of(inner) || inner.is_multiple_of(chunk),
-            "gather_into_chunks: chunk and inner run must nest"
+        gather_chunks_raw(
+            self.data,
+            self.offset,
+            self.shape.dims(),
+            &self.strides,
+            out,
+            chunk,
+            stride,
         );
-        let data = self.data;
-        for_each_row_offset(self.offset, &self.shape, &self.strides, |row, src_base| {
-            let e = row * inner; // global element index of this inner row
-            if chunk.is_multiple_of(inner) {
-                let dst_base = (e / chunk) * stride + (e % chunk);
-                let dst = &mut out[dst_base..dst_base + inner];
-                if inner_stride == 1 {
-                    dst.copy_from_slice(&data[src_base..src_base + inner]);
-                } else {
-                    for (k, d) in dst.iter_mut().enumerate() {
-                        *d = data[src_base + k * inner_stride];
-                    }
-                }
-            } else {
-                // The inner row spans inner/chunk successive chunks.
-                for c0 in (0..inner).step_by(chunk) {
-                    let dst_base = ((e + c0) / chunk) * stride;
-                    for k in 0..chunk {
-                        out[dst_base + k] = data[src_base + (c0 + k) * inner_stride];
-                    }
-                }
-            }
-        });
     }
 }
 
@@ -349,7 +465,7 @@ impl<'a, T: Scalar> ViewMut<'a, T> {
         }
         let inner = self.shape.dims()[rank - 1];
         let inner_stride = self.strides[rank - 1];
-        let rows = row_offsets(self.offset, &self.shape, &self.strides);
+        let rows = row_offsets(self.offset, self.shape.dims(), &self.strides);
         for (row, s) in src.chunks_exact(inner).enumerate() {
             let dst_base = rows[row];
             if inner_stride == 1 {
@@ -382,38 +498,22 @@ impl<'a, T: Scalar> ViewMut<'a, T> {
             return;
         }
         let rank = self.shape.rank();
-        if rank == 0 {
-            self.data[self.offset] = src[0];
-            return;
+        if rank > 0 {
+            let inner = self.shape.dims()[rank - 1];
+            assert!(
+                chunk.is_multiple_of(inner) || inner.is_multiple_of(chunk),
+                "scatter_from_chunks: chunk and inner run must nest"
+            );
         }
-        let inner = self.shape.dims()[rank - 1];
-        let inner_stride = self.strides[rank - 1];
-        assert!(
-            chunk.is_multiple_of(inner) || inner.is_multiple_of(chunk),
-            "scatter_from_chunks: chunk and inner run must nest"
+        scatter_chunks_raw(
+            self.data,
+            self.offset,
+            self.shape.dims(),
+            &self.strides,
+            src,
+            chunk,
+            stride,
         );
-        let data = &mut *self.data;
-        for_each_row_offset(self.offset, &self.shape, &self.strides, |row, dst_base| {
-            let e = row * inner; // global element index of this inner row
-            if chunk.is_multiple_of(inner) {
-                let src_base = (e / chunk) * stride + (e % chunk);
-                let s = &src[src_base..src_base + inner];
-                if inner_stride == 1 {
-                    data[dst_base..dst_base + inner].copy_from_slice(s);
-                } else {
-                    for (k, v) in s.iter().enumerate() {
-                        data[dst_base + k * inner_stride] = *v;
-                    }
-                }
-            } else {
-                for c0 in (0..inner).step_by(chunk) {
-                    let src_base = ((e + c0) / chunk) * stride;
-                    for k in 0..chunk {
-                        data[dst_base + (c0 + k) * inner_stride] = src[src_base + k];
-                    }
-                }
-            }
-        });
     }
 }
 

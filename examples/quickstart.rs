@@ -112,7 +112,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t: Vec<f32> = (0..n * m).map(|k| ((k % 7) as f32 - 3.0) * 0.2).collect();
     let mut reference = vec![0.0f32; n * m];
     do_timestep(&t, &mut reference, n, m);
-    let session = region.session(&binds, &[("t", &[n, m]), ("tnew", &[n, m])])?;
+    // Per-sample shapes plus the largest runtime batch one invocation may
+    // carry (the auto-regressive stencil steps one grid at a time: 1).
+    let session = region.session(&binds, &[("t", &[n, m]), ("tnew", &[n, m])], 1)?;
     let mut tnew = vec![0.0f32; n * m];
     for _ in 0..100 {
         let mut out = session
