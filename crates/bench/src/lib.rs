@@ -366,3 +366,88 @@ mod tests {
         assert!(fmt_secs(Duration::from_secs(2)).ends_with('s'));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Kernel timing: shared by `bench_json` and the fig8 kernel-split panel
+// ---------------------------------------------------------------------------
+
+/// Median nanoseconds per call over `samples` timed batches of `batch`
+/// calls each (warm-up included).
+pub fn measure_ns(samples: usize, batch: u32, mut f: impl FnMut()) -> u64 {
+    for _ in 0..batch.min(100) {
+        f();
+    }
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t0.elapsed().as_nanos() as u64 / batch as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Forward-time split of one `Linear` layer at a given batch: weight-panel
+/// **pack** (what the model-load compile pass pays once), bare **GEMM**
+/// (packed operands, no epilogue), and the fused **epilogue** increment
+/// (bias + activation applied in-tile). Makes kernel regressions
+/// attributable: a slower forward is a pack, compute, or epilogue problem.
+#[derive(Debug, Clone)]
+pub struct KernelSplit {
+    pub layer: String,
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    pub pack_ns: u64,
+    pub gemm_ns: u64,
+    pub epilogue_ns: u64,
+}
+
+/// Measure [`KernelSplit`]s for a stack of `Linear` layers
+/// (`(in_features, out_features, fused activation)`) at batch `m`.
+pub fn linear_kernel_split(
+    m: usize,
+    layers: &[(usize, usize, Option<hpacml_tensor::Act>)],
+) -> Vec<KernelSplit> {
+    use hpacml_tensor::gemm::{matmul_transb_packed_into, PackedB};
+    use hpacml_tensor::{Epilogue, Tensor};
+    use std::hint::black_box;
+    let mut out = Vec::new();
+    for (i, &(k, n, act)) in layers.iter().enumerate() {
+        let a = Tensor::<f32>::from_shape_fn([m, k], |ix| ((ix[0] * 7 + ix[1]) % 13) as f32 * 0.05);
+        let wt = Tensor::<f32>::from_shape_fn([n, k], |ix| (ix[0] as f32 - ix[1] as f32) * 0.01);
+        let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.001).collect();
+        let mut packed = PackedB::from_transb(&wt).expect("rank 2");
+        let mut c = Tensor::<f32>::zeros([m, n]);
+        let pack_ns = measure_ns(15, 20, || {
+            packed.pack_rows_into(black_box(wt.data()), n, k);
+        });
+        let gemm_ns = measure_ns(15, 10, || {
+            matmul_transb_packed_into(black_box(&a), &packed, Epilogue::none(), &mut c).unwrap();
+            black_box(c.data());
+        });
+        let fused_ns = measure_ns(15, 10, || {
+            matmul_transb_packed_into(
+                black_box(&a),
+                &packed,
+                Epilogue::col_bias(&bias).with_act(act),
+                &mut c,
+            )
+            .unwrap();
+            black_box(c.data());
+        });
+        out.push(KernelSplit {
+            layer: format!("l{i}"),
+            m,
+            k,
+            n,
+            pack_ns,
+            gemm_ns,
+            epilogue_ns: fused_ns.saturating_sub(gemm_ns).max(1),
+        });
+    }
+    out
+}

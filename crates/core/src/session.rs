@@ -225,7 +225,7 @@ struct Assembly {
 /// Model handle plus assembly layout, resolved lazily on the first surrogate
 /// run (so collect-phase sessions whose model file does not exist yet build
 /// fine).
-struct SurrogateState {
+pub(crate) struct SurrogateState {
     model: Arc<SavedModel>,
     assembly: Assembly,
 }
@@ -306,6 +306,51 @@ impl SessionCore {
         Ok(Arc::clone(guard.get_or_insert(state)))
     }
 
+    /// The already-resolved surrogate state, if any. Build-time workspace
+    /// warming peeks instead of resolving, so model resolution stays as
+    /// lazy (and as counted) as it always was.
+    fn cached_surrogate_state(&self) -> Option<Arc<SurrogateState>> {
+        self.surrogate.lock().as_ref().map(Arc::clone)
+    }
+
+    /// Reserve this thread's inference workspace — activation arenas,
+    /// normalization staging, the model-output swap buffer and the
+    /// per-layer GEMM scratch (weight packing, im2col columns) — for the
+    /// largest batch this session can see, once per
+    /// `(thread, core, max_batch)`. Shared by [`Session::build`] (the
+    /// building thread starts its first invocation already in the
+    /// zero-alloc steady state) and [`SessionCore::run_surrogate`] (every
+    /// other thread warms on its first run). Skipped for `max_batch == 1`
+    /// (the one-shot exec path and single-sample sessions): the forward
+    /// pass sizes the arenas naturally there, and skipping keeps a thread
+    /// that alternates one-shot and batched invocations of the same core
+    /// from re-reserving on every flip of the single-slot warm token.
+    pub(crate) fn warm_thread_workspace(
+        &self,
+        state: &SurrogateState,
+        scratch: &mut Scratch,
+        max_batch: usize,
+    ) -> Result<()> {
+        let token = (self as *const SessionCore as usize, max_batch);
+        if max_batch <= 1 || scratch.ws_warm == token {
+            return Ok(());
+        }
+        let asm = &state.assembly;
+        scratch.dims_buf.clear();
+        scratch.dims_buf.push(max_batch * asm.in_dims[0]);
+        scratch.dims_buf.extend_from_slice(&asm.in_dims[1..]);
+        let widest = state
+            .model
+            .reserve_workspace(&mut scratch.ws, &scratch.dims_buf)?;
+        // `out` swaps with the final activation arena every run; size it
+        // to match so the swapped-in buffer never has to regrow.
+        if scratch.out.capacity() < widest {
+            scratch.out.resize(&[widest]);
+        }
+        scratch.ws_warm = token;
+        Ok(())
+    }
+
     /// Derive the assembly layout from the input plans' LHS shapes and the
     /// model's declared per-sample input shape. Mirrors the semantics of the
     /// historical flatten→concat→reshape chain, as straight offsets.
@@ -372,30 +417,8 @@ impl SessionCore {
         max_batch: usize,
     ) -> Result<u64> {
         let state = self.surrogate_state(region)?;
+        self.warm_thread_workspace(&state, scratch, max_batch)?;
         let asm = &state.assembly;
-
-        // Reserve the inference workspace for the largest batch this session
-        // can see, once per (thread, core, max_batch). Skipped entirely for
-        // max_batch == 1 (the one-shot exec path and single-sample sessions):
-        // the forward pass sizes the arenas naturally there, and skipping
-        // keeps a thread that alternates one-shot and batched invocations of
-        // the same core from re-reserving on every flip of the single-slot
-        // warm token.
-        let token = (self as *const SessionCore as usize, max_batch);
-        if max_batch > 1 && scratch.ws_warm != token {
-            scratch.dims_buf.clear();
-            scratch.dims_buf.push(max_batch * asm.in_dims[0]);
-            scratch.dims_buf.extend_from_slice(&asm.in_dims[1..]);
-            let widest = state
-                .model
-                .reserve_workspace(&mut scratch.ws, &scratch.dims_buf)?;
-            // `out` swaps with the final activation arena every run; size it
-            // to match so the swapped-in buffer never has to regrow.
-            if scratch.out.capacity() < widest {
-                scratch.out.resize(&[widest]);
-            }
-            scratch.ws_warm = token;
-        }
 
         if self.inputs.len() == 1 {
             // Single input: the gathered batch *is* the staged batch.
@@ -486,6 +509,16 @@ impl<'r> Session<'r> {
             let numel = plan.numel();
             outputs.push((name.clone(), plan, offset));
             offset += numel;
+        }
+        // If this core's model is already resolved (a second session built
+        // on a cached core), warm the building thread's inference workspace
+        // now — compiled models carry pre-packed weights, so after this the
+        // builder's first invocation runs the steady-state kernels with
+        // zero allocation. A first-time core keeps its lazy (and
+        // stats-counted) resolution on first run, exactly as before.
+        if let Some(state) = core.cached_surrogate_state() {
+            let mut scratch = ScratchGuard::take();
+            core.warm_thread_workspace(&state, &mut scratch, max_batch)?;
         }
         Ok(Session {
             region,

@@ -1,0 +1,217 @@
+//! The inference compile pass: layer fusion + weight pre-packing.
+//!
+//! A deployed surrogate is immutable — same weights, millions of forward
+//! passes — so anything per-forward that a one-time pass can precompute is
+//! pure waste on the hot path. [`compile_for_inference`] rewrites a
+//! [`Sequential`] in three steps:
+//!
+//! 1. **drop inference identities** — `Dropout` is a no-op outside
+//!    training but still costs a full activation copy per forward;
+//! 2. **fuse activations** — `Linear→{ReLU,Tanh,Sigmoid}` and
+//!    `Conv2d→{ReLU,Tanh,Sigmoid}` pairs collapse into the compute layer,
+//!    whose GEMM epilogue then applies bias *and* activation to each
+//!    output tile while it is register/L1-hot (two full-tensor memory
+//!    sweeps deleted per pair);
+//! 3. **pre-pack weights** — `Linear` packs `Wᵀ` into
+//!    [`PackedB`](hpacml_tensor::gemm::PackedB) column panels, `Conv2d`
+//!    packs its `[filters, c*kh*kw]` matrix into
+//!    [`PackedA`](hpacml_tensor::gemm::PackedA) row blocks, so the
+//!    steady-state kernels never repack.
+//!
+//! The pass is **semantics-preserving at the bit level** for inference:
+//! every fused/packed kernel accumulates in the same ascending-`k` order
+//! and applies the same bias/activation expressions as the unfused stack
+//! (see the determinism notes on [`hpacml_tensor::gemm`]). It is applied
+//! automatically by [`crate::serialize::load_model`]; a compiled model is
+//! inference-only (its backward pass no longer sees the removed layers).
+
+use crate::model::Sequential;
+
+/// What [`compile_for_inference`] did to a model — surfaced so runtimes
+/// and benches can attribute their speedups.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileInfo {
+    /// Inference-identity layers (Dropout) removed.
+    pub removed_identity: usize,
+    /// Activation layers folded into the preceding compute layer's epilogue.
+    pub fused_activations: usize,
+    /// Layers whose weights were pre-packed into panel layouts.
+    pub packed_layers: usize,
+}
+
+/// Compile a model for inference: drop identities, fuse activations into
+/// GEMM epilogues, pre-pack weights. Idempotent; returns what changed.
+pub fn compile_for_inference(model: &mut Sequential) -> CompileInfo {
+    let mut info = CompileInfo::default();
+    let layers = model.layers_mut();
+
+    let before = layers.len();
+    layers.retain(|l| !l.inference_identity());
+    info.removed_identity = before - layers.len();
+
+    let mut i = 0;
+    while i < layers.len() {
+        if i + 1 < layers.len() {
+            if let Some(act) = layers[i + 1].as_activation() {
+                if layers[i].fuse_activation(act) {
+                    layers.remove(i + 1);
+                    info.fused_activations += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    for l in layers.iter_mut() {
+        if l.prepack() {
+            info.packed_layers += 1;
+        }
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Activation, LayerSpec, ModelSpec};
+    use hpacml_tensor::Tensor;
+
+    #[test]
+    fn mlp_fuses_and_matches_uncompiled_bitwise() {
+        let spec = ModelSpec::mlp(6, &[32, 16], 2, Activation::Tanh, 0.25);
+        let reference = spec.build(7).unwrap();
+        let mut compiled = spec.build(7).unwrap();
+        let info = compile_for_inference(&mut compiled);
+        // 2 dropouts removed, 2 tanh fused, 3 linears packed.
+        assert_eq!(info.removed_identity, 2);
+        assert_eq!(info.fused_activations, 2);
+        assert_eq!(info.packed_layers, 3);
+        assert_eq!(compiled.layer_names(), vec!["linear", "linear", "linear"]);
+
+        let x = Tensor::from_shape_fn([9, 6], |ix| (ix[0] as f32 - ix[1] as f32) * 0.17);
+        let a = reference.forward(&x).unwrap();
+        let b = compiled.forward(&x).unwrap();
+        assert_eq!(a.data(), b.data(), "compilation must not change results");
+    }
+
+    #[test]
+    fn cnn_fuses_conv_activation_and_matches() {
+        let spec = ModelSpec::new(
+            vec![2, 8, 8],
+            vec![
+                LayerSpec::Conv2d {
+                    in_ch: 2,
+                    out_ch: 3,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                LayerSpec::ReLU,
+                LayerSpec::MaxPool2d {
+                    kernel: 2,
+                    stride: 2,
+                },
+                LayerSpec::Flatten,
+                LayerSpec::Linear {
+                    in_features: 3 * 4 * 4,
+                    out_features: 2,
+                },
+                LayerSpec::Sigmoid,
+            ],
+        );
+        let reference = spec.build(3).unwrap();
+        let mut compiled = spec.build(3).unwrap();
+        let info = compile_for_inference(&mut compiled);
+        assert_eq!(info.fused_activations, 2);
+        assert_eq!(info.packed_layers, 2);
+        assert_eq!(
+            compiled.layer_names(),
+            vec!["conv2d", "maxpool2d", "flatten", "linear"]
+        );
+        let x = Tensor::from_shape_fn([3, 2, 8, 8], |ix| (ix[2] * 8 + ix[3]) as f32 * 0.013 - 0.4);
+        assert_eq!(
+            reference.forward(&x).unwrap().data(),
+            compiled.forward(&x).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn double_activation_fuses_only_once() {
+        let spec = ModelSpec::new(
+            vec![4],
+            vec![
+                LayerSpec::Linear {
+                    in_features: 4,
+                    out_features: 4,
+                },
+                LayerSpec::ReLU,
+                LayerSpec::Tanh,
+            ],
+        );
+        let reference = spec.build(1).unwrap();
+        let mut compiled = spec.build(1).unwrap();
+        let info = compile_for_inference(&mut compiled);
+        assert_eq!(info.fused_activations, 1);
+        assert_eq!(compiled.layer_names(), vec!["linear", "tanh"]);
+        let x = Tensor::from_shape_fn([5, 4], |ix| ix[1] as f32 * 0.3 - 0.5);
+        assert_eq!(
+            reference.forward(&x).unwrap().data(),
+            compiled.forward(&x).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn compiled_layers_refuse_training() {
+        // The fusion pass removed the activation layer; training a fused
+        // layer would silently skip its gradient — it must error instead.
+        let spec = ModelSpec::mlp(4, &[8], 1, Activation::ReLU, 0.0);
+        let mut m = spec.build(4).unwrap();
+        compile_for_inference(&mut m);
+        let x = Tensor::full([2, 4], 0.5f32);
+        assert!(matches!(
+            m.forward_train(&x),
+            Err(crate::NnError::Train(msg)) if msg.contains("compiled for inference")
+        ));
+    }
+
+    #[test]
+    fn visiting_params_refreshes_packs() {
+        // Mutating weights through visit_params (import_weights, snapshot
+        // restores) must not leave forwards reading stale panels — and a
+        // read-only visit (export_weights) must not silently lose the
+        // packed steady state either.
+        let spec = ModelSpec::mlp(3, &[6], 1, Activation::ReLU, 0.0);
+        let mut m = spec.build(9).unwrap();
+        compile_for_inference(&mut m);
+        let x = Tensor::full([4, 3], 0.25f32);
+        let before = m.forward(&x).unwrap();
+        m.visit_params(&mut |p| {
+            for v in p.value.data_mut() {
+                *v *= 2.0;
+            }
+        });
+        let after = m.forward(&x).unwrap();
+        assert_ne!(
+            before.data(),
+            after.data(),
+            "forward must see the mutated weights, not stale packed panels"
+        );
+        // Read-only visit keeps the packs (and refreshes them in place).
+        let _ = m.export_weights();
+        let again = m.forward(&x).unwrap();
+        assert_eq!(after.data(), again.data());
+    }
+
+    #[test]
+    fn compile_is_idempotent() {
+        let spec = ModelSpec::mlp(3, &[8], 1, Activation::ReLU, 0.1);
+        let mut m = spec.build(2).unwrap();
+        let first = compile_for_inference(&mut m);
+        assert_eq!(first.fused_activations, 1);
+        let second = compile_for_inference(&mut m);
+        assert_eq!(second.removed_identity, 0);
+        assert_eq!(second.fused_activations, 0);
+        // Re-packing is harmless (same panels recomputed).
+        assert_eq!(second.packed_layers, first.packed_layers);
+    }
+}

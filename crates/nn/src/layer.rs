@@ -6,6 +6,7 @@
 //! `backward`.
 
 use crate::{NnError, Result};
+use hpacml_tensor::gemm::{self, Act, Epilogue, PackedA, PackedB};
 use hpacml_tensor::ops::{self, Conv2dGeom};
 use hpacml_tensor::Tensor;
 use rand::rngs::SmallRng;
@@ -70,6 +71,42 @@ pub trait Layer: Send + Sync {
     fn param_count(&self) -> usize {
         0
     }
+
+    // --- inference-compilation hooks (see `crate::fuse`) -------------------
+
+    /// Is this layer the identity at inference time (Dropout)? The compile
+    /// pass removes such layers, deleting a full copy sweep per forward.
+    fn inference_identity(&self) -> bool {
+        false
+    }
+
+    /// If this layer is a pure elementwise activation the GEMM epilogue can
+    /// fuse (`ReLU`/`Tanh`/`Sigmoid`), say which.
+    fn as_activation(&self) -> Option<Act> {
+        None
+    }
+
+    /// Offer this layer the activation that follows it, to fold into its own
+    /// fused epilogue. Returns `true` if absorbed — the compile pass then
+    /// removes the activation layer. Fused layers must produce **bit-equal**
+    /// outputs to the unfused pair; only inference-side state may change.
+    fn fuse_activation(&mut self, _act: Act) -> bool {
+        false
+    }
+
+    /// Pre-pack immutable weights into the panel layout the steady-state
+    /// inference kernels read (once, at model load). Returns `true` if
+    /// anything was packed.
+    fn prepack(&mut self) -> bool {
+        false
+    }
+
+    /// `(pack_elems, col_elems)` of per-thread GEMM scratch one forward pass
+    /// at `in_dims` (batch included) may use — lets workspaces pre-size the
+    /// scratch so even a session's first invocation allocates nothing.
+    fn scratch_hint(&self, _in_dims: &[usize]) -> (usize, usize) {
+        (0, 0)
+    }
 }
 
 fn missing_cache(layer: &'static str) -> NnError {
@@ -80,10 +117,20 @@ fn missing_cache(layer: &'static str) -> NnError {
 // Linear
 // ---------------------------------------------------------------------------
 
-/// Fully connected layer: `y = x·Wᵀ + b`, weights stored `[out, in]`.
+/// Fully connected layer: `y = act(x·Wᵀ + b)`, weights stored `[out, in]`.
+///
+/// Bias — and, once the inference compile pass has fused a following
+/// activation into this layer, the activation too — is applied in the GEMM
+/// epilogue while each output tile is register-hot. Compiled models also
+/// carry the weights pre-packed into [`PackedB`] panels so steady-state
+/// forwards never repack.
 pub struct Linear {
     pub w: Param,
     pub b: Param,
+    /// Panel-packed weights (compile pass; inference only).
+    packed: Option<PackedB<f32>>,
+    /// Activation fused into the epilogue (compile pass; inference only).
+    act: Option<Act>,
     cache_x: Option<Tensor>,
 }
 
@@ -94,6 +141,8 @@ impl Linear {
         Linear {
             w: Param::new(Tensor::from_vec(w, [out_features, in_features]).expect("init size")),
             b: Param::new(Tensor::from_vec(b, [out_features]).expect("init size")),
+            packed: None,
+            act: None,
             cache_x: None,
         }
     }
@@ -102,6 +151,8 @@ impl Linear {
         Linear {
             w: Param::new(w),
             b: Param::new(b),
+            packed: None,
+            act: None,
             cache_x: None,
         }
     }
@@ -113,6 +164,16 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.w.value.dims()[0]
     }
+
+    /// The activation fused into this layer's epilogue, if any.
+    pub fn fused_act(&self) -> Option<Act> {
+        self.act
+    }
+
+    /// Are the weights pre-packed for the steady-state kernel?
+    pub fn is_packed(&self) -> bool {
+        self.packed.is_some()
+    }
 }
 
 impl Layer for Linear {
@@ -121,14 +182,17 @@ impl Layer for Linear {
     }
 
     fn forward(&self, x: &Tensor) -> Result<Tensor> {
-        let mut y = ops::matmul_transb(x, &self.w.value)?;
-        ops::add_bias_rows(&mut y, self.b.value.data())?;
+        let mut y = Tensor::default();
+        self.forward_into(x, &mut y)?;
         Ok(y)
     }
 
     fn forward_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
-        ops::matmul_transb_into(x, &self.w.value, out)?;
-        ops::add_bias_rows(out, self.b.value.data())?;
+        let epi = Epilogue::col_bias(self.b.value.data()).with_act(self.act);
+        match &self.packed {
+            Some(p) => gemm::matmul_transb_packed_into(x, p, epi, out)?,
+            None => ops::matmul_transb_into(x, &self.w.value, out, epi)?,
+        }
         Ok(())
     }
 
@@ -144,6 +208,16 @@ impl Layer for Linear {
     }
 
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        if self.act.is_some() {
+            // The following activation layer was removed by the fusion pass;
+            // backward would silently skip its gradient. Compiled models are
+            // inference-only — rebuild from the spec to train.
+            return Err(NnError::Train(
+                "linear: layer was compiled for inference (fused activation); \
+                 rebuild the model from its spec to train"
+                    .into(),
+            ));
+        }
         self.cache_x = Some(x.clone());
         self.forward(x)
     }
@@ -172,10 +246,45 @@ impl Layer for Linear {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.w);
         f(&mut self.b);
+        // Callers may have mutated the weights through the visit
+        // (`import_weights`, snapshot restores); refresh the panels so a
+        // compiled layer never reads stale packs — and never silently loses
+        // its packed steady state to a read-only visit like
+        // `export_weights`. Training loops visit every step, but compiled
+        // layers refuse training, so this repack only runs on occasional
+        // administrative visits.
+        if self.packed.is_some() {
+            self.prepack();
+        }
     }
 
     fn param_count(&self) -> usize {
         self.w.value.numel() + self.b.value.numel()
+    }
+
+    fn fuse_activation(&mut self, act: Act) -> bool {
+        // One fused activation per layer; a second one must stay a layer.
+        if self.act.is_some() {
+            return false;
+        }
+        self.act = Some(act);
+        true
+    }
+
+    fn prepack(&mut self) -> bool {
+        self.packed = Some(PackedB::from_transb(&self.w.value).expect("weights are rank 2"));
+        true
+    }
+
+    fn scratch_hint(&self, _in_dims: &[usize]) -> (usize, usize) {
+        if self.packed.is_some() {
+            (0, 0) // steady state never repacks
+        } else {
+            (
+                PackedB::<f32>::packed_elems(self.in_features(), self.out_features()),
+                0,
+            )
+        }
     }
 }
 
@@ -203,6 +312,10 @@ impl Layer for ReLU {
         Ok(())
     }
 
+    fn as_activation(&self) -> Option<Act> {
+        Some(Act::Relu)
+    }
+
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
         self.cache_x = Some(x.clone());
         self.forward(x)
@@ -220,7 +333,9 @@ impl Layer for ReLU {
     }
 }
 
-/// Hyperbolic tangent.
+/// Hyperbolic tangent. Uses the same vectorizable `tanh` the fused GEMM
+/// epilogue applies ([`hpacml_tensor::Scalar::tanh_activation`]), so a
+/// fused `Linear→Tanh` pair and this standalone layer are bit-identical.
 #[derive(Default)]
 pub struct Tanh {
     cache_y: Option<Tensor>,
@@ -232,12 +347,16 @@ impl Layer for Tanh {
     }
 
     fn forward(&self, x: &Tensor) -> Result<Tensor> {
-        Ok(x.map(|v| v.tanh()))
+        Ok(x.map(hpacml_tensor::Scalar::tanh_activation))
     }
 
     fn forward_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
-        x.map_into(out, |v| v.tanh());
+        x.map_into(out, hpacml_tensor::Scalar::tanh_activation);
         Ok(())
+    }
+
+    fn as_activation(&self) -> Option<Act> {
+        Some(Act::Tanh)
     }
 
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
@@ -274,6 +393,10 @@ impl Layer for Sigmoid {
     fn forward_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
         x.map_into(out, |v| 1.0 / (1.0 + (-v).exp()));
         Ok(())
+    }
+
+    fn as_activation(&self) -> Option<Act> {
+        Some(Act::Sigmoid)
     }
 
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
@@ -328,6 +451,10 @@ impl Layer for Dropout {
     fn forward_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
         x.copy_into(out); // inference-time dropout is the identity
         Ok(())
+    }
+
+    fn inference_identity(&self) -> bool {
+        true
     }
 
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
@@ -422,10 +549,18 @@ impl Layer for Flatten {
 // ---------------------------------------------------------------------------
 
 /// 2-D convolution over `[N, C, H, W]`.
+///
+/// Like [`Linear`], a compiled model carries the weights pre-packed (the
+/// `[filters, c*kh*kw]` GEMM `A` operand) and may have a following
+/// activation fused into the convolution's epilogue.
 pub struct Conv2d {
     pub w: Param,
     pub b: Param,
     pub geom: Conv2dGeom,
+    /// Pre-packed weight panels (compile pass; inference only).
+    packed: Option<PackedA<f32>>,
+    /// Activation fused into the epilogue (compile pass; inference only).
+    act: Option<Act>,
     cache_x: Option<Tensor>,
 }
 
@@ -439,6 +574,8 @@ impl Conv2d {
             w: Param::new(Tensor::from_vec(w, [out_ch, in_ch, kh, kw]).expect("init size")),
             b: Param::new(Tensor::from_vec(b, [out_ch]).expect("init size")),
             geom,
+            packed: None,
+            act: None,
             cache_x: None,
         }
     }
@@ -448,8 +585,23 @@ impl Conv2d {
             w: Param::new(w),
             b: Param::new(b),
             geom,
+            packed: None,
+            act: None,
             cache_x: None,
         }
+    }
+
+    fn filters(&self) -> usize {
+        self.w.value.dims()[0]
+    }
+
+    fn taps(&self) -> usize {
+        self.w.value.numel() / self.filters().max(1)
+    }
+
+    /// The activation fused into this layer's epilogue, if any.
+    pub fn fused_act(&self) -> Option<Act> {
+        self.act
     }
 }
 
@@ -459,16 +611,21 @@ impl Layer for Conv2d {
     }
 
     fn forward(&self, x: &Tensor) -> Result<Tensor> {
-        Ok(ops::conv2d(
-            x,
-            &self.w.value,
-            self.b.value.data(),
-            self.geom,
-        )?)
+        let mut y = Tensor::default();
+        self.forward_into(x, &mut y)?;
+        Ok(y)
     }
 
     fn forward_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
-        ops::conv2d_into(x, &self.w.value, self.b.value.data(), self.geom, out)?;
+        ops::conv2d_fused_into(
+            x,
+            &self.w.value,
+            self.packed.as_ref(),
+            self.b.value.data(),
+            self.geom,
+            self.act,
+            out,
+        )?;
         Ok(())
     }
 
@@ -481,6 +638,14 @@ impl Layer for Conv2d {
     }
 
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        if self.act.is_some() {
+            // See Linear::forward_train — compiled models are inference-only.
+            return Err(NnError::Train(
+                "conv2d: layer was compiled for inference (fused activation); \
+                 rebuild the model from its spec to train"
+                    .into(),
+            ));
+        }
         self.cache_x = Some(x.clone());
         self.forward(x)
     }
@@ -503,10 +668,48 @@ impl Layer for Conv2d {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.w);
         f(&mut self.b);
+        // See Linear::visit_params: refresh rather than drop, so packs are
+        // never stale and never silently lost to a read-only visit.
+        if self.packed.is_some() {
+            self.prepack();
+        }
     }
 
     fn param_count(&self) -> usize {
         self.w.value.numel() + self.b.value.numel()
+    }
+
+    fn fuse_activation(&mut self, act: Act) -> bool {
+        if self.act.is_some() {
+            return false;
+        }
+        self.act = Some(act);
+        true
+    }
+
+    fn prepack(&mut self) -> bool {
+        self.packed = Some(PackedA::from_rows(
+            self.w.value.data(),
+            self.filters(),
+            self.taps(),
+        ));
+        true
+    }
+
+    fn scratch_hint(&self, in_dims: &[usize]) -> (usize, usize) {
+        if in_dims.len() != 4 {
+            return (0, 0);
+        }
+        let (oh, ow) = self.geom.out_hw(in_dims[2], in_dims[3]);
+        let l = oh * ow;
+        let ckk = self.taps();
+        // The im2col column buffer is per-sample; both the GEMM route and
+        // the strided fallback stage through it.
+        if ops::conv_gemm_worthwhile(self.filters(), ckk, l) || self.geom.stride != (1, 1) {
+            (0, ckk * l)
+        } else {
+            (0, 0)
+        }
     }
 }
 

@@ -20,6 +20,7 @@
 
 pub mod data;
 pub mod engine;
+pub mod fuse;
 pub mod init;
 pub mod layer;
 pub mod loss;
@@ -32,6 +33,7 @@ pub mod workspace;
 
 pub use data::{InMemoryDataset, Normalizer};
 pub use engine::InferenceEngine;
+pub use fuse::{compile_for_inference, CompileInfo};
 pub use layer::Layer;
 pub use model::Sequential;
 pub use serialize::SavedModel;

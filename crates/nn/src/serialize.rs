@@ -84,11 +84,14 @@ impl SavedModel {
     }
 
     /// Pre-size `ws` for inference on inputs of `in_dims` (batch dimension
-    /// included): the normalization staging buffer and both forward arenas
-    /// grow once, so every later [`SavedModel::infer_with`] call at that
-    /// batch — or any smaller one — performs zero heap allocation. Compiled
-    /// sessions call this with their `max_batch` input shape at warm-up.
-    /// Returns the widest activation element count (see
+    /// included): the normalization staging buffer, both forward arenas and
+    /// the calling thread's per-layer GEMM scratch (weight-pack panels,
+    /// im2col columns — see [`crate::ForwardWorkspace::reserve`] for the
+    /// pool-worker caveat) grow once, so every later
+    /// [`SavedModel::infer_with`] call at that batch — or any smaller one —
+    /// performs zero heap allocation.
+    /// Compiled sessions call this with their `max_batch` input shape at
+    /// warm-up. Returns the widest activation element count (see
     /// [`crate::ForwardWorkspace::reserve`]).
     pub fn reserve_workspace(&self, ws: &mut InferWorkspace, in_dims: &[usize]) -> Result<usize> {
         let numel: usize = in_dims.iter().product();
@@ -96,6 +99,16 @@ impl SavedModel {
             ws.staged.resize(&[numel]);
         }
         ws.fw.reserve(&self.model, in_dims)
+    }
+
+    /// Compile the contained network for inference: drop inference-identity
+    /// layers, fuse `Linear`/`Conv2d` → activation pairs into GEMM epilogues
+    /// and pre-pack the (immutable) weights into panel layouts — see
+    /// [`crate::fuse`]. Bit-preserving for inference; applied automatically
+    /// by [`load_model`], so every model resolved through the engine runs
+    /// the steady-state kernels. A compiled model is inference-only.
+    pub fn compile(&mut self) -> crate::fuse::CompileInfo {
+        crate::fuse::compile_for_inference(&mut self.model)
     }
 }
 
@@ -170,12 +183,18 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<SavedModel> {
     // Build with an arbitrary seed, then overwrite every parameter.
     let mut model = spec.build(0)?;
     model.import_weights(&weights)?;
-    Ok(SavedModel {
+    let mut saved = SavedModel {
         spec,
         model,
         in_norm,
         out_norm,
-    })
+    };
+    // Models loaded from disk are inference models: compile once here
+    // (fusion + weight pre-packing) so every forward pass downstream —
+    // engine cache hits, compiled sessions, batched invokes — runs the
+    // steady-state kernels without ever repacking.
+    saved.compile();
+    Ok(saved)
 }
 
 fn encode_spec(buf: &mut BytesMut, spec: &ModelSpec) {

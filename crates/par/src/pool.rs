@@ -175,8 +175,13 @@ impl Pool {
         }
         self.shared.work_cv.notify_all();
 
-        // The caller works too.
+        // The caller works too — flagged as in-worker for the duration so a
+        // nested `parallel_for` issued from inside its chunks runs inline
+        // (the documented nesting rule) instead of re-dispatching a second
+        // job into the pool's single dispatch slot mid-job.
+        let was_worker = IN_WORKER.with(|f| f.replace(true));
         job.drain();
+        IN_WORKER.with(|f| f.set(was_worker));
 
         // Completion barrier: spin briefly, then yield. Chunks are sized so
         // that the tail wait is short; yielding avoids burning a core when a

@@ -11,6 +11,7 @@
 //! [`hpacml_par`] pool, the same substrate the accurate benchmark kernels run
 //! on, so surrogate-vs-accurate timings compare like for like.
 
+pub mod gemm;
 pub mod linalg;
 pub mod ops;
 pub mod scalar;
@@ -18,6 +19,7 @@ pub mod shape;
 pub mod tensor;
 pub mod view;
 
+pub use gemm::{Act, Bias, Epilogue, PackedA, PackedB};
 pub use scalar::Scalar;
 pub use shape::Shape;
 pub use tensor::Tensor;

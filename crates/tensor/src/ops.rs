@@ -3,14 +3,22 @@
 //! These are the dense-linear-algebra operations the paper's Observation 2
 //! is about: NN inference is implemented by dense kernels that use hardware
 //! efficiently. All kernels parallelize over the [`hpacml_par`] pool and fall
-//! back to inline execution for small problems.
+//! back to inline execution for small problems; block sizes come from the
+//! shared heuristic in [`crate::gemm::par_rows_per_block`].
+//!
+//! The inference-critical kernels (`matmul_transb_into`, the convolution
+//! forward) route through the register-tiled [`crate::gemm`] subsystem with
+//! fused bias/activation epilogues; the remaining training-side kernels
+//! keep their simpler axpy formulations.
 
+use crate::gemm::{self, ASource, Act, BSource, Epilogue, PackedA, WithScratch};
 use crate::scalar::Scalar;
 use crate::tensor::Tensor;
 use crate::{Result, TensorError};
 
-/// Parallelism threshold: below this many multiply-adds, run inline.
-const PAR_FLOPS_MIN: usize = 1 << 15;
+// Parallelism threshold shared with the GEMM subsystem: below this many
+// multiply-adds, kernels run inline.
+use crate::gemm::PAR_FLOPS_MIN;
 
 #[inline]
 fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
@@ -56,19 +64,31 @@ pub fn matmul_into<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>, c: &mut Tensor<T>) -
 }
 
 /// `C[m,n] = A[m,k] · B[n,k]ᵀ` (dot products of rows — cache friendly).
-pub fn matmul_transb<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
+pub fn matmul_transb<T: Scalar + WithScratch>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
     let mut c = Tensor::zeros([0usize; 2]);
-    matmul_transb_into(a, b, &mut c)?;
+    matmul_transb_into(a, b, &mut c, Epilogue::none())?;
     Ok(c)
 }
 
+/// Below this many `A` rows, packing `B` costs more than it saves and the
+/// row-wise dot kernel wins; at or above it, `B` is packed into this
+/// thread's scratch panels and the tiled GEMM runs. The cutover is a pure
+/// function of `m`, so a given output row is computed identically whichever
+/// path serves it (both accumulate in ascending-`k` order).
+const PACK_MIN_ROWS: usize = 4;
+
 /// [`matmul_transb`] writing into a caller-owned output tensor (resized in
-/// place; allocation-free once `c` has capacity). This is the linear-layer
-/// kernel the zero-alloc inference workspace uses.
-pub fn matmul_transb_into<T: Scalar>(
+/// place; allocation-free once `c` has capacity) with a fused
+/// [`Epilogue`] — bias add and activation applied to each output tile
+/// while it is register/L1-hot instead of in separate full sweeps. This is
+/// the linear-layer kernel the zero-alloc inference workspace uses; when
+/// the layer's weights are pre-packed (compiled models), prefer
+/// [`gemm::matmul_transb_packed_into`] which skips the per-call pack.
+pub fn matmul_transb_into<T: Scalar + WithScratch>(
     a: &Tensor<T>,
     b: &Tensor<T>,
     c: &mut Tensor<T>,
+    epi: Epilogue<'_, T>,
 ) -> Result<()> {
     let (m, k) = mat_dims(a, "matmul_transb lhs")?;
     let (n, kb) = mat_dims(b, "matmul_transb rhs")?;
@@ -77,23 +97,60 @@ pub fn matmul_transb_into<T: Scalar>(
             "matmul_transb: lhs is [{m}, {k}], rhs is [{n}, {kb}]"
         )));
     }
+    if let gemm::Bias::Col(bias) = epi.bias {
+        if bias.len() != n {
+            return Err(TensorError::DimMismatch(format!(
+                "matmul_transb: col bias has {} entries for {n} columns",
+                bias.len()
+            )));
+        }
+    }
+    if let gemm::Bias::Row(bias) = epi.bias {
+        if bias.len() != m {
+            return Err(TensorError::DimMismatch(format!(
+                "matmul_transb: row bias has {} entries for {m} rows",
+                bias.len()
+            )));
+        }
+    }
     c.resize(&[m, n]); // every cell is overwritten below; no zero fill needed
     let (ad, bd) = (a.data(), b.data());
-    let body = |row0: usize, rows: &mut [T]| {
-        for (r, crow) in rows.chunks_exact_mut(n).enumerate() {
-            let i = row0 / n + r;
-            let arow = &ad[i * k..(i + 1) * k];
-            for (j, cij) in crow.iter_mut().enumerate() {
-                let brow = &bd[j * k..(j + 1) * k];
-                let mut acc = T::ZERO;
-                for (x, y) in arow.iter().zip(brow) {
-                    acc += *x * *y;
-                }
-                *cij = acc;
+    if m >= PACK_MIN_ROWS {
+        T::with_gemm_scratch(|s| {
+            s.packed_b.pack_rows_into(bd, n, k);
+            gemm::gemm_into(
+                m,
+                n,
+                k,
+                ASource::Rows(ad),
+                BSource::Packed(&s.packed_b),
+                epi,
+                c.data_mut(),
+            );
+        });
+        return Ok(());
+    }
+    // Small-m path: per-element dot products over the contiguous B rows,
+    // same ascending-k accumulation order as the tiled kernel.
+    for (i, crow) in c.data_mut().chunks_exact_mut(n).enumerate() {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (j, cij) in crow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = T::ZERO;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += *x * *y;
             }
+            acc = match epi.bias {
+                gemm::Bias::None => acc,
+                gemm::Bias::Col(bias) => acc + bias[j],
+                gemm::Bias::Row(bias) => acc + bias[i],
+            };
+            if let Some(act) = epi.act {
+                acc = act.apply(acc);
+            }
+            *cij = acc;
         }
-    };
-    dispatch_rows(c.data_mut(), m, n, k, body);
+    }
     Ok(())
 }
 
@@ -144,23 +201,26 @@ fn mat_dims<T: Scalar>(t: &Tensor<T>, what: &str) -> Result<(usize, usize)> {
 }
 
 /// Run `body(row_start_elem, row_block)` over the `m` rows of an `[m, n]`
-/// output, in parallel if the problem is big enough.
+/// output, in parallel if the problem is big enough. Task sizes come from
+/// the shared [`gemm::par_rows_per_block`] heuristic.
 fn dispatch_rows<T, F>(c: &mut [T], m: usize, n: usize, k: usize, body: F)
 where
     T: Scalar,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    let flops = m * n * k;
-    if flops < PAR_FLOPS_MIN || m == 1 {
+    if !gemm::par_worthwhile(m, n, k) {
         body(0, c);
         return;
     }
-    // Block rows so each task is a few hundred kiloflops.
-    let rows_per_block = ((PAR_FLOPS_MIN * 8) / (n * k).max(1)).clamp(1, m);
-    hpacml_par::par_chunks_mut(c, rows_per_block * n, body);
+    hpacml_par::par_chunks_mut(c, gemm::par_rows_per_block(m, n, k) * n, body);
 }
 
 /// `out[i, :] += bias` for every row of a rank-2 tensor.
+///
+/// This is the non-fused fallback — the inference path applies bias inside
+/// the GEMM epilogue instead. Parallelizes over row blocks (shared
+/// heuristic, `k = 1`: one multiply-add-equivalent per element) for the
+/// large tensors the training loop feeds it.
 pub fn add_bias_rows<T: Scalar>(out: &mut Tensor<T>, bias: &[T]) -> Result<()> {
     let (m, n) = mat_dims(out, "add_bias_rows")?;
     if bias.len() != n {
@@ -170,12 +230,14 @@ pub fn add_bias_rows<T: Scalar>(out: &mut Tensor<T>, bias: &[T]) -> Result<()> {
             n
         )));
     }
-    let _ = m;
-    for row in out.data_mut().chunks_exact_mut(n) {
-        for (o, b) in row.iter_mut().zip(bias) {
-            *o += *b;
+    let body = |_start: usize, rows: &mut [T]| {
+        for row in rows.chunks_exact_mut(n) {
+            for (o, b) in row.iter_mut().zip(bias) {
+                *o += *b;
+            }
         }
-    }
+    };
+    dispatch_rows(out.data_mut(), m, n, 1, body);
     Ok(())
 }
 
@@ -298,10 +360,15 @@ pub fn col2im<T: Scalar>(col: &[T], c: usize, h: usize, w: usize, g: Conv2dGeom,
 ///
 /// `input [N, C, H, W]`, `weight [F, C, KH, KW]`, `bias [F]` → `[N, F, OH, OW]`.
 ///
-/// Stride-1 convolutions take a direct row-span path (one `axpy` per
-/// (filter, channel, tap, row)) that avoids materializing the im2col matrix;
-/// strided convolutions fall back to im2col + matmul.
-pub fn conv2d<T: Scalar>(
+/// Large per-sample problems route through im2col into this thread's
+/// reusable scratch column buffer and the register-tiled packed GEMM
+/// (`out[f, l] = W[f, ckk] · col[ckk, l]` with the bias — and, for fused
+/// layers, the activation — applied in the GEMM epilogue). Small problems
+/// keep the direct kernels: a row-span `axpy` path for stride 1, im2col +
+/// `axpy` otherwise. The choice depends only on the per-sample geometry,
+/// never on the batch size or thread count, so batched and per-sample
+/// forwards stay bit-identical.
+pub fn conv2d<T: Scalar + WithScratch>(
     input: &Tensor<T>,
     weight: &Tensor<T>,
     bias: &[T],
@@ -313,13 +380,40 @@ pub fn conv2d<T: Scalar>(
 }
 
 /// [`conv2d`] writing into a caller-owned output tensor (resized in place).
-/// The stride-1 direct path performs no heap allocation; the strided im2col
-/// fallback still allocates its column matrix per sample.
-pub fn conv2d_into<T: Scalar>(
+/// Steady-state allocation-free on every path: the direct kernels touch no
+/// scratch, and the im2col/GEMM paths reuse this thread's grow-only
+/// [`gemm::GemmScratch`] column buffer.
+pub fn conv2d_into<T: Scalar + WithScratch>(
     input: &Tensor<T>,
     weight: &Tensor<T>,
     bias: &[T],
     g: Conv2dGeom,
+    out: &mut Tensor<T>,
+) -> Result<()> {
+    conv2d_fused_into(input, weight, None, bias, g, None, out)
+}
+
+/// Does a per-sample conv problem (`f` filters, `ckk = c*kh*kw` taps,
+/// `l = oh*ow` output pixels) pay for the im2col + packed-GEMM route?
+/// The column matrix costs `ckk * l` writes; the GEMM amortizes that only
+/// when the spatial extent spans whole register panels and the arithmetic
+/// clears the shared [`PAR_FLOPS_MIN`] bar. Pure shape function — see
+/// [`conv2d`] for why that matters.
+pub fn conv_gemm_worthwhile(f: usize, ckk: usize, l: usize) -> bool {
+    l >= 2 * gemm::NR && f * ckk * l >= PAR_FLOPS_MIN
+}
+
+/// [`conv2d_into`] with the compiled-layer extras: optionally pre-packed
+/// weight panels (`W` viewed as the `[f, ckk]` GEMM `A` operand, packed
+/// once at model load) and a fused activation applied while each output
+/// tile is hot.
+pub fn conv2d_fused_into<T: Scalar + WithScratch>(
+    input: &Tensor<T>,
+    weight: &Tensor<T>,
+    packed_w: Option<&PackedA<T>>,
+    bias: &[T],
+    g: Conv2dGeom,
+    act: Option<Act>,
     out: &mut Tensor<T>,
 ) -> Result<()> {
     let [n, c, h, w] = rank4(input, "conv2d input")?;
@@ -336,6 +430,16 @@ pub fn conv2d_into<T: Scalar>(
             bias.len()
         )));
     }
+    if let Some(p) = packed_w {
+        if (p.m(), p.k()) != (f, c * kh * kw) {
+            return Err(TensorError::DimMismatch(format!(
+                "conv2d: packed weight is [{}, {}], expected [{f}, {}]",
+                p.m(),
+                p.k(),
+                c * kh * kw
+            )));
+        }
+    }
     let (oh, ow) = g.out_hw(h, w);
     let l = oh * ow;
     let ckk = c * kh * kw;
@@ -344,26 +448,62 @@ pub fn conv2d_into<T: Scalar>(
     let out_sample = f * l;
     let wd = weight.data();
     let id = input.data();
+    let use_gemm = conv_gemm_worthwhile(f, ckk, l);
     let direct = g.stride == (1, 1);
 
     hpacml_par::par_chunks_mut(out.data_mut(), out_sample, |start, out_n| {
         let sample = start / out_sample;
         let inp = &id[sample * in_sample..(sample + 1) * in_sample];
-        if direct {
-            conv2d_sample_direct_s1(inp, c, h, w, wd, bias, g, oh, ow, out_n);
+        if use_gemm {
+            T::with_gemm_scratch(|s| {
+                if s.col.len() < ckk * l {
+                    s.col.resize(ckk * l, T::ZERO);
+                }
+                let col = &mut s.col[..ckk * l];
+                im2col(inp, c, h, w, g, col);
+                let a = match packed_w {
+                    Some(p) => ASource::Packed(p),
+                    None => ASource::Rows(wd),
+                };
+                // Nested dispatch runs inline here — on pool workers and
+                // on the participating caller alike (both are flagged
+                // in-worker while draining) — so the outer per-sample
+                // parallelism is preserved.
+                gemm::gemm_into(
+                    f,
+                    l,
+                    ckk,
+                    a,
+                    BSource::Cols(col),
+                    Epilogue::row_bias(bias).with_act(act),
+                    out_n,
+                );
+            });
+        } else if direct {
+            conv2d_sample_direct_s1(inp, c, h, w, wd, bias, g, oh, ow, act, out_n);
         } else {
-            let mut col = vec![T::ZERO; ckk * l];
-            im2col(inp, c, h, w, g, &mut col);
-            // out_n[f, l] = W[f, ckk] · col[ckk, l]
-            for (fi, orow) in out_n.chunks_exact_mut(l).enumerate() {
-                let wrow = &wd[fi * ckk..(fi + 1) * ckk];
-                for v in orow.iter_mut() {
-                    *v = bias[fi];
+            T::with_gemm_scratch(|s| {
+                if s.col.len() < ckk * l {
+                    s.col.resize(ckk * l, T::ZERO);
                 }
-                for (kk, &wv) in wrow.iter().enumerate() {
-                    axpy(wv, &col[kk * l..(kk + 1) * l], orow);
+                let col = &mut s.col[..ckk * l];
+                im2col(inp, c, h, w, g, col);
+                // out_n[f, l] = W[f, ckk] · col[ckk, l]
+                for (fi, orow) in out_n.chunks_exact_mut(l).enumerate() {
+                    let wrow = &wd[fi * ckk..(fi + 1) * ckk];
+                    for v in orow.iter_mut() {
+                        *v = bias[fi];
+                    }
+                    for (kk, &wv) in wrow.iter().enumerate() {
+                        axpy(wv, &col[kk * l..(kk + 1) * l], orow);
+                    }
+                    if let Some(act) = act {
+                        for v in orow.iter_mut() {
+                            *v = act.apply(*v);
+                        }
+                    }
                 }
-            }
+            });
         }
     });
     Ok(())
@@ -372,7 +512,8 @@ pub fn conv2d_into<T: Scalar>(
 /// Direct stride-1 convolution for one sample: for every (filter, channel,
 /// kernel tap) the contribution to an output row is a contiguous slice of an
 /// input row scaled by one weight — a vectorizable `axpy` with the padding
-/// handled by span clipping instead of per-pixel branches.
+/// handled by span clipping instead of per-pixel branches. A fused
+/// activation is applied per filter plane while it is still cache-hot.
 #[allow(clippy::too_many_arguments)]
 fn conv2d_sample_direct_s1<T: Scalar>(
     inp: &[T],
@@ -384,6 +525,7 @@ fn conv2d_sample_direct_s1<T: Scalar>(
     g: Conv2dGeom,
     oh: usize,
     ow: usize,
+    act: Option<Act>,
     out_n: &mut [T],
 ) {
     let (kh, kw) = g.kernel;
@@ -419,6 +561,11 @@ fn conv2d_sample_direct_s1<T: Scalar>(
                         axpy(wv, src, &mut of[oy * ow + o0..oy * ow + o1]);
                     }
                 }
+            }
+        }
+        if let Some(act) = act {
+            for v in of.iter_mut() {
+                *v = act.apply(*v);
             }
         }
     }

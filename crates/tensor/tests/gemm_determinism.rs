@@ -1,0 +1,173 @@
+//! Bit-determinism of the tiled GEMM: the same problem must produce the
+//! same bytes regardless of how many worker threads execute it, which
+//! cache-slab depth (`kc`) the macro-kernel walks, and whether operands
+//! are packed — because every output element is one ascending-`k`
+//! accumulator chain no matter how the work is partitioned.
+//!
+//! This is an integration test (own process) so it can pin the global
+//! pool's worker count via `HPACML_THREADS` *before* anything touches the
+//! pool: the serial executions below then come from the pool's
+//! nested-dispatch rule (a `parallel_for` issued from inside a worker runs
+//! inline), giving a true 1-thread/N-thread comparison in one process.
+
+use hpacml_tensor::gemm::{self, ASource, Act, BSource, Epilogue, PackedA, PackedB, KC};
+use hpacml_tensor::ops::{self, Conv2dGeom};
+use hpacml_tensor::Tensor;
+use std::sync::Once;
+
+static INIT: Once = Once::new();
+
+/// Force the global pool to 7 workers + caller. Must run before any test
+/// body touches `hpacml_par` (the pool is built on first use).
+fn setup() {
+    INIT.call_once(|| {
+        // Safe: called before the pool (the only reader) initializes, and
+        // test bodies synchronize on the `Once`.
+        unsafe { std::env::set_var("HPACML_THREADS", "8") };
+    });
+}
+
+/// Run `f` with parallelism disabled: a nested `parallel_for` dispatch
+/// runs inline on the issuing worker, so everything inside `f` executes
+/// on one thread.
+fn run_serial(f: impl Fn() + Sync) {
+    hpacml_par::parallel_for(1, 1, |_| f());
+}
+
+fn mat(m: usize, n: usize, seed: u64) -> Tensor<f32> {
+    let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    Tensor::from_shape_fn([m, n], |_| {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    })
+}
+
+#[test]
+fn gemm_is_bitwise_identical_at_1_and_n_threads() {
+    setup();
+    // Big enough that the parallel path actually splits into many stripes.
+    let (m, k, n) = (301usize, 67usize, 93usize);
+    let a = mat(m, k, 1);
+    let bt = mat(n, k, 2);
+    let bias: Vec<f32> = (0..n).map(|j| (j as f32) * 0.01 - 0.3).collect();
+    let bp = PackedB::from_transb(&bt).unwrap();
+    for act in [None, Some(Act::Relu), Some(Act::Tanh), Some(Act::Sigmoid)] {
+        let epi = Epilogue::col_bias(&bias).with_act(act);
+        let mut par = Tensor::zeros([0usize; 2]);
+        gemm::matmul_transb_packed_into(&a, &bp, epi, &mut par).unwrap();
+
+        let serial = parking_lot::Mutex::new(Tensor::zeros([0usize; 2]));
+        run_serial(|| {
+            let mut c = Tensor::zeros([0usize; 2]);
+            gemm::matmul_transb_packed_into(&a, &bp, epi, &mut c).unwrap();
+            *serial.lock() = c;
+        });
+        assert_eq!(
+            par.data(),
+            serial.lock().data(),
+            "act {act:?}: parallel and serial runs must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn gemm_is_bitwise_identical_across_kc_slabs() {
+    setup();
+    let (m, k, n) = (45usize, 530usize, 40usize); // k spans multiple default slabs
+    let a = mat(m, k, 3);
+    let bt = mat(n, k, 4);
+    let bp = PackedB::from_transb(&bt).unwrap();
+    let bias: Vec<f32> = (0..n).map(|j| (j as f32).sin()).collect();
+    let epi = Epilogue::col_bias(&bias).with_act(Some(Act::Tanh));
+    let mut base = Tensor::zeros([0usize; 2]);
+    gemm::matmul_transb_packed_into_kc(&a, &bp, epi, &mut base, KC).unwrap();
+    for kc in [1usize, 7, 64, 256, 1 << 20] {
+        let mut c = Tensor::zeros([0usize; 2]);
+        gemm::matmul_transb_packed_into_kc(&a, &bp, epi, &mut c, kc).unwrap();
+        assert_eq!(c.data(), base.data(), "kc={kc}");
+    }
+}
+
+#[test]
+fn gemm_is_bitwise_identical_across_operand_layouts() {
+    setup();
+    // A [m,k] · B [k,n] with every (A, B) source combination.
+    let (m, k, n) = (23usize, 19usize, 37usize);
+    let a = mat(m, k, 5);
+    let b_cols = mat(k, n, 6);
+    let pa = PackedA::from_rows(a.data(), m, k);
+    let mut pb = PackedB::new();
+    pb.pack_cols_into(b_cols.data(), k, n);
+    let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.1).collect();
+    let epi = Epilogue::row_bias(&bias).with_act(Some(Act::Relu));
+    let mut outs: Vec<Vec<f32>> = Vec::new();
+    for packed_a in [false, true] {
+        for packed_b in [false, true] {
+            let mut c = vec![0.0f32; m * n];
+            let asrc = if packed_a {
+                ASource::Packed(&pa)
+            } else {
+                ASource::Rows(a.data())
+            };
+            let bsrc = if packed_b {
+                BSource::Packed(&pb)
+            } else {
+                BSource::Cols(b_cols.data())
+            };
+            gemm::gemm_into(m, n, k, asrc, bsrc, epi, &mut c);
+            outs.push(c);
+        }
+    }
+    for o in &outs[1..] {
+        assert_eq!(&outs[0], o, "operand layout changed the result bits");
+    }
+}
+
+#[test]
+fn conv_forward_is_bitwise_identical_at_1_and_n_threads() {
+    setup();
+    // Batched conv parallelizes over samples; the GEMM inside each sample
+    // must not care which worker ran it.
+    let g = Conv2dGeom::square(3, 1, 1);
+    let input = mat(6 * 4 * 24 * 48, 1, 7).reshape([6, 4, 24, 48]).unwrap();
+    let weight = mat(4 * 4 * 3 * 3, 1, 8).reshape([4, 4, 3, 3]).unwrap();
+    let bias = vec![0.05f32, -0.1, 0.2, 0.0];
+    let mut par = Tensor::zeros([0usize; 4]);
+    ops::conv2d_fused_into(&input, &weight, None, &bias, g, Some(Act::Tanh), &mut par).unwrap();
+
+    let serial = parking_lot::Mutex::new(Tensor::zeros([0usize; 4]));
+    run_serial(|| {
+        let mut c = Tensor::zeros([0usize; 4]);
+        ops::conv2d_fused_into(&input, &weight, None, &bias, g, Some(Act::Tanh), &mut c).unwrap();
+        *serial.lock() = c;
+    });
+    assert_eq!(par.data(), serial.lock().data());
+}
+
+/// A row's bits must not depend on the batch it was computed under — the
+/// invariant the runtime's dynamic batching relies on. (The nn-level
+/// batched tests cover whole models; this pins the kernel itself.)
+#[test]
+fn row_results_are_independent_of_batch_size() {
+    setup();
+    let (k, n) = (31usize, 29usize);
+    let big = mat(64, k, 9);
+    let bt = mat(n, k, 10);
+    let bp = PackedB::from_transb(&bt).unwrap();
+    let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.02).collect();
+    let epi = Epilogue::col_bias(&bias).with_act(Some(Act::Sigmoid));
+    let mut full = Tensor::zeros([0usize; 2]);
+    gemm::matmul_transb_packed_into(&big, &bp, epi, &mut full).unwrap();
+    for batch in [1usize, 3, 8, 17, 64] {
+        let sub = Tensor::from_vec(big.data()[..batch * k].to_vec(), [batch, k]).unwrap();
+        let mut c = Tensor::zeros([0usize; 2]);
+        gemm::matmul_transb_packed_into(&sub, &bp, epi, &mut c).unwrap();
+        assert_eq!(
+            c.data(),
+            &full.data()[..batch * n],
+            "batch {batch} changed some row's bits"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the packed GEMM: over random `(m, n, k)` shapes and
+//! batch sizes, the tiled/packed/fused kernels must reproduce the naive
+//! single-accumulator reference **bit for bit** — not within a tolerance.
+//! Exact equality is the point: the tiled kernel keeps one ascending-`k`
+//! chain per output element, so reassociation never happens and every
+//! epilogue variant is the same float expression the unfused stack runs.
+
+use hpacml_tensor::gemm::{self, ASource, Act, BSource, Bias, Epilogue, PackedA, PackedB};
+use hpacml_tensor::ops;
+use hpacml_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Naive reference: one accumulator per element, ascending `k`, bias then
+/// activation — the canonical semantics of the whole subsystem.
+fn reference(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b_at: impl Fn(usize, usize) -> f32, // (kk, j)
+    epi: &Epilogue<'_, f32>,
+) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b_at(kk, j);
+            }
+            acc = match epi.bias {
+                Bias::None => acc,
+                Bias::Col(bias) => acc + bias[j],
+                Bias::Row(bias) => acc + bias[i],
+            };
+            if let Some(act) = epi.act {
+                acc = act.apply(acc);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+fn values(len: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+        .collect()
+}
+
+/// Random shape strategy: m spans batch sizes from single samples through
+/// several register blocks; n and k cross the panel/tile boundaries.
+fn shape() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    (
+        1usize..70,
+        1usize..40,
+        0usize..50,
+        proptest::prelude::any::<u64>(),
+    )
+}
+
+fn epilogues(bias_col: &[f32], bias_row: &[f32]) -> Vec<Epilogue<'static, f32>> {
+    // Leak the bias slices: proptest closures need 'static epilogues and
+    // the test process discards everything at exit anyway.
+    let col: &'static [f32] = Box::leak(bias_col.to_vec().into_boxed_slice());
+    let row: &'static [f32] = Box::leak(bias_row.to_vec().into_boxed_slice());
+    let mut out = vec![Epilogue::none()];
+    for act in [None, Some(Act::Relu), Some(Act::Tanh), Some(Act::Sigmoid)] {
+        out.push(Epilogue::col_bias(col).with_act(act));
+        out.push(Epilogue::row_bias(row).with_act(act));
+        out.push(Epilogue::none().with_act(act));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Packed-B GEMM (the Linear-layer kernel) over every epilogue variant.
+    #[test]
+    fn packed_gemm_bitwise_matches_reference((m, n, k, seed) in shape()) {
+        let a = values(m * k, seed);
+        let bt = values(n * k, seed ^ 0x9E3779B97F4A7C15);
+        let at = Tensor::from_vec(a.clone(), [m, k]).unwrap();
+        let btt = Tensor::from_vec(bt.clone(), [n, k]).unwrap();
+        let bp = PackedB::from_transb(&btt).unwrap();
+        let bias_col = values(n, seed ^ 0xC0FFEE);
+        let bias_row = values(m, seed ^ 0xBEEF);
+        for epi in epilogues(&bias_col, &bias_row) {
+            let want = reference(m, n, k, &a, |kk, j| bt[j * k + kk], &epi);
+            let mut c = Tensor::zeros([0usize; 2]);
+            gemm::matmul_transb_packed_into(&at, &bp, epi, &mut c).unwrap();
+            prop_assert_eq!(c.data(), &want[..], "packed path, epi {:?}", epi);
+            // The pack-on-the-fly fallback (uncompiled models) must agree.
+            let mut c2 = Tensor::zeros([0usize; 2]);
+            ops::matmul_transb_into(&at, &btt, &mut c2, epi).unwrap();
+            prop_assert_eq!(c2.data(), &want[..], "scratch-pack path, epi {:?}", epi);
+        }
+    }
+
+    /// Cols-B GEMM (the conv/im2col kernel) with packed and unpacked A.
+    #[test]
+    fn cols_gemm_bitwise_matches_reference((m, n, k, seed) in shape()) {
+        let a = values(m * k, seed);
+        let b = values(k * n, seed ^ 0xA5A5A5A5);
+        let pa = PackedA::from_rows(&a, m, k);
+        let bias_row = values(m, seed ^ 0x1234);
+        let epi = Epilogue::row_bias(
+            Box::leak(bias_row.into_boxed_slice()),
+        ).with_act(Some(Act::Relu));
+        let want = reference(m, n, k, &a, |kk, j| b[kk * n + j], &epi);
+        let mut c1 = vec![0.0f32; m * n];
+        gemm::gemm_into(m, n, k, ASource::Rows(&a), BSource::Cols(&b), epi, &mut c1);
+        prop_assert_eq!(&c1, &want);
+        let mut c2 = vec![0.0f32; m * n];
+        gemm::gemm_into(m, n, k, ASource::Packed(&pa), BSource::Cols(&b), epi, &mut c2);
+        prop_assert_eq!(&c2, &want);
+    }
+
+    /// The batch axis is pure stacking at the kernel level: any leading
+    /// sub-batch of a bigger GEMM equals the smaller GEMM bit for bit.
+    #[test]
+    fn sub_batches_are_prefixes(
+        (m, n, k, seed) in shape(),
+        frac in 1usize..=8,
+    ) {
+        let sub_m = (m * frac / 8).max(1).min(m);
+        let a = values(m * k, seed);
+        let bt = values(n * k, seed ^ 0x5151);
+        let at = Tensor::from_vec(a.clone(), [m, k]).unwrap();
+        let sub = Tensor::from_vec(a[..sub_m * k].to_vec(), [sub_m, k]).unwrap();
+        let bp = PackedB::from_transb(
+            &Tensor::from_vec(bt, [n, k]).unwrap(),
+        ).unwrap();
+        let bias = values(n, seed ^ 0x777);
+        let epi = Epilogue::col_bias(Box::leak(bias.into_boxed_slice()))
+            .with_act(Some(Act::Tanh));
+        let mut full = Tensor::zeros([0usize; 2]);
+        gemm::matmul_transb_packed_into(&at, &bp, epi, &mut full).unwrap();
+        let mut part = Tensor::zeros([0usize; 2]);
+        gemm::matmul_transb_packed_into(&sub, &bp, epi, &mut part).unwrap();
+        prop_assert_eq!(part.data(), &full.data()[..sub_m * n]);
+    }
+}
