@@ -150,7 +150,11 @@ const DIRECTIVES: [&str; 4] = [
     "#pragma approx ml(predicated:use_model) in(opts) out(oprice(prices[0:N]))",
 ];
 
-fn build_region(db: Option<&Path>, model: Option<&Path>) -> AppResult<Region> {
+/// The benchmark's canonical annotated region (the Table II directives),
+/// with optional database and model overrides. Public so the golden
+/// end-to-end tests and the fig10 harness drive the exact production
+/// annotation.
+pub fn build_region(db: Option<&Path>, model: Option<&Path>) -> AppResult<Region> {
     let mut builder = Region::builder("binomial");
     for d in DIRECTIVES {
         builder = builder.directive(d);
@@ -168,7 +172,7 @@ fn build_region(db: Option<&Path>, model: Option<&Path>) -> AppResult<Region> {
 /// invocation per up-to-`chunk` options (the runtime batch dimension),
 /// either collecting or inferring. One compiled session serves every chunk,
 /// tail included.
-fn run_annotated(
+pub fn run_annotated(
     region: &Region,
     batch: &OptionBatch,
     steps: usize,
@@ -189,6 +193,43 @@ fn run_annotated(
 
 /// The Binomial Options benchmark.
 pub struct BinomialOptions;
+
+impl BinomialOptions {
+    /// End-to-end evaluation with online validation and adaptive fallback
+    /// active (one point of the fig10 error-budget sweep): the annotated
+    /// sweep runs `use_model = true` under `policy`; chunks the controller
+    /// routes to fallback execute the real CRR kernel, so the achieved
+    /// speedup honestly reflects the accuracy-speedup tradeoff.
+    pub fn evaluate_with_policy(
+        &self,
+        cfg: &BenchConfig,
+        model_path: &Path,
+        policy: hpacml_core::ValidationPolicy,
+    ) -> AppResult<PolicyEval> {
+        let bc = BinomialConfig::for_scale(cfg.scale);
+        let batch = OptionBatch::generate(bc.n_options, cfg.seed.wrapping_add(0xDEAD));
+
+        let mut reference = vec![0.0f32; batch.n];
+        let t0 = Instant::now();
+        price_batch(&batch, bc.steps, &mut reference);
+        let accurate_time = t0.elapsed();
+
+        let region = build_region(None, Some(model_path))?;
+        region.set_validation_policy(policy)?;
+        let t0 = Instant::now();
+        let approx = run_annotated(&region, &batch, bc.steps, bc.collect_batch, true)?;
+        let validated_time = t0.elapsed();
+
+        let s = region.stats();
+        Ok(PolicyEval {
+            speedup: accurate_time.as_secs_f64() / validated_time.as_secs_f64().max(1e-12),
+            qoi_error: metrics::rmse(&reference, &approx),
+            fallback_fraction: s.fallback_fraction(),
+            validated: s.validated_invocations,
+            region: s,
+        })
+    }
+}
 
 impl Benchmark for BinomialOptions {
     fn name(&self) -> &'static str {

@@ -154,6 +154,31 @@ pub struct EvalStats {
     pub region: RegionStats,
 }
 
+/// Result of an end-to-end evaluation under a [`ValidationPolicy`]: one
+/// point of the fig10 error-budget vs achieved-speedup sweep. Tight budgets
+/// push `fallback_fraction` toward 1 and the speedup toward parity with the
+/// accurate run; loose budgets recover the full surrogate speedup.
+///
+/// [`ValidationPolicy`]: hpacml_core::ValidationPolicy
+#[derive(Debug, Clone)]
+pub struct PolicyEval {
+    /// End-to-end speedup achieved *with* validation + adaptive fallback
+    /// active (accurate / validated-surrogate wall time).
+    pub speedup: f64,
+    /// QoI error of the run's final outputs under the benchmark's metric.
+    /// Fallback-served chunks contribute the original application's error —
+    /// zero where the host code is itself the reference (Binomial), the
+    /// original approximation's error where the QoI is measured against
+    /// ground truth (ParticleFilter).
+    pub qoi_error: f64,
+    /// Fraction of logical invocations served by host-code fallback.
+    pub fallback_fraction: f64,
+    /// Samples scored against shadow host executions.
+    pub validated: u64,
+    /// Full region counters of the validated run.
+    pub region: RegionStats,
+}
+
 /// The uniform interface the table/figure harness drives.
 pub trait Benchmark: Send + Sync {
     /// Lower-case identifier (`minibude`, `binomial`, ...).

@@ -27,7 +27,8 @@ pub mod miniweather;
 pub mod particlefilter;
 
 pub use common::{
-    AppError, AppResult, BenchConfig, Benchmark, CollectStats, EvalStats, Scale, TrainStats,
+    AppError, AppResult, BenchConfig, Benchmark, CollectStats, EvalStats, PolicyEval, Scale,
+    TrainStats,
 };
 
 /// All five benchmarks, boxed, in the paper's Table I order.

@@ -226,7 +226,10 @@ const DIRECTIVES: [&str; 4] = [
     "#pragma approx ml(predicated:use_model) in(poses) out(oenergy(energies[0:N]))",
 ];
 
-fn build_region(db: Option<&Path>, model: Option<&Path>) -> AppResult<Region> {
+/// The benchmark's canonical annotated region (the Table II directives),
+/// with optional database and model overrides. Public so the golden
+/// end-to-end tests drive the exact production annotation.
+pub fn build_region(db: Option<&Path>, model: Option<&Path>) -> AppResult<Region> {
     let mut builder = Region::builder("minibude");
     for d in DIRECTIVES {
         builder = builder.directive(d);
@@ -240,7 +243,7 @@ fn build_region(db: Option<&Path>, model: Option<&Path>) -> AppResult<Region> {
     Ok(builder.build()?)
 }
 
-fn run_annotated(
+pub fn run_annotated(
     region: &Region,
     deck: &Deck,
     poses: &PoseBatch,

@@ -1,0 +1,236 @@
+//! Golden end-to-end determinism tests: each benchmark app runs at a small
+//! scale with fixed seeds, and the final outputs must be **bit-identical**
+//!
+//! * to the un-annotated host kernels (surrogate-off conformance),
+//! * across sequential (chunk = 1) and batched (wide chunk + tail) session
+//!   execution,
+//! * under forced fallback with `use_model = true` — the acceptance pin:
+//!   fallback output equals running the original code with no region
+//!   annotations, and the (deliberately nonexistent) model is never loaded,
+//! * and to the committed golden bit patterns below.
+//!
+//! Thread matrix: the kernels only parallelize element-independent sweeps
+//! (fixed chunk boundaries, no cross-element reductions), so the same
+//! goldens must hold under any `HPACML_THREADS` — CI runs this suite with
+//! `HPACML_THREADS=1` and `=8` and both must see these exact bits. The
+//! constants were produced by the x86_64-linux reference toolchain; the
+//! kernels use libm (`exp`, `ln`, `sin`, `cos`), so the golden assertions
+//! are gated to that platform while the conformance assertions run
+//! everywhere.
+
+use hpacml_apps::{binomial, bonds, minibude, particlefilter};
+use hpacml_core::Region;
+use hpacml_directive::sema::Bindings;
+use std::path::Path;
+
+/// Bit patterns of `v` at `idx` (f32 -> u32, exact).
+fn bits(v: &[f32], idx: &[usize]) -> Vec<u32> {
+    idx.iter().map(|&i| v[i].to_bits()).collect()
+}
+
+fn assert_golden(name: &str, v: &[f32], idx: &[usize], golden: &[u32]) {
+    if cfg!(all(target_arch = "x86_64", target_os = "linux")) {
+        assert_eq!(
+            bits(v, idx),
+            golden,
+            "{name}: outputs drifted from the committed goldens at indices {idx:?} \
+             (values {:?})",
+            idx.iter().map(|&i| v[i]).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// A model path that must never be resolved: forced fallback never touches
+/// the inference engine.
+fn missing_model() -> &'static Path {
+    Path::new("/nonexistent/hpacml-golden/never-loaded.hml")
+}
+
+const GOLDEN_IDX: [usize; 4] = [0, 17, 40, 63];
+
+const BINOMIAL_GOLDEN: [u32; 4] = [1068460160, 896381335, 1073149850, 1086699642];
+const BONDS_GOLDEN: [u32; 4] = [1074000602, 1056306299, 1064365933, 1066983725];
+const MINIBUDE_GOLDEN: [u32; 4] = [1118382559, 1112136965, 1117453694, 1116515420];
+/// ParticleFilter: (x, y) of frames 0 and 3.
+const PARTICLEFILTER_GOLDEN: [u32; 4] = [1093871228, 1095161344, 1099987581, 1098006209];
+
+#[test]
+fn binomial_bitwise_conformance_and_golden() {
+    let batch = binomial::OptionBatch::generate(64, 7);
+    let steps = 64usize;
+    let mut plain = vec![0.0f32; batch.n];
+    binomial::price_batch(&batch, steps, &mut plain);
+
+    // Surrogate-off through the annotated region: sequential and batched
+    // sessions must both reproduce the plain kernel bit for bit.
+    let region = binomial::build_region(None, None).unwrap();
+    let sequential = binomial::run_annotated(&region, &batch, steps, 1, false).unwrap();
+    assert_eq!(sequential, plain, "sequential session != plain kernel");
+    let batched = binomial::run_annotated(&region, &batch, steps, 48, false).unwrap();
+    assert_eq!(batched, plain, "batched session != plain kernel");
+
+    // Forced fallback with use_model = true: bit-identical to the
+    // un-annotated app; the nonexistent model is never resolved.
+    let forced = binomial::build_region(None, Some(missing_model())).unwrap();
+    forced.force_fallback(true);
+    let fb = binomial::run_annotated(&forced, &batch, steps, 48, true).unwrap();
+    assert_eq!(fb, plain, "forced fallback != plain kernel");
+    let s = forced.stats();
+    assert_eq!(s.fallback_invocations, batch.n as u64);
+    assert_eq!(s.surrogate_invocations, 0);
+    assert_eq!(
+        s.model_cache_misses, 0,
+        "fallback must never load the model"
+    );
+
+    assert_golden("binomial", &plain, &GOLDEN_IDX, &BINOMIAL_GOLDEN);
+}
+
+#[test]
+fn bonds_bitwise_conformance_and_golden() {
+    let batch = bonds::BondBatch::generate(64, 11);
+    let mut plain = vec![0.0f32; batch.n];
+    bonds::bonds_kernel(&batch, &mut plain);
+
+    let region = bonds::build_region(None, None).unwrap();
+    let sequential = bonds::run_annotated(&region, &batch, 1, false).unwrap();
+    assert_eq!(sequential, plain, "sequential session != plain kernel");
+    let batched = bonds::run_annotated(&region, &batch, 48, false).unwrap();
+    assert_eq!(batched, plain, "batched session != plain kernel");
+
+    let forced = bonds::build_region(None, Some(missing_model())).unwrap();
+    forced.force_fallback(true);
+    let fb = bonds::run_annotated(&forced, &batch, 48, true).unwrap();
+    assert_eq!(fb, plain, "forced fallback != plain kernel");
+    assert_eq!(forced.stats().model_cache_misses, 0);
+
+    assert_golden("bonds", &plain, &GOLDEN_IDX, &BONDS_GOLDEN);
+}
+
+#[test]
+fn minibude_bitwise_conformance_and_golden() {
+    let deck = minibude::Deck::generate(24, 8, 5);
+    let poses = minibude::PoseBatch::generate(64, 6);
+    let mut plain = vec![0.0f32; poses.n];
+    minibude::energies(&deck, &poses, &mut plain);
+
+    let region = minibude::build_region(None, None).unwrap();
+    let sequential = minibude::run_annotated(&region, &deck, &poses, 1, false).unwrap();
+    assert_eq!(sequential, plain, "sequential session != plain kernel");
+    let batched = minibude::run_annotated(&region, &deck, &poses, 48, false).unwrap();
+    assert_eq!(batched, plain, "batched session != plain kernel");
+
+    let forced = minibude::build_region(None, Some(missing_model())).unwrap();
+    forced.force_fallback(true);
+    let fb = minibude::run_annotated(&forced, &deck, &poses, 48, true).unwrap();
+    assert_eq!(fb, plain, "forced fallback != plain kernel");
+    assert_eq!(forced.stats().model_cache_misses, 0);
+
+    assert_golden("minibude", &plain, &GOLDEN_IDX, &MINIBUDE_GOLDEN);
+}
+
+/// Drive the annotated ParticleFilter region over every frame of `video`,
+/// in chunks of `chunk` frames. The accurate closure writes the app's own
+/// estimates — on the accurate path the scatter is skipped, so the final
+/// buffer is exactly what the un-annotated application produces.
+fn pf_annotated(
+    region: &Region,
+    video: &particlefilter::Video,
+    estimates: &[(f32, f32)],
+    chunk: usize,
+    use_model: bool,
+) -> Vec<f32> {
+    let binds = Bindings::new()
+        .with("H", video.h as i64)
+        .with("W", video.w as i64);
+    let session = region
+        .session(
+            &binds,
+            &[("frame", &[video.h, video.w]), ("loc", &[2])],
+            chunk,
+        )
+        .unwrap();
+    let frame_len = video.h * video.w;
+    let mut out = Vec::new();
+    let mut locs = vec![0.0f32; chunk * 2];
+    let mut f0 = 0usize;
+    while f0 < video.frames {
+        let f1 = (f0 + chunk).min(video.frames);
+        let n = f1 - f0;
+        let chunk_locs = &mut locs[..n * 2];
+        let mut outcome = session
+            .invoke_batch(n)
+            .unwrap()
+            .use_surrogate(use_model)
+            .input("frame", &video.pixels[f0 * frame_len..f1 * frame_len])
+            .unwrap()
+            .run(|| {
+                for (k, &(x, y)) in estimates[f0..f1].iter().enumerate() {
+                    chunk_locs[2 * k] = x;
+                    chunk_locs[2 * k + 1] = y;
+                }
+            })
+            .unwrap();
+        outcome.output("loc", chunk_locs).unwrap();
+        outcome.finish().unwrap();
+        out.extend_from_slice(chunk_locs);
+        f0 = f1;
+    }
+    out
+}
+
+#[test]
+fn particlefilter_bitwise_conformance_and_golden() {
+    let video = particlefilter::Video::generate(4, 24, 24, 3);
+    let estimates = particlefilter::particle_filter(&video, 256, 9);
+    let plain: Vec<f32> = estimates.iter().flat_map(|&(x, y)| [x, y]).collect();
+
+    let region = particlefilter::build_region(None, None).unwrap();
+    let sequential = pf_annotated(&region, &video, &estimates, 1, false);
+    assert_eq!(sequential, plain, "sequential session != plain tracker");
+    let batched = pf_annotated(&region, &video, &estimates, 3, false);
+    assert_eq!(batched, plain, "batched session != plain tracker");
+
+    let forced = particlefilter::build_region(None, Some(missing_model())).unwrap();
+    forced.force_fallback(true);
+    let fb = pf_annotated(&forced, &video, &estimates, 3, true);
+    assert_eq!(fb, plain, "forced fallback != plain tracker");
+    let s = forced.stats();
+    assert_eq!(s.fallback_invocations, video.frames as u64);
+    assert_eq!(s.model_cache_misses, 0);
+
+    // Frames 0 and 3, (x, y) each.
+    assert_golden(
+        "particlefilter",
+        &plain,
+        &[0, 1, 6, 7],
+        &PARTICLEFILTER_GOLDEN,
+    );
+}
+
+/// Regenerates the golden constants above. Run with
+/// `cargo test -p hpacml-apps --test golden_e2e -- --ignored --nocapture print_goldens`.
+#[test]
+#[ignore]
+fn print_goldens() {
+    let batch = binomial::OptionBatch::generate(64, 7);
+    let mut v = vec![0.0f32; batch.n];
+    binomial::price_batch(&batch, 64, &mut v);
+    println!("BINOMIAL_GOLDEN: {:?}", bits(&v, &GOLDEN_IDX));
+
+    let batch = bonds::BondBatch::generate(64, 11);
+    let mut v = vec![0.0f32; batch.n];
+    bonds::bonds_kernel(&batch, &mut v);
+    println!("BONDS_GOLDEN: {:?}", bits(&v, &GOLDEN_IDX));
+
+    let deck = minibude::Deck::generate(24, 8, 5);
+    let poses = minibude::PoseBatch::generate(64, 6);
+    let mut v = vec![0.0f32; poses.n];
+    minibude::energies(&deck, &poses, &mut v);
+    println!("MINIBUDE_GOLDEN: {:?}", bits(&v, &GOLDEN_IDX));
+
+    let video = particlefilter::Video::generate(4, 24, 24, 3);
+    let est = particlefilter::particle_filter(&video, 256, 9);
+    let flat: Vec<f32> = est.iter().flat_map(|&(x, y)| [x, y]).collect();
+    println!("PARTICLEFILTER_GOLDEN: {:?}", bits(&flat, &[0, 1, 6, 7]));
+}

@@ -1,0 +1,153 @@
+//! Figure 10 — the *runtime* accuracy–speedup frontier: error budget vs
+//! achieved end-to-end speedup under online validation with adaptive
+//! fallback, for Binomial Options and ParticleFilter.
+//!
+//! The paper's accuracy–speedup tradeoff (Figs. 7–8) is measured offline:
+//! train a model, evaluate its error, report the speedup. This figure
+//! closes the loop at runtime: a `ValidationPolicy` shadow-executes the
+//! original kernels on a sampled fraction of invocations, and the rolling
+//! surrogate error drives automatic fallback. Sweeping the error budget
+//! traces the deployable frontier — budgets below the model's true error
+//! pin the region to host code (speedup collapses toward the shadow-laden
+//! accurate baseline, error goes to the original application's), budgets
+//! above it recover the full surrogate speedup at the model's error.
+
+use hpacml_apps::binomial::BinomialOptions;
+use hpacml_apps::particlefilter::ParticleFilter;
+use hpacml_apps::{Benchmark, PolicyEval};
+use hpacml_core::{ErrorMetric, ValidationPolicy};
+
+/// Budget multipliers applied to each model's measured QoI error; the last
+/// entry is an effectively unlimited budget (pure surrogate + shadow cost).
+const BUDGET_SCALES: [f64; 6] = [0.25, 0.5, 1.0, 2.0, 4.0, f64::INFINITY];
+
+/// The sweep's shared policy shape: validate 1 in 2 region invocations,
+/// react within a 2-sample window, compare up to 8 samples per drawn batch.
+fn policy_for(budget: f64) -> ValidationPolicy {
+    ValidationPolicy::new(ErrorMetric::Rmse, budget)
+        .with_sample_rate(2)
+        .with_window(2)
+        .with_batch_samples(8)
+}
+
+fn print_header(name: &str, base_error: f64, base_speedup: f64) {
+    println!(
+        "\n--- {name} (model error {base_error:.4}, unvalidated speedup {base_speedup:.2}x) ---"
+    );
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "budget", "speedup", "qoi_err", "fallback%", "validated", "disable", "reenable"
+    );
+}
+
+/// `budget` is the exact value the policy ran with (`f64::MAX` for the
+/// unlimited point, labelled `unlimited` in both the table and the CSV).
+fn print_row(rows: &mut Vec<String>, name: &str, budget: f64, p: &PolicyEval) {
+    let b = if budget < f64::MAX {
+        format!("{budget:.4}")
+    } else {
+        "unlimited".to_string()
+    };
+    println!(
+        "{:>12} {:>9.2}x {:>10.4} {:>9.1}% {:>10} {:>8} {:>8}",
+        b,
+        p.speedup,
+        p.qoi_error,
+        p.fallback_fraction * 100.0,
+        p.validated,
+        p.region.surrogate_disables,
+        p.region.surrogate_reenables
+    );
+    rows.push(format!(
+        "{name},{b},{:.4},{:.6},{:.4},{},{},{}",
+        p.speedup,
+        p.qoi_error,
+        p.fallback_fraction,
+        p.validated,
+        p.region.surrogate_disables,
+        p.region.surrogate_reenables
+    ));
+}
+
+fn main() {
+    let args = hpacml_bench::parse_args("fig10");
+    println!(
+        "\nFigure 10: error budget vs achieved speedup under online validation \
+         ({:?} scale).\n\nShadow validation samples 1 in 2 region invocations; the \
+         rolling RMSE against the shadow-executed original kernels drives \
+         adaptive fallback (window 2, hysteresis = one window).",
+        args.cfg.scale
+    );
+    let mut rows = Vec::new();
+
+    // --- Binomial Options -------------------------------------------------
+    let bench = BinomialOptions;
+    let model_path = args.cfg.model_path(bench.name());
+    let base = if model_path.exists() {
+        bench.evaluate(&args.cfg, &model_path)
+    } else {
+        println!("[fig10] training the Binomial surrogate...");
+        bench.pipeline(&args.cfg).map(|(_, _, e)| e)
+    };
+    match base {
+        Ok(base) => {
+            print_header("binomial", base.qoi_error, base.speedup);
+            let anchor = base.qoi_error.max(1e-6);
+            for scale in BUDGET_SCALES {
+                let budget = if scale.is_finite() {
+                    anchor * scale
+                } else {
+                    f64::MAX
+                };
+                match bench.evaluate_with_policy(&args.cfg, &model_path, policy_for(budget)) {
+                    Ok(p) => print_row(&mut rows, "binomial", budget, &p),
+                    Err(e) => eprintln!("[fig10] binomial budget {budget:.4} failed: {e}"),
+                }
+            }
+        }
+        Err(e) => eprintln!("[fig10] binomial skipped: {e}"),
+    }
+
+    // --- ParticleFilter ---------------------------------------------------
+    let bench = ParticleFilter;
+    let model_path = args.cfg.model_path(bench.name());
+    let base = if model_path.exists() {
+        bench.evaluate(&args.cfg, &model_path)
+    } else {
+        println!("[fig10] training the ParticleFilter surrogate...");
+        bench.pipeline(&args.cfg).map(|(_, _, e)| e)
+    };
+    match base {
+        Ok(base) => {
+            print_header("particlefilter", base.qoi_error, base.speedup);
+            // The PF validation reference is the original tracker, not
+            // ground truth; anchor on the same scale regardless.
+            let anchor = base.qoi_error.max(1e-6);
+            for scale in BUDGET_SCALES {
+                let budget = if scale.is_finite() {
+                    anchor * scale
+                } else {
+                    f64::MAX
+                };
+                match bench.evaluate_with_policy(&args.cfg, &model_path, policy_for(budget)) {
+                    Ok(p) => print_row(&mut rows, "particlefilter", budget, &p),
+                    Err(e) => eprintln!("[fig10] particlefilter budget {budget:.4} failed: {e}"),
+                }
+            }
+        }
+        Err(e) => eprintln!("[fig10] particlefilter skipped: {e}"),
+    }
+
+    println!(
+        "\nReading the frontier: tight budgets trade the surrogate's speedup \
+         for the original code's accuracy (fallback% -> 100); budgets above \
+         the model's true error keep the surrogate serving with shadow \
+         overhead proportional to the sample rate."
+    );
+    hpacml_bench::write_csv(
+        &args.results_dir,
+        "fig10.csv",
+        "benchmark,error_budget,speedup,qoi_error,fallback_fraction,validated,disables,reenables",
+        &rows,
+    );
+}

@@ -18,7 +18,7 @@ fn main() {
         args.cfg.scale
     );
     println!(
-        "{:<16} {:>12} {:>18} {:>13} {:>14} {:>11} {:>11} {:>9} {:>9}",
+        "{:<16} {:>12} {:>18} {:>13} {:>14} {:>11} {:>11} {:>9} {:>9} {:>9}",
         "Benchmark",
         "To Tensor",
         "Inference Engine",
@@ -27,9 +27,10 @@ fn main() {
         "Plan h/m",
         "Model h/m",
         "Batches",
-        "Fill"
+        "Fill",
+        "Val/Fb"
     );
-    println!("{}", "-".repeat(126));
+    println!("{}", "-".repeat(136));
     let mut rows = Vec::new();
     for b in hpacml_apps::all_benchmarks() {
         let model_path = args.cfg.model_path(b.name());
@@ -43,7 +44,7 @@ fn main() {
                 let (to, inf, from) = eval.region.breakdown();
                 let s = &eval.region;
                 println!(
-                    "{:<16} {:>11.2}% {:>17.2}% {:>12.2}% {:>13.3}% {:>11} {:>11} {:>9} {:>9.1}",
+                    "{:<16} {:>11.2}% {:>17.2}% {:>12.2}% {:>13.3}% {:>11} {:>11} {:>9} {:>9.1} {:>9}",
                     b.name(),
                     to * 100.0,
                     inf * 100.0,
@@ -53,9 +54,10 @@ fn main() {
                     format!("{}/{}", s.model_cache_hits, s.model_cache_misses),
                     s.batches_flushed,
                     s.mean_batch_fill(),
+                    format!("{}/{}", s.validated_invocations, s.fallback_invocations),
                 );
                 rows.push(format!(
-                    "{},{:.5},{:.5},{:.5},{:.5},{},{},{},{},{},{},{:.2}",
+                    "{},{:.5},{:.5},{:.5},{:.5},{},{},{},{},{},{},{:.2},{},{},{},{}",
                     b.name(),
                     to,
                     inf,
@@ -68,6 +70,10 @@ fn main() {
                     s.batch_submitted,
                     s.batches_flushed,
                     s.mean_batch_fill(),
+                    s.validated_invocations,
+                    s.fallback_invocations,
+                    s.surrogate_disables,
+                    s.surrogate_reenables,
                 ));
             }
             Err(e) => eprintln!("{:<16} FAILED: {e}", b.name()),
@@ -80,14 +86,18 @@ fn main() {
          entirely; model misses stay at 1 (resolved once, reused thereafter); \
          and a mean batch fill above 1 means many logical invocations shared \
          each forward pass (the runtime batch dimension at work — MiniWeather's \
-         auto-regressive loop is the expected fill-1 outlier)."
+         auto-regressive loop is the expected fill-1 outlier). Val/Fb counts \
+         shadow-validated and fallback-served invocations: both 0 here because \
+         the evaluation harness attaches no ValidationPolicy — fig10 sweeps \
+         that axis."
     );
     hpacml_bench::write_csv(
         &args.results_dir,
         "fig6.csv",
         "benchmark,to_tensor_frac,inference_frac,from_tensor_frac,bridge_over_engine,\
          plan_cache_hits,plan_cache_misses,model_cache_hits,model_cache_misses,\
-         batch_submitted,batches_flushed,mean_batch_fill",
+         batch_submitted,batches_flushed,mean_batch_fill,validated_invocations,\
+         fallback_invocations,surrogate_disables,surrogate_reenables",
         &rows,
     );
 }

@@ -82,12 +82,15 @@ fn batch_sweep(args: &hpacml_bench::HarnessArgs) {
     let s = region.stats();
     println!(
         "\n  occupancy: {} samples over {} forward passes (mean fill {:.1}); \
-         model resolved {} time(s), plan compilations {}",
+         model resolved {} time(s), plan compilations {}; validated {} / \
+         fallback {} (no ValidationPolicy attached — see fig10 for that axis)",
         s.batch_submitted,
         s.batches_flushed,
         s.mean_batch_fill(),
         s.model_cache_misses,
-        s.plan_cache_misses
+        s.plan_cache_misses,
+        s.validated_invocations,
+        s.fallback_invocations
     );
     println!(
         "  The paper's shape: per-sample cost falls steeply with batch size as \

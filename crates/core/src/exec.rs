@@ -121,8 +121,17 @@ impl<'r> Invocation<'r> {
 
     /// Run the region (steps 3–4 of Fig. 1): either invoke the surrogate
     /// through the cached session core or execute the accurate closure.
+    ///
+    /// The adaptive/forced fallback gate applies here exactly as on the
+    /// compiled [`Session`](crate::Session) path: while
+    /// [`Region::surrogate_active`] is false, the accurate closure serves
+    /// the invocation, bit-identical to an un-annotated application. Shadow
+    /// validation sampling, however, is session-only — one-shot invocations
+    /// are counted as fallbacks but never drawn.
     pub fn run(mut self, accurate: impl FnOnce()) -> Result<Outcome<'r>> {
-        let surrogate = self.decide_surrogate()?;
+        let want = self.decide_surrogate()?;
+        let surrogate = want && self.region.surrogate_active();
+        let fallback = want && !surrogate;
         // Compact the gathered tensors to the supplied subset, preserving
         // declared order, and derive the canonical (name, dims) pairs.
         let mut pairs: Vec<(String, Vec<usize>)> = Vec::with_capacity(self.supplied.len());
@@ -141,7 +150,7 @@ impl<'r> Invocation<'r> {
         }
         let (inference_ns, accurate_ns) = if surrogate {
             let core = self.region.session_core(&self.binds, &pairs)?;
-            let ns = core.run_surrogate(self.region, &mut self.scratch, 1, 1)?;
+            let ns = core.run_surrogate(self.region, &mut self.scratch, 1, 1, false)?;
             (ns, 0)
         } else {
             let ((), ns) = timed(accurate);
@@ -155,6 +164,7 @@ impl<'r> Invocation<'r> {
             } else {
                 PathTaken::Accurate
             },
+            fallback,
             scratch: self.scratch,
             names,
             out_cursor: 0,
@@ -174,6 +184,9 @@ pub struct Outcome<'r> {
     region: &'r Region,
     binds: Bindings,
     path: PathTaken,
+    /// The invocation wanted the surrogate but the fallback gate sent it to
+    /// the host code.
+    fallback: bool,
     /// Per-invocation scratch; `scratch.out` holds the flat surrogate
     /// output, consumed in `out()` declaration order via `out_cursor`.
     /// Returned to the thread when dropped (error paths included).
@@ -232,7 +245,9 @@ impl Outcome<'_> {
                 Ok(self)
             }
             PathTaken::Accurate => {
-                let should_collect = self.region.db_path().is_some();
+                // Fallback-served invocations run the host code for safety,
+                // not to collect training data (matches the Session path).
+                let should_collect = !self.fallback && self.region.db_path().is_some();
                 if should_collect {
                     let (tensor, ns) = timed(|| plan.gather(data));
                     self.collection_ns += ns;
@@ -247,7 +262,7 @@ impl Outcome<'_> {
     pub fn finish(self) -> Result<PathTaken> {
         let path = self.path;
         let mut collection_ns = self.collection_ns;
-        if path == PathTaken::Accurate && self.region.db_path().is_some() {
+        if path == PathTaken::Accurate && !self.fallback && self.region.db_path().is_some() {
             let inputs: Vec<(&str, &Tensor)> = self
                 .names
                 .iter()
@@ -270,6 +285,9 @@ impl Outcome<'_> {
         }
         self.region.update_stats(|s| {
             s.invocations += 1;
+            if self.fallback {
+                s.fallback_invocations += 1;
+            }
             if path == PathTaken::Surrogate {
                 s.surrogate_invocations += 1;
                 // A one-shot surrogate invocation is a forward pass of its

@@ -61,6 +61,13 @@
 //! bit-identical to the same invocations run one by one. For concurrent
 //! callers, [`serve::BatchServer`] coalesces submissions from many threads
 //! into shared batched passes. See the [`session`] and [`serve`] module docs.
+//!
+//! Online **validation** closes the accuracy loop: a [`ValidationPolicy`]
+//! attached to a region shadow-executes the original host code on a sampled
+//! fraction of invocations, scores the surrogate against it, and adaptively
+//! falls back to the (bit-identical) host code when the rolling error
+//! exceeds the budget — re-enabling once a window of probes recovers. See
+//! the [`validate`] module docs.
 
 pub mod error;
 pub mod exec;
@@ -69,6 +76,7 @@ pub mod registry;
 pub mod serve;
 pub mod session;
 pub mod timing;
+pub mod validate;
 
 pub use error::CoreError;
 pub use exec::{Invocation, Outcome, PathTaken};
@@ -77,6 +85,7 @@ pub use registry::{registered_regions, RegionRecord};
 pub use serve::BatchServer;
 pub use session::{Session, SessionOutcome, SessionRun};
 pub use timing::RegionStats;
+pub use validate::{ErrorMetric, FallbackController, ValidationPolicy};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

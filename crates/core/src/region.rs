@@ -3,6 +3,7 @@
 use crate::registry::{register, RegionRecord};
 use crate::session::{Session, SessionCore, SessionKey};
 use crate::timing::RegionStats;
+use crate::validate::{ErrorMetric, RegionValidation};
 use crate::{CoreError, Result};
 use hpacml_bridge::{CompiledMap, PlanCache, PlanKey};
 use hpacml_directive::ast::{Direction, Directive, MapDirective, MlDirective, MlMode};
@@ -13,6 +14,7 @@ use hpacml_store::H5File;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 /// An annotated code region — the unit HPAC-ML can replace with a surrogate.
@@ -43,6 +45,11 @@ pub struct Region {
     /// Compiled invocation cores, keyed by (bindings, input shapes). Both the
     /// public [`Session`] API and the one-shot `invoke` path share these.
     sessions: Mutex<HashMap<SessionKey, Arc<SessionCore>>>,
+    /// Online-validation state (policy + sampling sequence + fallback
+    /// controller), when a policy is attached.
+    validation: Mutex<Option<Arc<RegionValidation>>>,
+    /// Operator override: route every invocation onto the host code.
+    forced_fallback: AtomicBool,
 }
 
 impl Region {
@@ -285,9 +292,34 @@ impl Region {
         outputs: &[(&str, &[usize], &[f32])],
         region_time_ns: u64,
     ) -> Result<()> {
+        self.with_db(|name, file| {
+            let group = file.root_mut().group_mut(name);
+            for (kind, tensors) in [("inputs", inputs), ("outputs", outputs)] {
+                let sub = group.group_mut(kind);
+                for &(name, dims, data) in tensors {
+                    let per: usize = dims.iter().product();
+                    let ds = sub.dataset_mut(name, hpacml_store::DType::F32, dims)?;
+                    for i in 0..n {
+                        ds.append_f32(&data[i * per..(i + 1) * per])?;
+                    }
+                }
+            }
+            let ds = group.dataset_mut("region_time_ns", hpacml_store::DType::F64, &[])?;
+            for _ in 0..n {
+                ds.append_f64(&[region_time_ns as f64])?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Run `body` against the region's database handle, lazily creating or
+    /// opening the file at `db_path()` (including its parent directory) on
+    /// first use. A region with no `db(...)` clause is a no-op `Ok(())`.
+    /// Shared by data collection and validation-row recording.
+    pub(crate) fn with_db(&self, body: impl FnOnce(&str, &mut H5File) -> Result<()>) -> Result<()> {
         let path = match self.db_path() {
             Some(p) => p,
-            None => return Ok(()), // no database clause: collection is a no-op
+            None => return Ok(()),
         };
         let mut guard = self.db.lock();
         if guard.is_none() {
@@ -302,23 +334,43 @@ impl Region {
                 H5File::create(&path)
             });
         }
-        let file = guard.as_mut().expect("db initialized above");
-        let group = file.root_mut().group_mut(&self.name);
-        for (kind, tensors) in [("inputs", inputs), ("outputs", outputs)] {
-            let sub = group.group_mut(kind);
-            for &(name, dims, data) in tensors {
-                let per: usize = dims.iter().product();
-                let ds = sub.dataset_mut(name, hpacml_store::DType::F32, dims)?;
-                for i in 0..n {
-                    ds.append_f32(&data[i * per..(i + 1) * per])?;
+        body(&self.name, guard.as_mut().expect("db initialized above"))
+    }
+
+    pub(crate) fn validation_slot(&self) -> &Mutex<Option<Arc<RegionValidation>>> {
+        &self.validation
+    }
+
+    pub(crate) fn forced_fallback_flag(&self) -> &AtomicBool {
+        &self.forced_fallback
+    }
+
+    /// Append one `(invocation, metric, error)` row per validated sample to
+    /// the region's database, under `<region>/validation`. A region without
+    /// a `db(...)` clause skips recording (the controller still runs).
+    pub(crate) fn record_validation_rows(
+        &self,
+        seq: u64,
+        metric: ErrorMetric,
+        errors: &[f64],
+    ) -> Result<()> {
+        if errors.is_empty() {
+            return Ok(());
+        }
+        self.with_db(|name, file| {
+            let group = file.root_mut().group_mut(name).group_mut("validation");
+            for (col, value) in [("invocation", seq as f64), ("metric", metric.code() as f64)] {
+                let ds = group.dataset_mut(col, hpacml_store::DType::F64, &[])?;
+                for _ in errors {
+                    ds.append_f64(&[value])?;
                 }
             }
-        }
-        let ds = group.dataset_mut("region_time_ns", hpacml_store::DType::F64, &[])?;
-        for _ in 0..n {
-            ds.append_f64(&[region_time_ns as f64])?;
-        }
-        Ok(())
+            let ds = group.dataset_mut("error", hpacml_store::DType::F64, &[])?;
+            for &e in errors {
+                ds.append_f64(&[e])?;
+            }
+            Ok(())
+        })
     }
 
     /// Persist collected data to disk.
@@ -502,6 +554,8 @@ impl RegionBuilder {
             plans: PlanCache::new(),
             model: Mutex::new(None),
             sessions: Mutex::new(HashMap::new()),
+            validation: Mutex::new(None),
+            forced_fallback: AtomicBool::new(false),
         })
     }
 }

@@ -25,6 +25,14 @@
 //! [`mean_batch_fill`](crate::RegionStats::mean_batch_fill)) report how well
 //! submissions coalesced.
 //!
+//! The server participates in the region's online-validation loop (see the
+//! [`validate`](crate::validate) module): install a whole-batch host-code
+//! handler with [`BatchServer::with_fallback`] and drawn flushes are
+//! shadow-validated against it, fallback-disabled periods are served by it
+//! (with sampled surrogate probes driving recovery), and a forced fallback
+//! routes every flush through it. [`BatchServer::shutdown`] flushes the
+//! forming batch and rejects later submissions.
+//!
 //! ```no_run
 //! # fn main() -> hpacml_core::Result<()> {
 //! use hpacml_core::serve::BatchServer;
@@ -53,10 +61,18 @@
 //! ```
 
 use crate::session::Session;
+use crate::timing::timed;
+use crate::validate::SampleError;
 use crate::{CoreError, Result};
 use hpacml_directive::ast::MlMode;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// A whole-batch host-code fallback: `(n, staged_inputs, outputs)`, where
+/// `staged_inputs[i]` holds the `n` per-sample arrays of declared input `i`
+/// back to back and `outputs[j]` must be filled with the `n` per-sample
+/// results of declared output `j`.
+type FallbackFn<'s> = Box<dyn Fn(usize, &[Vec<f32>], &mut [Vec<f32>]) + Send + Sync + 's>;
 
 /// One flushed batch's published outcome: a buffer per declared output
 /// array, or an error message fanned out to every member.
@@ -93,6 +109,8 @@ struct ServerState {
     forming: Option<Forming>,
     /// Recycled staging sets, so steady-state batches reuse grown buffers.
     spare: Vec<Vec<Vec<f32>>>,
+    /// Set by [`BatchServer::shutdown`]; later submissions are rejected.
+    shutdown: bool,
 }
 
 /// What a submitter must do after staging its sample.
@@ -118,6 +136,10 @@ pub struct BatchServer<'s, 'r> {
     in_arrays: Vec<(String, usize)>,
     /// (name, per-sample element count) per declared output.
     out_arrays: Vec<(String, usize)>,
+    /// Whole-batch host-code fallback, serving flushes while the region's
+    /// validation controller (or a forced fallback) has the surrogate
+    /// disabled — and doubling as the shadow-validation reference.
+    fallback: Option<FallbackFn<'s>>,
 }
 
 impl<'s, 'r> BatchServer<'s, 'r> {
@@ -147,16 +169,66 @@ impl<'s, 'r> BatchServer<'s, 'r> {
             state: Mutex::new(ServerState {
                 forming: None,
                 spare: Vec::new(),
+                shutdown: false,
             }),
             leader_cv: Condvar::new(),
             in_arrays,
             out_arrays,
+            fallback: None,
         })
+    }
+
+    /// Install a whole-batch host-code fallback:
+    /// `handler(n, staged_inputs, outputs)` computes the `n` staged samples
+    /// with the original code (`staged_inputs[i]` holds input `i`'s samples
+    /// back to back; `outputs[j]` is pre-sized to `n` per-sample results).
+    ///
+    /// With a handler installed the server participates fully in the
+    /// region's validation loop: while the surrogate is active, drawn
+    /// flushes run the handler in shadow and score the surrogate against
+    /// it; while the controller has the surrogate disabled, the handler
+    /// serves flushes and drawn ones probe the surrogate for recovery.
+    /// Without a handler, flushes during fallback fail (fanned out to every
+    /// member) rather than silently serving an over-budget surrogate.
+    pub fn with_fallback<F>(mut self, handler: F) -> Self
+    where
+        F: Fn(usize, &[Vec<f32>], &mut [Vec<f32>]) + Send + Sync + 's,
+    {
+        self.fallback = Some(Box::new(handler));
+        self
     }
 
     /// The wrapped session.
     pub fn session(&self) -> &'s Session<'r> {
         self.session
+    }
+
+    /// Samples currently staged in the forming batch (observability and
+    /// test hooks; racy by nature).
+    pub fn pending(&self) -> usize {
+        self.state
+            .lock()
+            .expect("server state poisoned")
+            .forming
+            .as_ref()
+            .map_or(0, |f| f.n)
+    }
+
+    /// Stop accepting submissions: the forming batch (if any) is flushed
+    /// immediately on the calling thread so parked members complete, and
+    /// every later [`BatchServer::submit`] is rejected with an error.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        let forming = {
+            let mut st = self.state.lock().expect("server state poisoned");
+            st.shutdown = true;
+            st.forming.take()
+        };
+        // Wake any leader parked on the (now detached) batch.
+        self.leader_cv.notify_all();
+        if let Some(f) = forming {
+            self.execute(f);
+        }
     }
 
     /// Submit **one** sample and block until a coalesced forward pass has
@@ -167,7 +239,7 @@ impl<'s, 'r> BatchServer<'s, 'r> {
     /// whatever is pending when a batch closes shares one forward pass.
     pub fn submit(&self, inputs: &[&[f32]], outputs: &mut [&mut [f32]]) -> Result<()> {
         self.check_arity(inputs, outputs)?;
-        let (cell, slot, role) = self.stage(inputs);
+        let (cell, slot, role) = self.stage(inputs)?;
         match role {
             Role::Execute(f) => {
                 // Wake a leader that may be parked on this (now closed) batch.
@@ -220,9 +292,16 @@ impl<'s, 'r> BatchServer<'s, 'r> {
 
     /// Stage one sample into the forming batch (creating it if none) and
     /// decide this submitter's role. All staging happens under the server
-    /// lock, so a closed batch is always fully staged.
-    fn stage(&self, inputs: &[&[f32]]) -> (Arc<Cell>, usize, Role) {
+    /// lock, so a closed batch is always fully staged. Rejected once the
+    /// server is shut down.
+    fn stage(&self, inputs: &[&[f32]]) -> Result<(Arc<Cell>, usize, Role)> {
         let mut st = self.state.lock().expect("server state poisoned");
+        if st.shutdown {
+            return Err(CoreError::Region(format!(
+                "region `{}`: BatchServer is shut down; submission rejected",
+                self.session.region().name()
+            )));
+        }
         if st.forming.is_none() {
             let staging = st.spare.pop().unwrap_or_else(|| {
                 self.in_arrays
@@ -251,7 +330,7 @@ impl<'s, 'r> BatchServer<'s, 'r> {
         } else {
             Role::Wait
         };
-        (cell, slot, role)
+        Ok((cell, slot, role))
     }
 
     /// Leader protocol: wait (bounded) for the batch to fill; if the
@@ -281,34 +360,161 @@ impl<'s, 'r> BatchServer<'s, 'r> {
         }
     }
 
-    /// Run one batched forward pass for everything staged in `f`, publish
-    /// the per-array output buffers (or the error) to every member, and
-    /// recycle the staging set. A panic inside the pass is caught and
-    /// published as an error — followers wait with no timeout, so the
-    /// executor must *always* reach the publish step.
+    /// One compiled surrogate pass over the staged batch, returning a
+    /// buffer per declared output. `count_stats` distinguishes the primary
+    /// serving pass (finalized into the region stats) from a shadow
+    /// recovery probe (whose timings belong to `validation_shadow_ns`, not
+    /// the invocation counters).
+    fn surrogate_pass(&self, f: &Forming, n: usize, count_stats: bool) -> Result<Vec<Vec<f32>>> {
+        let mut run = self
+            .session
+            .invoke_batch(n)?
+            // The server gates and validates whole staged batches itself;
+            // its session invocations bypass the per-invocation gate (and
+            // `predicated` regions take the model path unconditionally).
+            .use_surrogate(true)
+            .validation_exempt();
+        for ((name, per), staged) in self.in_arrays.iter().zip(&f.staging) {
+            run = run.input(name, &staged[..n * per])?;
+        }
+        let mut out = run.run(|| unreachable!("BatchServer surrogate pass"))?;
+        let mut bufs = Vec::with_capacity(self.out_arrays.len());
+        for (name, per) in &self.out_arrays {
+            let mut buf = vec![0.0f32; n * per];
+            out.output(name, &mut buf)?;
+            bufs.push(buf);
+        }
+        if count_stats {
+            out.finish()?;
+        }
+        // A probe drops the outcome unfinished: scratch still returns to
+        // the thread, but nothing is folded into the invocation counters.
+        Ok(bufs)
+    }
+
+    /// Per-sample errors for the drawn `offsets` of one flush, comparing
+    /// `approx` against `reference` across every declared output array.
+    /// Samples with no comparable elements (e.g. MAPE with all-zero
+    /// references) are skipped rather than scored as fabricated zeros —
+    /// the same rule the session shadow path applies.
+    fn sample_errors(
+        &self,
+        metric: crate::ErrorMetric,
+        offsets: &[usize],
+        reference: &[Vec<f32>],
+        approx: &[Vec<f32>],
+    ) -> Vec<f64> {
+        offsets
+            .iter()
+            .filter_map(|&s| {
+                let mut acc = SampleError::new(metric);
+                for (a, (_, per)) in self.out_arrays.iter().enumerate() {
+                    acc.update(
+                        &reference[a][s * per..(s + 1) * per],
+                        &approx[a][s * per..(s + 1) * per],
+                    );
+                }
+                acc.compared().then(|| acc.finalize())
+            })
+            .collect()
+    }
+
+    /// Shadow-validate a drawn flush while the surrogate serves: the
+    /// fallback handler doubles as the original-host-code reference.
+    /// Without a handler the server has no reference and never draws.
+    fn shadow_validate(&self, f: &Forming, n: usize, surrogate_bufs: &[Vec<f32>]) -> Result<()> {
+        let region = self.session.region();
+        let (Some(v), Some(handler)) = (region.validation(), self.fallback.as_ref()) else {
+            return Ok(());
+        };
+        let mut offsets = Vec::new();
+        let seq = v.draw(n, &mut offsets);
+        if offsets.is_empty() {
+            return Ok(());
+        }
+        let (errors, ns) = timed(|| {
+            let mut reference: Vec<Vec<f32>> = self
+                .out_arrays
+                .iter()
+                .map(|(_, per)| vec![0.0f32; n * per])
+                .collect();
+            handler(n, &f.staging, &mut reference);
+            self.sample_errors(v.policy().metric, &offsets, &reference, surrogate_bufs)
+        });
+        region.observe_validation(&v, seq, &errors, ns)
+    }
+
+    /// While adaptively fallen back, probe the surrogate on a drawn flush
+    /// so the controller can observe recovery. `accurate_bufs` (the
+    /// handler's results, already served to the members) is the reference.
+    fn probe_recovery(&self, f: &Forming, n: usize, accurate_bufs: &[Vec<f32>]) -> Result<()> {
+        let region = self.session.region();
+        let Some(v) = region.validation() else {
+            return Ok(());
+        };
+        if region.fallback_forced() {
+            return Ok(()); // operator override: leave the model untouched
+        }
+        let mut offsets = Vec::new();
+        let seq = v.draw(n, &mut offsets);
+        if offsets.is_empty() {
+            return Ok(());
+        }
+        let (res, ns) = timed(|| self.surrogate_pass(f, n, false));
+        let probe_bufs = res?;
+        let errors = self.sample_errors(v.policy().metric, &offsets, accurate_bufs, &probe_bufs);
+        region.observe_validation(&v, seq, &errors, ns)
+    }
+
+    /// Run one batched pass for everything staged in `f` — the surrogate
+    /// when the region's fallback gate allows it, the fallback handler
+    /// otherwise — publish the per-array output buffers (or the error) to
+    /// every member, and recycle the staging set. A panic anywhere inside
+    /// the pass (kernels, model, fallback handler) is caught and published
+    /// as an error — followers wait with no timeout, so the executor must
+    /// *always* reach the publish step.
     fn execute(&self, f: Forming) {
         let n = f.n;
+        let region = self.session.region();
         let pass =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<Vec<Vec<f32>>> {
-                let mut run = self
-                    .session
-                    .invoke_batch(n)?
-                    // The server exists to serve the surrogate; `predicated`
-                    // regions take the model path unconditionally here.
-                    .use_surrogate(true);
-                for ((name, per), staged) in self.in_arrays.iter().zip(&f.staging) {
-                    run = run.input(name, &staged[..n * per])?;
+                if region.surrogate_active() {
+                    let bufs = self.surrogate_pass(&f, n, true)?;
+                    // Monitoring must never destroy correctly served
+                    // results: a shadow-validation failure — an Err from
+                    // the validation-row db append *or* a panic in the
+                    // user's fallback handler — is contained here instead
+                    // of fanned out to members who already have valid
+                    // outputs in `bufs`.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.shadow_validate(&f, n, &bufs)
+                    }));
+                    Ok(bufs)
+                } else if let Some(handler) = &self.fallback {
+                    let mut bufs: Vec<Vec<f32>> = self
+                        .out_arrays
+                        .iter()
+                        .map(|(_, per)| vec![0.0f32; n * per])
+                        .collect();
+                    let ((), ns) = timed(|| handler(n, &f.staging, &mut bufs));
+                    region.update_stats(|s| {
+                        s.invocations += n as u64;
+                        s.fallback_invocations += n as u64;
+                        s.accurate_ns += ns;
+                    });
+                    // As above: a failed (or panicking) recovery probe must
+                    // not error out the handler's valid results.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.probe_recovery(&f, n, &bufs)
+                    }));
+                    Ok(bufs)
+                } else {
+                    Err(CoreError::Region(format!(
+                        "region `{}`: surrogate disabled by validation fallback and the \
+                         BatchServer has no fallback handler (install one with with_fallback)",
+                        region.name()
+                    )))
                 }
-                let mut out = run
-                    .run(|| unreachable!("BatchServer::execute always takes the surrogate path"))?;
-                let mut bufs = Vec::with_capacity(self.out_arrays.len());
-                for (name, per) in &self.out_arrays {
-                    let mut buf = vec![0.0f32; n * per];
-                    out.output(name, &mut buf)?;
-                    bufs.push(buf);
-                }
-                out.finish()?;
-                Ok(bufs)
             }));
         let result = pass.unwrap_or_else(|panic| {
             let msg = panic

@@ -59,6 +59,7 @@
 use crate::exec::PathTaken;
 use crate::region::Region;
 use crate::timing::timed;
+use crate::validate::{RegionValidation, SampleError};
 use crate::{CoreError, Result};
 use hpacml_bridge::CompiledMap;
 use hpacml_directive::ast::{Direction, MlMode};
@@ -409,20 +410,34 @@ impl SessionCore {
     /// `scratch.out`. Returns the inference time in nanoseconds.
     /// Steady-state allocation-free for any `n <= max_batch` — the workspace
     /// is reserved for `max_batch` on this thread's first surrogate run.
+    ///
+    /// `preserve_inputs` keeps the gathered input tensors intact (a copy
+    /// instead of the single-input swap) — required when the caller still
+    /// needs them after the pass, e.g. a validation probe on the accurate
+    /// path whose data-collection step reads the gathered inputs.
     pub(crate) fn run_surrogate(
         &self,
         region: &Region,
         scratch: &mut Scratch,
         n: usize,
         max_batch: usize,
+        preserve_inputs: bool,
     ) -> Result<u64> {
         let state = self.surrogate_state(region)?;
         self.warm_thread_workspace(&state, scratch, max_batch)?;
         let asm = &state.assembly;
 
         if self.inputs.len() == 1 {
-            // Single input: the gathered batch *is* the staged batch.
-            std::mem::swap(&mut scratch.staged, &mut scratch.gathered[0]);
+            if preserve_inputs {
+                let Scratch {
+                    staged, gathered, ..
+                } = scratch;
+                staged.resize(gathered[0].dims());
+                staged.data_mut().copy_from_slice(gathered[0].data());
+            } else {
+                // Single input: the gathered batch *is* the staged batch.
+                std::mem::swap(&mut scratch.staged, &mut scratch.gathered[0]);
+            }
         } else {
             let rows = n * asm.rows;
             scratch.staged.resize(&[rows, asm.feat_total]);
@@ -592,8 +607,46 @@ impl<'r> Session<'r> {
             scratch,
             n,
             surrogate_override: None,
+            validation_exempt: false,
             supplied: 0,
             to_ns: 0,
+        }
+    }
+}
+
+/// In-flight shadow-validation bookkeeping for one drawn invocation: which
+/// batch samples are compared, their per-sample error accumulators, and the
+/// time attributable to validation (shadow host execution, reference
+/// gathers, comparisons, probe passes).
+pub(crate) struct ShadowState {
+    v: Arc<RegionValidation>,
+    /// This invocation's sequence number (the `invocation` column of the
+    /// recorded validation rows).
+    seq: u64,
+    /// In-batch sample offsets being compared.
+    offsets: Vec<usize>,
+    /// One error accumulator per compared offset.
+    accs: Vec<SampleError>,
+    shadow_ns: u64,
+}
+
+impl ShadowState {
+    /// Fold one output array's comparison into the per-sample accumulators.
+    /// `reference` holds the gathered host results (`n * need` elements);
+    /// the surrogate's values for sample `s` live at
+    /// `model_out[s * stride + offset ..][..need]`.
+    fn compare(
+        &mut self,
+        reference: &[f32],
+        model_out: &[f32],
+        stride: usize,
+        offset: usize,
+        need: usize,
+    ) {
+        for (acc, &s) in self.accs.iter_mut().zip(&self.offsets) {
+            let host = &reference[s * need..(s + 1) * need];
+            let model = &model_out[s * stride + offset..s * stride + offset + need];
+            acc.update(host, model);
         }
     }
 }
@@ -605,6 +658,10 @@ pub struct SessionRun<'s, 'r> {
     /// Runtime batch carried by this invocation.
     n: usize,
     surrogate_override: Option<bool>,
+    /// Skip the fallback gate and shadow-validation draw. Used by runtime
+    /// internals ([`crate::serve::BatchServer`]) that implement their own
+    /// validation loop over staged batches.
+    validation_exempt: bool,
     /// Bitmask of supplied inputs; `SessionCore::build` rejects regions with
     /// more than 64 input arrays, so every index fits.
     supplied: u64,
@@ -616,6 +673,15 @@ impl<'s, 'r> SessionRun<'s, 'r> {
     /// [`crate::Invocation::use_surrogate`].
     pub fn use_surrogate(mut self, value: bool) -> Self {
         self.surrogate_override = Some(value);
+        self
+    }
+
+    /// Bypass the adaptive/forced fallback gate and the shadow-validation
+    /// draw for this invocation. Crate-internal: the `BatchServer` gates and
+    /// validates whole staged batches itself, and its recovery probes must
+    /// reach the surrogate while the controller has it disabled.
+    pub(crate) fn validation_exempt(mut self) -> Self {
+        self.validation_exempt = true;
         self
     }
 
@@ -670,40 +736,107 @@ impl<'s, 'r> SessionRun<'s, 'r> {
         })
     }
 
+    /// `true` when every declared input has been supplied.
+    fn inputs_complete(&self) -> bool {
+        let count = self.session.core.input_count(); // <= 64 by SessionCore::build
+        let all = if count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        };
+        count == 0 || self.supplied == all
+    }
+
+    fn missing_inputs_error(&self) -> CoreError {
+        let missing: Vec<&str> = self
+            .session
+            .core
+            .input_names()
+            .enumerate()
+            .filter(|(i, _)| self.supplied & (1 << i) == 0)
+            .map(|(_, n)| n)
+            .collect();
+        CoreError::Region(format!(
+            "region `{}`: surrogate run is missing input(s) {missing:?}",
+            self.session.region.name()
+        ))
+    }
+
     /// Run the region (steps 3–4 of Fig. 1): one surrogate forward pass for
     /// the whole batch through the compiled pipeline, or the accurate closure
     /// (which is responsible for all `n` samples).
+    ///
+    /// With a [`crate::ValidationPolicy`] attached to the region, this is
+    /// also where online validation happens: a drawn invocation
+    /// shadow-executes `accurate` *in addition to* the surrogate pass (the
+    /// comparison runs in [`SessionOutcome::output`], before the surrogate
+    /// results overwrite the host buffers), and while the controller has the
+    /// surrogate disabled — or [`Region::force_fallback`] is engaged — the
+    /// accurate closure serves the invocation, bit-identical to an
+    /// un-annotated application. Drawn invocations during adaptive fallback
+    /// additionally *probe* the surrogate in shadow so the controller can
+    /// observe recovery.
     pub fn run(mut self, accurate: impl FnOnce()) -> Result<SessionOutcome<'s, 'r>> {
-        let surrogate = self.decide_surrogate()?;
-        let (inference_ns, accurate_ns) = if surrogate {
-            let core = &self.session.core;
-            let count = core.input_count(); // <= 64 by SessionCore::build
-            let all = if count == 64 {
-                u64::MAX
-            } else {
-                (1u64 << count) - 1
-            };
-            if count > 0 && self.supplied != all {
-                let missing: Vec<&str> = core
-                    .input_names()
-                    .enumerate()
-                    .filter(|(i, _)| self.supplied & (1 << i) == 0)
-                    .map(|(_, n)| n)
-                    .collect();
-                return Err(CoreError::Region(format!(
-                    "region `{}`: surrogate run is missing input(s) {missing:?}",
-                    self.session.region.name()
-                )));
+        let region = self.session.region;
+        let want = self.decide_surrogate()?;
+        let mut surrogate = want;
+        let mut fallback = false;
+        let mut shadow: Option<ShadowState> = None;
+        if want && !self.validation_exempt {
+            if region.fallback_forced() {
+                // Operator override: host code, model untouched, no probes.
+                surrogate = false;
+                fallback = true;
+            } else if let Some(v) = region.validation() {
+                if !v.enabled() {
+                    surrogate = false;
+                    fallback = true;
+                }
+                let mut offsets = Vec::new();
+                let seq = v.draw(self.n, &mut offsets);
+                if !offsets.is_empty() {
+                    let metric = v.policy().metric;
+                    shadow = Some(ShadowState {
+                        accs: vec![SampleError::new(metric); offsets.len()],
+                        v,
+                        seq,
+                        offsets,
+                        shadow_ns: 0,
+                    });
+                }
             }
-            let ns = core.run_surrogate(
-                self.session.region,
-                &mut self.scratch,
-                self.n,
-                self.session.max_batch,
-            )?;
+        }
+        let (inference_ns, accurate_ns) = if surrogate {
+            if !self.inputs_complete() {
+                return Err(self.missing_inputs_error());
+            }
+            // Shadow validation: run the original host code first, so the
+            // caller's output buffers hold the reference values when
+            // `output` compares them (the surrogate scatter then overwrites
+            // them — the surrogate remains the primary path).
+            if let Some(sh) = &mut shadow {
+                let ((), ns) = timed(accurate);
+                sh.shadow_ns += ns;
+            }
+            let ns = core_run(self.session, &mut self.scratch, self.n, false)?;
             (ns, 0)
         } else {
             let ((), ns) = timed(accurate);
+            // Recovery probe: while adaptively fallen back, a drawn
+            // invocation also runs the surrogate in shadow; `output`
+            // compares without scattering. Needs the full input set — a
+            // caller that skipped inputs on the accurate path simply isn't
+            // probed.
+            if let Some(sh) = &mut shadow {
+                if self.inputs_complete() {
+                    let (res, pns) =
+                        timed(|| core_run(self.session, &mut self.scratch, self.n, true));
+                    res?;
+                    sh.shadow_ns += pns;
+                } else {
+                    shadow = None;
+                }
+            }
             (0, ns)
         };
         Ok(SessionOutcome {
@@ -716,6 +849,8 @@ impl<'s, 'r> SessionRun<'s, 'r> {
             } else {
                 PathTaken::Accurate
             },
+            fallback,
+            shadow,
             gathered_outputs: Vec::new(),
             to_ns: self.to_ns,
             inference_ns,
@@ -726,6 +861,23 @@ impl<'s, 'r> SessionRun<'s, 'r> {
     }
 }
 
+/// One compiled surrogate pass through the session's core (helper shared by
+/// the primary path and the fallback recovery probe).
+fn core_run(
+    session: &Session<'_>,
+    scratch: &mut Scratch,
+    n: usize,
+    preserve_inputs: bool,
+) -> Result<u64> {
+    session.core.run_surrogate(
+        session.region,
+        scratch,
+        n,
+        session.max_batch,
+        preserve_inputs,
+    )
+}
+
 /// The output phase of a compiled invocation.
 pub struct SessionOutcome<'s, 'r> {
     session: &'s Session<'r>,
@@ -733,6 +885,11 @@ pub struct SessionOutcome<'s, 'r> {
     n: usize,
     supplied: u64,
     path: PathTaken,
+    /// This invocation wanted the surrogate but was served by the host code
+    /// (adaptive or forced fallback).
+    fallback: bool,
+    /// Shadow-validation bookkeeping for a drawn invocation.
+    shadow: Option<ShadowState>,
     /// Accurate-path outputs gathered for data collection: (index into the
     /// session's output declarations, batched gathered tensor).
     gathered_outputs: Vec<(usize, Tensor)>,
@@ -769,18 +926,22 @@ impl SessionOutcome<'_, '_> {
             })?;
         match self.path {
             PathTaken::Surrogate => {
-                let need = plan.numel();
-                let produced = self.scratch.out.numel();
-                // Per-sample stride through the model output: the forward
-                // pass stacks `n` per-sample outputs along the leading dim.
-                let stride = produced / self.n.max(1);
-                if !produced.is_multiple_of(self.n.max(1)) || stride < offset + need {
-                    return Err(CoreError::Region(format!(
-                        "region `{}`: model produced {produced} elements for a batch of {} \
-                         but output `{name}` needs {need} at per-sample offset {offset}",
-                        self.session.region.name(),
-                        self.n
-                    )));
+                let (need, stride) = self.model_output_layout(name, plan, *offset)?;
+                // Shadow validation: `data` still holds the host code's
+                // results; gather them through the same plan and score the
+                // model's values for the drawn samples — *before* the
+                // scatter overwrites the buffer with the surrogate results.
+                if let Some(sh) = &mut self.shadow {
+                    let n = self.n;
+                    let out = &self.scratch.out;
+                    let (res, ns) = timed(|| -> Result<()> {
+                        let mut reference = Tensor::default();
+                        plan.gather_batch_into(data, n, &mut reference)?;
+                        sh.compare(reference.data(), out.data(), stride, *offset, need);
+                        Ok(())
+                    });
+                    sh.shadow_ns += ns;
+                    res?;
                 }
                 let n = self.n;
                 let src = self.scratch.out.data();
@@ -789,30 +950,94 @@ impl SessionOutcome<'_, '_> {
                 res?;
             }
             PathTaken::Accurate => {
-                if self.session.region.db_path().is_some() {
+                // Fallback-served invocations *wanted* the surrogate; they
+                // run the host code for safety, not to collect training
+                // data — recording them would silently grow the db for
+                // every invocation of a sustained fallback period.
+                let collecting = !self.fallback && self.session.region.db_path().is_some();
+                if collecting || self.shadow.is_some() {
+                    // One gather serves both data collection and the
+                    // fallback recovery probe's reference values.
                     let mut gathered = Tensor::default();
                     let n = self.n;
                     let (res, ns) = timed(|| plan.gather_batch_into(data, n, &mut gathered));
-                    self.collection_ns += ns;
+                    if collecting {
+                        self.collection_ns += ns;
+                    }
                     res?;
-                    self.gathered_outputs.push((decl_index, gathered));
+                    let layout = self
+                        .shadow
+                        .is_some()
+                        .then(|| self.model_output_layout(name, plan, *offset))
+                        .transpose()?;
+                    if let (Some(sh), Some((need, stride))) = (self.shadow.as_mut(), layout) {
+                        let out = &self.scratch.out;
+                        let ((), cns) = timed(|| {
+                            sh.compare(gathered.data(), out.data(), stride, *offset, need)
+                        });
+                        sh.shadow_ns += cns;
+                    }
+                    if collecting {
+                        self.gathered_outputs.push((decl_index, gathered));
+                    }
                 }
             }
         }
         Ok(self)
     }
 
-    /// Finalize: persist collected data and fold timings into the region
-    /// stats. A batch of `n` records `n` collection rows — exactly what `n`
-    /// sequential one-shot invocations would have recorded. The scratch
-    /// buffers return to this thread for the next invocation when `self`
-    /// drops — including on error or early-drop paths.
-    pub fn finish(self) -> Result<PathTaken> {
+    /// Per-sample layout of `scratch.out` for one declared output: its
+    /// element count and the per-sample stride through the model output.
+    /// Errors when the model's production does not tile the batch.
+    fn model_output_layout(
+        &self,
+        name: &str,
+        plan: &CompiledMap,
+        offset: usize,
+    ) -> Result<(usize, usize)> {
+        let need = plan.numel();
+        let produced = self.scratch.out.numel();
+        // Per-sample stride through the model output: the forward pass
+        // stacks `n` per-sample outputs along the leading dim.
+        let stride = produced / self.n.max(1);
+        if !produced.is_multiple_of(self.n.max(1)) || stride < offset + need {
+            return Err(CoreError::Region(format!(
+                "region `{}`: model produced {produced} elements for a batch of {} \
+                 but output `{name}` needs {need} at per-sample offset {offset}",
+                self.session.region.name(),
+                self.n
+            )));
+        }
+        Ok((need, stride))
+    }
+
+    /// Finalize: persist collected data, feed any shadow-validation errors
+    /// into the fallback controller (recording their rows), and fold
+    /// timings into the region stats. A batch of `n` records `n` collection
+    /// rows — exactly what `n` sequential one-shot invocations would have
+    /// recorded. The scratch buffers return to this thread for the next
+    /// invocation when `self` drops — including on error or early-drop
+    /// paths.
+    pub fn finish(mut self) -> Result<PathTaken> {
         let path = self.path;
         let region = self.session.region;
         let n = self.n;
         let mut collection_ns = self.collection_ns;
-        if path == PathTaken::Accurate && region.db_path().is_some() {
+        if let Some(sh) = self.shadow.take() {
+            // Only samples whose outputs were actually compared feed the
+            // controller: a caller that never read an output on this
+            // invocation must not inject fabricated zero errors.
+            let errors: Vec<f64> = sh
+                .accs
+                .iter()
+                .filter(|a| a.compared())
+                .map(SampleError::finalize)
+                .collect();
+            if !errors.is_empty() {
+                region.observe_validation(&sh.v, sh.seq, &errors, sh.shadow_ns)?;
+            }
+        }
+        if path == PathTaken::Accurate && !self.fallback && region.db_path().is_some() {
             let core = &self.session.core;
             let inputs: Vec<(&str, &[usize], &[f32])> = (0..core.input_count())
                 .filter(|i| self.supplied & (1 << i) != 0)
@@ -841,6 +1066,9 @@ impl SessionOutcome<'_, '_> {
         }
         region.update_stats(|s| {
             s.invocations += n as u64;
+            if self.fallback {
+                s.fallback_invocations += n as u64;
+            }
             if path == PathTaken::Surrogate {
                 s.surrogate_invocations += n as u64;
                 s.batch_submitted += n as u64;

@@ -41,6 +41,23 @@ pub struct RegionStats {
     pub batch_submitted: u64,
     /// Surrogate forward passes executed — batch-occupancy denominator.
     pub batches_flushed: u64,
+    /// Logical invocations (samples) whose surrogate output was scored
+    /// against a shadow execution of the original host code.
+    pub validated_invocations: u64,
+    /// Time spent in shadow validation: the shadow host execution (or the
+    /// surrogate probe while fallen back), output gathering, and error
+    /// computation. Proportional to the policy's sample rate; **not**
+    /// included in `accurate_ns`/`inference_ns`.
+    pub validation_shadow_ns: u64,
+    /// Logical invocations that wanted the surrogate but were served by the
+    /// original host code instead (adaptive or forced fallback).
+    pub fallback_invocations: u64,
+    /// Times the fallback controller disabled the surrogate (rolling error
+    /// exceeded the policy's budget).
+    pub surrogate_disables: u64,
+    /// Times the controller re-enabled the surrogate after a recovered
+    /// window of probes.
+    pub surrogate_reenables: u64,
 }
 
 impl RegionStats {
@@ -65,6 +82,16 @@ impl RegionStats {
     /// of the inference engine").
     pub fn bridge_overhead_ratio(&self) -> f64 {
         (self.to_tensor_ns + self.from_tensor_ns) as f64 / self.inference_ns.max(1) as f64
+    }
+
+    /// Fraction of all logical invocations served by fallback host code
+    /// (the fig10 x-axis companion: 0.0 = surrogate throughout, 1.0 = the
+    /// controller pinned the region to the accurate path).
+    pub fn fallback_fraction(&self) -> f64 {
+        if self.invocations == 0 {
+            return 0.0;
+        }
+        self.fallback_invocations as f64 / self.invocations as f64
     }
 
     /// Mean samples per surrogate forward pass (batch occupancy). 1.0 means

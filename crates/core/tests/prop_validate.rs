@@ -1,0 +1,122 @@
+//! Property tests of the validation fallback controller's hysteresis: for
+//! random error sequences the surrogate is disabled **iff** the rolling
+//! metric exceeded the budget, and a re-enable never oscillates within one
+//! window of the disable (the hysteresis span), only firing once the
+//! rolling metric — by then composed entirely of post-disable probes — is
+//! back within budget.
+
+use hpacml_core::FallbackController;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Full transition-rule conformance against an independently tracked
+    /// rolling window, for random budgets, window lengths and error
+    /// sequences.
+    #[test]
+    fn controller_hysteresis_invariants(
+        budget in 0.05f64..1.0,
+        window in 1usize..6,
+        errs in proptest::collection::vec(0.0f64..2.0, 1..200),
+    ) {
+        let mut c = FallbackController::new(budget, window);
+        let mut win: VecDeque<f64> = VecDeque::new();
+        // Observations since the most recent disable (None while enabled).
+        let mut since_disable: Option<usize> = None;
+        let mut disables = 0u64;
+        let mut reenables = 0u64;
+        for (t, &e) in errs.iter().enumerate() {
+            let before = c.enabled();
+            let after = c.observe(e);
+            if win.len() == window {
+                win.pop_front();
+            }
+            win.push_back(e);
+            let rolling = win.iter().sum::<f64>() / win.len() as f64;
+            prop_assert!(
+                (c.rolling() - rolling).abs() < 1e-9,
+                "rolling mismatch at step {t}: {} vs {rolling}",
+                c.rolling()
+            );
+            if before {
+                // Disabled exactly when the rolling metric exceeds budget.
+                prop_assert_eq!(
+                    !after,
+                    rolling > budget,
+                    "step {}: enabled controller must disable iff rolling {} > budget {}",
+                    t, rolling, budget
+                );
+                if !after {
+                    since_disable = Some(0);
+                    disables += 1;
+                }
+            } else {
+                let since = since_disable.as_mut().expect("disabled implies a past disable");
+                *since += 1;
+                if after {
+                    // Re-enable never fires within one window of the
+                    // disable, and only with the window back under budget.
+                    prop_assert!(
+                        *since >= window,
+                        "step {t}: re-enabled after only {since} probes (window {window})"
+                    );
+                    prop_assert!(
+                        rolling <= budget,
+                        "step {t}: re-enabled with rolling {rolling} over budget {budget}"
+                    );
+                    since_disable = None;
+                    reenables += 1;
+                } else {
+                    // ...and conversely: once the hysteresis has elapsed and
+                    // the window has recovered, it must re-enable.
+                    prop_assert!(
+                        *since < window || rolling > budget,
+                        "step {t}: stayed disabled with {since} probes and rolling {rolling} \
+                         <= budget {budget}"
+                    );
+                }
+            }
+            prop_assert_eq!(c.transitions(), (disables, reenables));
+        }
+    }
+
+    /// Error streams that never approach the budget never disable the
+    /// surrogate — validation must be free when the model is good.
+    #[test]
+    fn in_budget_streams_never_disable(
+        budget in 0.5f64..1.0,
+        window in 1usize..8,
+        errs in proptest::collection::vec(0.0f64..0.45, 1..150),
+    ) {
+        let mut c = FallbackController::new(budget, window);
+        for &e in &errs {
+            prop_assert!(c.observe(e), "disabled by an in-budget error {e}");
+        }
+        prop_assert_eq!(c.transitions(), (0, 0));
+    }
+
+    /// A drift-then-recover stream always ends with the surrogate re-enabled
+    /// and exactly one disable/re-enable pair: the controller neither sticks
+    /// nor oscillates.
+    #[test]
+    fn drift_then_recovery_converges(
+        budget in 0.1f64..1.0,
+        window in 1usize..6,
+        drift_len in 1usize..10,
+    ) {
+        let mut c = FallbackController::new(budget, window);
+        for _ in 0..drift_len {
+            c.observe(budget * 3.0);
+        }
+        prop_assert!(!c.enabled(), "sustained drift must disable");
+        // A generous recovery run: the hysteresis window plus the window
+        // length again to flush the drift out of the rolling metric.
+        for _ in 0..2 * window + 1 {
+            c.observe(0.0);
+        }
+        prop_assert!(c.enabled(), "clean probes must re-enable");
+        prop_assert_eq!(c.transitions(), (1, 1));
+    }
+}

@@ -1,0 +1,151 @@
+//! Online validation and adaptive fallback, end to end: a deployed
+//! surrogate drifts off its training distribution, the runtime's shadow
+//! validation catches it, the region falls back to the original host code
+//! bit for bit, and when the inputs return to the trained regime the
+//! surrogate automatically re-enables.
+//!
+//! ```sh
+//! cargo run --release --example validated_inference
+//! ```
+
+use hpac_ml::core::{ErrorMetric, PathTaken, Region, ValidationPolicy};
+use hpac_ml::directive::sema::Bindings;
+use hpac_ml::nn::spec::{Activation, ModelSpec};
+
+/// The "application": y = sin(a) + cos(b) per sample, vectorized.
+fn host_kernel(xs: &[f32], ys: &mut [f32]) {
+    for (x, y) in xs.chunks_exact(2).zip(ys.iter_mut()) {
+        *y = x[0].sin() + x[1].cos();
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("hpacml-validated-inference");
+    std::fs::create_dir_all(&dir)?;
+    let model_path = dir.join("surrogate.hml");
+
+    // Train a tiny MLP surrogate of the kernel on [-1, 1]^2.
+    println!("training the surrogate on [-1, 1]^2 ...");
+    {
+        use hpac_ml::nn::{InMemoryDataset, Normalizer, TrainConfig};
+        use hpac_ml::tensor::Tensor;
+        let samples = 2048usize;
+        let mut seed = 9u64;
+        let mut unit = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let xs: Vec<f32> = (0..samples * 2).map(|_| unit()).collect();
+        let mut ys = vec![0.0f32; samples];
+        host_kernel(&xs, &mut ys);
+        let x = Tensor::from_vec(xs, [samples, 2])?;
+        let y = Tensor::from_vec(ys, [samples, 1])?;
+        let spec = ModelSpec::mlp(2, &[32, 16], 1, Activation::Tanh, 0.0);
+        let mut model = spec.build(3)?;
+        let in_norm = Normalizer::fit(&x, hpac_ml::nn::data::NormAxis::PerFeature)?;
+        let out_norm = Normalizer::fit(&y, hpac_ml::nn::data::NormAxis::PerFeature)?;
+        let ds = InMemoryDataset::new(in_norm.transform(&x), out_norm.transform(&y))?;
+        hpac_ml::nn::train(
+            &mut model,
+            &ds,
+            None,
+            &TrainConfig {
+                epochs: 60,
+                batch_size: 128,
+                seed: 5,
+                ..Default::default()
+            },
+        )?;
+        hpac_ml::nn::serialize::save_model(
+            &model_path,
+            &spec,
+            &mut model,
+            Some(&in_norm),
+            Some(&out_norm),
+        )?;
+    }
+
+    // Deploy it behind an annotated region with a validation policy:
+    // shadow-validate every 4th invocation under RMSE, budget 0.35 (between the
+    // model's in-distribution error ~0.16 and its drifted error ~1.2),
+    // window 4 (the hysteresis span).
+    let region = Region::from_source(
+        "kernel",
+        &format!(
+            r#"
+            #pragma approx tensor functor(rows: [i, 0:2] = ([2*i : 2*i+2]))
+            #pragma approx tensor functor(single: [i, 0:1] = ([i]))
+            #pragma approx tensor map(to: rows(x[0:N]))
+            #pragma approx ml(infer) in(x) out(single(y[0:N])) model("{}")
+            "#,
+            model_path.display()
+        ),
+    )?;
+    region.set_validation_policy(
+        ValidationPolicy::new(ErrorMetric::Rmse, 0.35)
+            .with_sample_rate(4)
+            .with_window(4)
+            .with_batch_samples(0),
+    )?;
+
+    let batch = 32usize;
+    let binds = Bindings::new().with("N", 1);
+    let session = region.session(&binds, &[("x", &[2]), ("y", &[1])], batch)?;
+
+    // Three traffic phases: in-distribution, drifted (inputs scaled 6x, far
+    // outside the trained range), back in-distribution.
+    let phases = [
+        ("in-distribution", 1.0f32, 24usize),
+        ("drifted (6x out of range)", 6.0, 24),
+        ("recovered", 1.0, 24),
+    ];
+    let mut step = 0u64;
+    for (label, scale, invocations) in phases {
+        let mut surrogate_served = 0usize;
+        for _ in 0..invocations {
+            let xs: Vec<f32> = (0..batch * 2)
+                .map(|k| {
+                    step += 1;
+                    scale * ((step as f32 * 0.61 + k as f32 * 0.17).sin())
+                })
+                .collect();
+            let mut ys = vec![0.0f32; batch];
+            let chunk = &mut ys[..];
+            let mut out = session
+                .invoke_batch(batch)?
+                .input("x", &xs)?
+                .run(|| host_kernel(&xs, chunk))?;
+            out.output("y", chunk)?;
+            if out.finish()? == PathTaken::Surrogate {
+                surrogate_served += 1;
+            }
+        }
+        println!(
+            "{label:<26} surrogate served {surrogate_served:>2}/{invocations} invocations, \
+             rolling error {:.4}, surrogate_active = {}",
+            region.validation_rolling_error().unwrap_or(0.0),
+            region.surrogate_active()
+        );
+    }
+
+    let s = region.stats();
+    println!(
+        "\nstats: {} invocations, {} validated samples, {} fallback-served, \
+         {} disable(s), {} re-enable(s)",
+        s.invocations,
+        s.validated_invocations,
+        s.fallback_invocations,
+        s.surrogate_disables,
+        s.surrogate_reenables
+    );
+    assert!(
+        s.surrogate_disables >= 1,
+        "the drift phase must trip fallback"
+    );
+    assert!(
+        s.surrogate_reenables >= 1,
+        "the recovery phase must re-enable the surrogate"
+    );
+    println!("\nThe drift was caught online and the region healed itself.");
+    Ok(())
+}
