@@ -12,12 +12,14 @@ use crate::Result;
 use hpacml_directive::ast::{Direction, MapDirective};
 use hpacml_directive::sema::{Bindings, FunctorInfo};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Cache key: everything a plan's compilation depends on.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Cache key: everything a plan's compilation depends on. `Ord` because the
+/// cache is a `BTreeMap` — bridge-layer data structures keep deterministic
+/// walk order (hpacml-lint `no-hash-collections`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PlanKey {
     pub array: String,
     pub direction: Direction,
@@ -40,7 +42,7 @@ impl PlanKey {
 /// Thread-safe memoization of [`compile`] with hit/miss accounting.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: RwLock<HashMap<PlanKey, Arc<CompiledMap>>>,
+    plans: RwLock<BTreeMap<PlanKey, Arc<CompiledMap>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }

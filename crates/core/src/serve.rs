@@ -65,7 +65,8 @@ use crate::timing::timed;
 use crate::validate::SampleError;
 use crate::{CoreError, Result};
 use hpacml_directive::ast::MlMode;
-use std::sync::{Arc, Condvar, Mutex};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A whole-batch host-code fallback: `(n, staged_inputs, outputs)`, where
@@ -206,12 +207,7 @@ impl<'s, 'r> BatchServer<'s, 'r> {
     /// Samples currently staged in the forming batch (observability and
     /// test hooks; racy by nature).
     pub fn pending(&self) -> usize {
-        self.state
-            .lock()
-            .expect("server state poisoned")
-            .forming
-            .as_ref()
-            .map_or(0, |f| f.n)
+        self.state.lock().forming.as_ref().map_or(0, |f| f.n)
     }
 
     /// Stop accepting submissions: the forming batch (if any) is flushed
@@ -220,7 +216,7 @@ impl<'s, 'r> BatchServer<'s, 'r> {
     /// Idempotent.
     pub fn shutdown(&self) {
         let forming = {
-            let mut st = self.state.lock().expect("server state poisoned");
+            let mut st = self.state.lock();
             st.shutdown = true;
             st.forming.take()
         };
@@ -295,7 +291,7 @@ impl<'s, 'r> BatchServer<'s, 'r> {
     /// lock, so a closed batch is always fully staged. Rejected once the
     /// server is shut down.
     fn stage(&self, inputs: &[&[f32]]) -> Result<(Arc<Cell>, usize, Role)> {
-        let mut st = self.state.lock().expect("server state poisoned");
+        let mut st = self.state.lock();
         if st.shutdown {
             return Err(CoreError::Region(format!(
                 "region `{}`: BatchServer is shut down; submission rejected",
@@ -336,7 +332,7 @@ impl<'s, 'r> BatchServer<'s, 'r> {
     /// Leader protocol: wait (bounded) for the batch to fill; if the
     /// deadline passes while the batch is still ours, close and execute it.
     fn lead(&self, cell: &Arc<Cell>, deadline: Instant) {
-        let mut st = self.state.lock().expect("server state poisoned");
+        let mut st = self.state.lock();
         loop {
             let still_ours = st
                 .forming
@@ -352,11 +348,7 @@ impl<'s, 'r> BatchServer<'s, 'r> {
                 self.execute(f);
                 return;
             }
-            let (guard, _timeout) = self
-                .leader_cv
-                .wait_timeout(st, deadline - now)
-                .expect("server state poisoned");
-            st = guard;
+            self.leader_cv.wait_for(&mut st, deadline - now);
         }
     }
 
@@ -528,12 +520,12 @@ impl<'s, 'r> BatchServer<'s, 'r> {
         // Publish before any other locking: once the pass has an outcome,
         // nothing may stand between it and the waiting members.
         {
-            let mut done = f.cell.done.lock().expect("batch cell poisoned");
+            let mut done = f.cell.done.lock();
             *done = Some(result.map(Arc::new).map_err(|e| e.to_string()));
             f.cell.cv.notify_all();
         }
 
-        let mut st = self.state.lock().expect("server state poisoned");
+        let mut st = self.state.lock();
         let mut staging = f.staging;
         for b in &mut staging {
             b.clear();
@@ -546,9 +538,9 @@ impl<'s, 'r> BatchServer<'s, 'r> {
     /// before copying — all members of a batch copy their slices in parallel.
     fn collect(&self, cell: &Arc<Cell>, slot: usize, outputs: &mut [&mut [f32]]) -> Result<()> {
         let outcome = {
-            let mut done = cell.done.lock().expect("batch cell poisoned");
+            let mut done = cell.done.lock();
             while done.is_none() {
-                done = cell.cv.wait(done).expect("batch cell poisoned");
+                cell.cv.wait(&mut done);
             }
             done.as_ref().expect("checked above").clone()
         };

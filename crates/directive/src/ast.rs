@@ -187,7 +187,7 @@ pub struct FunctorDecl {
 }
 
 /// Data-movement direction of a tensor map.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Direction {
     /// Application memory → tensor space (region inputs).
     To,

@@ -1,0 +1,4 @@
+// Lint fixture (never compiled): a bare allow attribute.
+/// Doc comments describe the item, not the waiver, so this still fires.
+#[allow(dead_code)]
+pub fn helper() {}

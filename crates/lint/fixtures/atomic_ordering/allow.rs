@@ -1,0 +1,11 @@
+// Lint fixture (never compiled): explicit orderings and the escape hatch.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn bump_wrapped(c: &AtomicU64) -> u64 {
+    // lint: allow(atomic-ordering) — test shim mirrors a vendored API that hides ordering
+    c.fetch_add(1, Relaxed)
+}

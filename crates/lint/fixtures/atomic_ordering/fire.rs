@@ -1,0 +1,7 @@
+// Lint fixture (never compiled): hidden atomic orderings.
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::atomic::AtomicU64;
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Relaxed)
+}

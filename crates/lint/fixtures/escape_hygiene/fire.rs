@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): malformed escapes are themselves findings.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for k in 0..a.len() {
+        // lint: allow(no-fma)
+        acc = a[k].mul_add(b[k], acc);
+    }
+    // lint: allow(no-such-rule) — the rule id does not exist
+    acc
+}

@@ -1,0 +1,25 @@
+// Lint fixture (never compiled): waits that hand over the guard are fine.
+use parking_lot::{Condvar, Mutex};
+
+pub fn wait_properly(m: &Mutex<u32>, cv: &Condvar) -> u32 {
+    let mut g = m.lock();
+    while *g == 0 {
+        cv.wait(&mut g);
+    }
+    *g
+}
+
+pub fn scoped_then_block(m: &Mutex<u32>, rx: &std::sync::mpsc::Receiver<u32>) -> u32 {
+    {
+        let mut g = m.lock();
+        *g += 1;
+    }
+    rx.recv().unwrap()
+}
+
+pub fn escape_hatch(m: &Mutex<u32>, rx: &std::sync::mpsc::Receiver<u32>) -> u32 {
+    let g = m.lock();
+    // lint: allow(lock-across-wait) — bounded recv with a 0ms timeout; cannot park
+    let v = rx.recv().unwrap();
+    *g + v
+}

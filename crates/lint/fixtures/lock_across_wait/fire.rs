@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): guard held across unrelated blocking calls.
+use parking_lot::Mutex;
+
+pub fn drain(m: &Mutex<u32>, rx: &std::sync::mpsc::Receiver<u32>) -> u32 {
+    let g = m.lock();
+    let v = rx.recv().unwrap();
+    *g + v
+}
+
+pub fn park_elsewhere(m: &Mutex<u32>, cell: &super::Cell) {
+    let mut g = m.lock();
+    let mut done = cell.done_guard();
+    cell.cv.wait(&mut done);
+    *g += 1;
+}

@@ -1,0 +1,9 @@
+// Lint fixture (never compiled): the escape hatch suppresses the finding.
+pub fn dot_reference(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for k in 0..a.len() {
+        // lint: allow(no-fma) — reference path used only to bound FMA drift in tests
+        acc = a[k].mul_add(b[k], acc);
+    }
+    acc
+}

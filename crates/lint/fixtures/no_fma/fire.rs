@@ -1,0 +1,8 @@
+// Lint fixture (never compiled): FMA contraction in kernel code.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for k in 0..a.len() {
+        acc = a[k].mul_add(b[k], acc);
+    }
+    acc
+}

@@ -1,0 +1,8 @@
+// Lint fixture (never compiled): escape hatch.
+// lint: allow(no-hash-collections) — never iterated; keyed lookups only, audited
+use std::collections::HashMap;
+
+pub struct Cache {
+    // lint: allow(no-hash-collections) — never iterated; keyed lookups only, audited
+    entries: HashMap<String, Vec<f32>>,
+}

@@ -1,0 +1,6 @@
+// Lint fixture (never compiled): randomized iteration order in kernel code.
+use std::collections::HashMap;
+
+pub struct Cache {
+    entries: HashMap<String, Vec<f32>>,
+}

@@ -1,0 +1,5 @@
+// Lint fixture (never compiled): escape hatch.
+pub fn peek(p: *const f32) -> f32 {
+    // lint: allow(no-unsafe) — FFI shim audited in PR review; p is non-null by contract
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+// Lint fixture (never compiled): unsafe outside the allowlist.
+pub fn peek(p: *const f32) -> f32 {
+    unsafe { *p }
+}

@@ -1,0 +1,9 @@
+// Lint fixture (never compiled): escape hatch on every wall-clock mention.
+// lint: allow(no-wall-clock) — timing feeds stats only, never kernel control flow
+use std::time::Instant;
+
+pub fn forward_timed() -> u128 {
+    // lint: allow(no-wall-clock) — timing feeds stats only, never kernel control flow
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,7 @@
+// Lint fixture (never compiled): wall-clock read in kernel code.
+use std::time::Instant;
+
+pub fn forward_timed() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,4 @@
+// Lint fixture (never compiled): allowed unsafe without a SAFETY comment.
+pub fn split(base: *mut f32, at: usize) -> *mut f32 {
+    unsafe { base.add(at) }
+}

@@ -1,0 +1,8 @@
+// Lint fixture (never compiled): escape hatch.
+// lint: allow(std-sync-lock) — poisoning semantics are under test here, on purpose
+use std::sync::{Condvar, Mutex};
+
+pub struct Cell {
+    done: Mutex<Option<u32>>,
+    cv: Condvar,
+}

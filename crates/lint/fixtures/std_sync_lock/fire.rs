@@ -1,0 +1,7 @@
+// Lint fixture (never compiled): std locks where parking_lot is standard.
+use std::sync::{Condvar, Mutex};
+
+pub struct Cell {
+    done: Mutex<Option<u32>>,
+    cv: Condvar,
+}

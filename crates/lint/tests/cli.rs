@@ -1,0 +1,88 @@
+//! End-to-end checks of the `hpacml-lint` binary: exit codes, `--rules`
+//! selection, `--json` output shape, and usage errors.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hpacml-lint"))
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    hpacml_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint")
+}
+
+#[test]
+fn workspace_run_is_clean_and_exits_zero() {
+    let out = bin()
+        .arg("--workspace")
+        .current_dir(workspace_root())
+        .output()
+        .expect("run hpacml-lint");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "expected exit 0, got {:?}\nstdout: {}\nstderr: {stderr}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+    );
+    assert!(stderr.contains("0 finding(s)"), "stderr: {stderr}");
+}
+
+#[test]
+fn findings_exit_nonzero_and_print_file_line_rule() {
+    // `no-unsafe` applies to any path outside the allowlist, so linting the
+    // fixture by explicit path produces a real finding and exit code 1.
+    let out = bin()
+        .args(["--rules", "no-unsafe"])
+        .arg("crates/lint/fixtures/no_unsafe/fire.rs")
+        .current_dir(workspace_root())
+        .output()
+        .expect("run hpacml-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.lines().next().expect("one finding line");
+    assert!(
+        line.starts_with("crates/lint/fixtures/no_unsafe/fire.rs:") && line.contains("no-unsafe"),
+        "finding format `file:line: rule — message` expected, got: {line}"
+    );
+}
+
+#[test]
+fn json_mode_emits_an_array() {
+    let out = bin()
+        .args(["--workspace", "--json"])
+        .current_dir(workspace_root())
+        .output()
+        .expect("run hpacml-lint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let trimmed = stdout.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "expected a JSON array, got: {trimmed}"
+    );
+}
+
+#[test]
+fn unknown_rule_is_a_usage_error() {
+    let out = bin()
+        .args(["--workspace", "--rules", "no-such-rule"])
+        .current_dir(workspace_root())
+        .output()
+        .expect("run hpacml-lint");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-such-rule"), "stderr: {stderr}");
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = bin().arg("--list-rules").output().expect("run hpacml-lint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in hpacml_lint::all_rules() {
+        assert!(stdout.contains(&rule), "missing {rule} in --list-rules");
+    }
+}

@@ -1,0 +1,242 @@
+//! Every shipped rule has a fixture proving it fires on a known-bad snippet
+//! and a fixture proving its documented escape hatch (or native fix)
+//! suppresses it. Fixtures live in `fixtures/` and are never compiled; the
+//! pseudo-paths below place each one in the scope its rule polices.
+
+use hpacml_lint::{all_rules, analyze_source, Finding};
+
+fn lint(pseudo_path: &str, src: &str) -> Vec<Finding> {
+    analyze_source(pseudo_path, src, &all_rules())
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn no_fma_fires_in_kernel_code() {
+    let f = lint(
+        "crates/tensor/src/fixture.rs",
+        include_str!("../fixtures/no_fma/fire.rs"),
+    );
+    assert_eq!(rules_of(&f), ["no-fma"], "{f:?}");
+    assert_eq!(f[0].line, 5);
+}
+
+#[test]
+fn no_fma_escape_hatch_suppresses() {
+    let f = lint(
+        "crates/tensor/src/fixture.rs",
+        include_str!("../fixtures/no_fma/allow.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn no_fma_is_scoped_to_kernel_crates() {
+    // The same bad snippet outside tensor/nn/bridge src is not kernel code.
+    let f = lint(
+        "crates/apps/src/fixture.rs",
+        include_str!("../fixtures/no_fma/fire.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn no_wall_clock_fires_on_instant_and_import() {
+    let f = lint(
+        "crates/nn/src/fixture.rs",
+        include_str!("../fixtures/no_wall_clock/fire.rs"),
+    );
+    assert_eq!(rules_of(&f), ["no-wall-clock", "no-wall-clock"], "{f:?}");
+}
+
+#[test]
+fn no_wall_clock_escape_hatch_suppresses() {
+    let f = lint(
+        "crates/nn/src/fixture.rs",
+        include_str!("../fixtures/no_wall_clock/allow.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn no_hash_collections_fires() {
+    let f = lint(
+        "crates/bridge/src/fixture.rs",
+        include_str!("../fixtures/no_hash_collections/fire.rs"),
+    );
+    assert_eq!(
+        rules_of(&f),
+        ["no-hash-collections", "no-hash-collections"],
+        "{f:?}"
+    );
+}
+
+#[test]
+fn no_hash_collections_escape_hatch_suppresses() {
+    let f = lint(
+        "crates/bridge/src/fixture.rs",
+        include_str!("../fixtures/no_hash_collections/allow.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn no_unsafe_fires_outside_allowlist() {
+    let f = lint(
+        "crates/store/src/fixture.rs",
+        include_str!("../fixtures/no_unsafe/fire.rs"),
+    );
+    assert_eq!(rules_of(&f), ["no-unsafe"], "{f:?}");
+}
+
+#[test]
+fn no_unsafe_escape_hatch_suppresses() {
+    let f = lint(
+        "crates/store/src/fixture.rs",
+        include_str!("../fixtures/no_unsafe/allow.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn safety_comment_fires_on_undocumented_allowed_unsafe() {
+    // Same snippet, but inside the allowlist: `no-unsafe` stays quiet and
+    // the audit rule demands a SAFETY comment instead.
+    let f = lint(
+        "crates/par/src/fixture.rs",
+        include_str!("../fixtures/safety_comment/fire.rs"),
+    );
+    assert_eq!(rules_of(&f), ["safety-comment"], "{f:?}");
+}
+
+#[test]
+fn safety_comment_satisfied_by_safety_comments() {
+    // Includes the statement-continuation case: `let x: T =` on one line,
+    // `unsafe { … }` on the next, SAFETY above the `let`.
+    let f = lint(
+        "crates/par/src/fixture.rs",
+        include_str!("../fixtures/safety_comment/allow.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn atomic_ordering_fires_on_bare_variant_and_variant_import() {
+    let f = lint(
+        "crates/store/src/fixture.rs",
+        include_str!("../fixtures/atomic_ordering/fire.rs"),
+    );
+    assert_eq!(
+        rules_of(&f),
+        ["atomic-ordering", "atomic-ordering"],
+        "{f:?}"
+    );
+}
+
+#[test]
+fn atomic_ordering_explicit_spelling_and_escape_pass() {
+    let f = lint(
+        "crates/store/src/fixture.rs",
+        include_str!("../fixtures/atomic_ordering/allow.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn std_sync_lock_fires_on_brace_imports() {
+    let f = lint(
+        "crates/search/src/fixture.rs",
+        include_str!("../fixtures/std_sync_lock/fire.rs"),
+    );
+    assert_eq!(rules_of(&f), ["std-sync-lock", "std-sync-lock"], "{f:?}");
+}
+
+#[test]
+fn std_sync_lock_escape_hatch_suppresses() {
+    let f = lint(
+        "crates/search/src/fixture.rs",
+        include_str!("../fixtures/std_sync_lock/allow.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn lock_across_wait_fires_on_recv_and_foreign_wait() {
+    let f = lint(
+        "crates/core/src/serve_fixture.rs",
+        include_str!("../fixtures/lock_across_wait/fire.rs"),
+    );
+    assert_eq!(
+        rules_of(&f),
+        ["lock-across-wait", "lock-across-wait"],
+        "{f:?}"
+    );
+}
+
+#[test]
+fn lock_across_wait_guard_handover_and_scoping_pass() {
+    let f = lint(
+        "crates/core/src/serve_fixture.rs",
+        include_str!("../fixtures/lock_across_wait/allow.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn lock_across_wait_is_scoped_to_core() {
+    let f = lint(
+        "crates/apps/src/fixture.rs",
+        include_str!("../fixtures/lock_across_wait/fire.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn allow_justification_fires_without_adjacent_comment() {
+    let f = lint(
+        "crates/apps/src/fixture.rs",
+        include_str!("../fixtures/allow_justification/fire.rs"),
+    );
+    assert_eq!(rules_of(&f), ["allow-justification"], "{f:?}");
+}
+
+#[test]
+fn allow_justification_accepts_preceding_or_trailing_comment() {
+    let f = lint(
+        "crates/apps/src/fixture.rs",
+        include_str!("../fixtures/allow_justification/allow.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn reasonless_escape_keeps_finding_and_flags_the_escape() {
+    let f = lint(
+        "crates/tensor/src/fixture.rs",
+        include_str!("../fixtures/escape_hygiene/fire.rs"),
+    );
+    // The escape without a justification does NOT suppress `no-fma`, and
+    // both malformed escapes are findings in their own right (line order).
+    assert_eq!(
+        rules_of(&f),
+        ["escape-hygiene", "no-fma", "escape-hygiene"],
+        "{f:?}"
+    );
+    assert!(f[0].message.contains("without a justification"), "{f:?}");
+    assert!(f[2].message.contains("unknown rule"), "{f:?}");
+}
+
+#[test]
+fn rule_selection_restricts_the_run() {
+    let only = hpacml_lint::parse_rules("no-unsafe").unwrap();
+    let f = analyze_source(
+        "crates/store/src/fixture.rs",
+        include_str!("../fixtures/atomic_ordering/fire.rs"),
+        &only,
+    );
+    assert!(f.is_empty(), "{f:?}");
+    assert!(hpacml_lint::parse_rules("no-such-rule").is_err());
+    assert!(hpacml_lint::parse_rules("").is_err());
+}

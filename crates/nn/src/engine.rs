@@ -10,21 +10,24 @@ use crate::serialize::{load_model, SavedModel};
 use crate::Result;
 use hpacml_tensor::Tensor;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Model cache + inference entry point.
 pub struct InferenceEngine {
-    cache: RwLock<HashMap<PathBuf, Arc<SavedModel>>>,
+    // BTreeMap, not HashMap: kernel-layer crates keep every data structure's
+    // walk order deterministic (hpacml-lint `no-hash-collections`), and a
+    // path-keyed model cache is lookup-dominated anyway.
+    cache: RwLock<BTreeMap<PathBuf, Arc<SavedModel>>>,
     loads: AtomicU64,
 }
 
 impl InferenceEngine {
     pub fn new() -> Self {
         InferenceEngine {
-            cache: RwLock::new(HashMap::new()),
+            cache: RwLock::new(BTreeMap::new()),
             loads: AtomicU64::new(0),
         }
     }

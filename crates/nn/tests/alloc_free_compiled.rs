@@ -28,18 +28,27 @@ fn count_if_tracking() {
     });
 }
 
+// SAFETY: a pass-through `GlobalAlloc`: every method delegates to `System`
+// under the caller's own contract, and the thread-local counting on the side
+// never allocates (const-initialized cells) and never touches the layout.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same layout contract as `System.alloc`, to which this delegates.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count_if_tracking();
+        // SAFETY: `layout` is forwarded unchanged from our caller.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same ptr/layout contract as `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from `System.alloc` via the method above.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: same contract as `System.realloc`, to which this delegates.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         count_if_tracking();
+        // SAFETY: `ptr`/`layout`/`new_size` are forwarded unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -17,7 +17,12 @@ use std::sync::{Arc, OnceLock};
 /// closure makes concurrent invocation sound; the raw pointer itself is made
 /// `Send + Sync` here because those invariants are upheld by construction.
 struct TaskPtr(*const (dyn Fn(Range<usize>) + Sync));
+// SAFETY: see the type-level safety contract above — the pointee outlives
+// every job that dereferences it (completion barrier), so sending the
+// pointer to worker threads is sound.
 unsafe impl Send for TaskPtr {}
+// SAFETY: the pointee is `Sync`, so shared `&TaskPtr` access (concurrent
+// invocation from many workers) is sound; see the contract above.
 unsafe impl Sync for TaskPtr {}
 
 struct Job {
@@ -43,6 +48,10 @@ impl Job {
                 return;
             }
             let stop = (start + self.grain).min(self.end);
+            // SAFETY: the pointee is live for the whole job — the caller of
+            // `parallel_for` blocks on the completion barrier (`remaining ==
+            // 0`) before its frame (which owns the closure) can end, and this
+            // drain loop only runs between dispatch and that barrier.
             let task = unsafe { &*self.task.0 };
             let res = catch_unwind(AssertUnwindSafe(|| task(start..stop)));
             if res.is_err() {

@@ -423,6 +423,8 @@ pub enum BSource<'a, T: Scalar> {
 ///
 /// Every `acc[i][j]` is one add-chain in ascending `kk` — the determinism
 /// contract of the module.
+// allow: GEMM kernel plumbing — dims, panel slices and strides stay
+// individual scalars so they live in registers through the tile loops.
 #[allow(clippy::too_many_arguments)]
 #[inline(never)] // keep the hot loop a small, standalone optimization unit:
                  // inlined into the (large) macro-kernel, LLVM runs out of unroll budget,
@@ -514,6 +516,8 @@ fn micro_tile<T: Scalar, const M: usize>(
 
 /// Scalar fallback for the ragged last panel of an unpacked `B`: one
 /// ascending-`k` chain per element, bit-identical to [`micro_tile`].
+// allow: GEMM kernel plumbing — dims, panel slices and strides stay
+// individual scalars so they live in registers through the tile loops.
 #[allow(clippy::too_many_arguments)]
 #[inline(never)]
 fn tail_cols<T: Scalar>(
@@ -572,6 +576,8 @@ pub fn gemm_into<T: Scalar>(
 /// `kc`"). `c` must be a row-major `[m, n]` slice; every element is
 /// overwritten. Panics on operand/size mismatches (callers validate
 /// shapes; the tensor-level wrappers return errors instead).
+// allow: GEMM kernel plumbing — dims, panel slices and strides stay
+// individual scalars so they live in registers through the tile loops.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_into_kc<T: Scalar>(
     m: usize,
@@ -621,6 +627,8 @@ pub fn gemm_into_kc<T: Scalar>(
 
 /// Compute one C row-stripe (`row0 ..` covering `stripe.len() / n` rows),
 /// walking `k` in `kc`-deep slabs and `n` in `NR`-wide panels.
+// allow: GEMM kernel plumbing — dims, panel slices and strides stay
+// individual scalars so they live in registers through the tile loops.
 #[allow(clippy::too_many_arguments)]
 fn stripe_body<T: Scalar>(
     row0: usize,
@@ -735,6 +743,8 @@ fn stripe_body<T: Scalar>(
 }
 
 /// Sweep the `NR`-wide column panels of one `M`-row block.
+// allow: GEMM kernel plumbing — dims, panel slices and strides stay
+// individual scalars so they live in registers through the tile loops.
 #[allow(clippy::too_many_arguments)]
 fn panel_sweep<T: Scalar, const M: usize>(
     a: &[T],

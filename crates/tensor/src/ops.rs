@@ -514,6 +514,8 @@ pub fn conv2d_fused_into<T: Scalar + WithScratch>(
 /// input row scaled by one weight — a vectorizable `axpy` with the padding
 /// handled by span clipping instead of per-pixel branches. A fused
 /// activation is applied per filter plane while it is still cache-hot.
+// allow: conv kernel plumbing — every dim/stride is an individually hot
+// scalar the optimizer keeps in registers; a params struct defeats that.
 #[allow(clippy::too_many_arguments)]
 fn conv2d_sample_direct_s1<T: Scalar>(
     inp: &[T],

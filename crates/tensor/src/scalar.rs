@@ -33,7 +33,9 @@ pub trait Scalar:
         Self::from_f64(x as f64)
     }
 
-    fn mul_add(self, a: Self, b: Self) -> Self;
+    // No `mul_add` here on purpose: FMA contraction changes result bits per
+    // target, and every kernel keeps plain `a * b + c` accumulator chains
+    // (enforced by hpacml-lint's `no-fma` rule).
     fn sqrt(self) -> Self;
     fn exp(self) -> Self;
     fn ln(self) -> Self;
@@ -106,10 +108,6 @@ macro_rules! impl_scalar {
             #[inline(always)]
             fn to_f64(self) -> f64 {
                 self as f64
-            }
-            #[inline(always)]
-            fn mul_add(self, a: Self, b: Self) -> Self {
-                <$t>::mul_add(self, a, b)
             }
             #[inline(always)]
             fn sqrt(self) -> Self {

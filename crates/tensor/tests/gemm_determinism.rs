@@ -21,8 +21,11 @@ static INIT: Once = Once::new();
 /// body touches `hpacml_par` (the pool is built on first use).
 fn setup() {
     INIT.call_once(|| {
-        // Safe: called before the pool (the only reader) initializes, and
-        // test bodies synchronize on the `Once`.
+        // SAFETY: single-threaded at this point — called before the pool
+        // (the only reader) initializes, and test bodies synchronize on the
+        // `Once`. The `unsafe` is required: `set_var` is unsafe from edition
+        // 2024 and warns without it under `-D warnings`.
+        // lint: allow(no-unsafe) — one pre-pool `set_var`; justified above
         unsafe { std::env::set_var("HPACML_THREADS", "8") };
     });
 }

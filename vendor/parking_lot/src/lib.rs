@@ -107,12 +107,38 @@ impl Condvar {
         );
     }
 
+    /// Bounded wait, parking_lot style: takes the guard by `&mut` and
+    /// reports whether the timeout elapsed.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard taken during wait");
+        let (g, res) = self
+            .inner
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(ss::PoisonError::into_inner);
+        guard.inner = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
     pub fn notify_one(&self) {
         self.inner.notify_one();
     }
 
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Result of [`Condvar::wait_for`]: whether the wait ended by timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
