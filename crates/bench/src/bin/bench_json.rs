@@ -10,8 +10,14 @@
 //! ```sh
 //! cargo run --release -p hpacml-bench --bin bench_json [-- --out PATH] \
 //!     [--assert-ratio R] [--assert-mlp-speedup S] \
-//!     [--assert-validate-overhead-pct P] [--retries N]
+//!     [--assert-validate-overhead-pct P] \
+//!     [--assert-parallel-speedup X] [--retries N]
 //! ```
+//!
+//! `--assert-parallel-speedup X` gates `nn.mlp_parallel_speedup` — the
+//! same-process 1-thread vs 8-thread MLP forward ratio — at
+//! `min(X, 0.9 * host_cores)`, so the bar is the full `X` on the 8-core
+//! acceptance host and degrades gracefully on narrower CI containers.
 //!
 //! `--retries N` re-runs the whole measurement up to `N` times and keeps the
 //! first attempt that clears every requested gate (best-of-N) — wall-clock
@@ -65,6 +71,17 @@ struct Measured {
     batch_ratio: f64,
     mlp_speedup: f64,
     cnn_speedup: f64,
+    /// 1-thread over 8-thread wall time for the w128/batch-1024 MLP
+    /// forward, both measured in this process via `with_pool`.
+    mlp_parallel_speedup: f64,
+    /// Fraction of the 8-thread run's chunks executed by a non-owner
+    /// participant (work that actually migrated).
+    par_steal_ratio: f64,
+    /// Mean active participants per dispatched job, normalized to [0, 1].
+    par_occupancy: f64,
+    /// `available_parallelism()` of the measuring host — the parallel gate
+    /// scales with this, since a 1-core container cannot show 3x.
+    host_cores: usize,
     /// Shadow-validation overhead at sample rate 1/16, in percent of the
     /// unvalidated compiled-session per-invocation time.
     validate_overhead_pct: f64,
@@ -150,6 +167,40 @@ fn run_once() -> Measured {
         black_box(fw.forward(&mlp, black_box(&x)).unwrap());
     });
     entries.push(("nn.mlp_w128_batch1024_forward_ns".into(), mlp_ns));
+
+    // --- Parallel forward: pool width as a runtime variable, one binary ---
+    // Both numbers come from the *same process* via `with_pool`, so the
+    // speedup is purely a scheduling effect — no build or env difference.
+    // `Pool::new(0)` is the caller-only (1 total thread) serial baseline;
+    // `Pool::new(7)` is 7 workers + caller = the 8-thread configuration the
+    // acceptance bar names. On hosts with fewer cores the 8-thread pool
+    // oversubscribes, which is why the gate below scales with host_cores.
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool1 = hpacml_par::Pool::new(0);
+    let mlp_1t_ns = hpacml_par::with_pool(&pool1, || {
+        let mut ws = ForwardWorkspace::new();
+        ws.reserve(&mlp, x.dims()).unwrap();
+        ws.forward(&mlp, &x).unwrap();
+        measure(samples, 10, || {
+            black_box(ws.forward(&mlp, black_box(&x)).unwrap());
+        })
+    });
+    entries.push(("nn.mlp_forward_1t_ns".into(), mlp_1t_ns));
+    let pool8 = hpacml_par::Pool::new(7);
+    let (mlp_8t_ns, pstats) = hpacml_par::with_pool(&pool8, || {
+        let mut ws = ForwardWorkspace::new();
+        ws.reserve(&mlp, x.dims()).unwrap();
+        ws.forward(&mlp, &x).unwrap();
+        let base = pool8.stats();
+        let ns = measure(samples, 10, || {
+            black_box(ws.forward(&mlp, black_box(&x)).unwrap());
+        });
+        (ns, pool8.stats().delta_since(&base))
+    });
+    entries.push(("nn.mlp_forward_8t_ns".into(), mlp_8t_ns));
+    entries.push(("par.host_cores".into(), host_cores as u64));
     let mut cnn = ModelSpec::new(
         vec![4, 24, 48],
         vec![
@@ -350,6 +401,10 @@ fn run_once() -> Measured {
         batch_ratio: seq64 as f64 / batch64_per_sample as f64,
         mlp_speedup: SEED_MLP_FORWARD_NS as f64 / mlp_ns.max(1) as f64,
         cnn_speedup: SEED_CNN_FORWARD_NS as f64 / cnn_ns.max(1) as f64,
+        mlp_parallel_speedup: mlp_1t_ns as f64 / mlp_8t_ns.max(1) as f64,
+        par_steal_ratio: pstats.steal_ratio(),
+        par_occupancy: pstats.occupancy(),
+        host_cores,
         validate_overhead_pct,
         overhead_sess: overhead(sess),
         overhead_uncached: overhead(uncached),
@@ -363,6 +418,7 @@ fn gates(
     assert_ratio: Option<f64>,
     assert_mlp_speedup: Option<f64>,
     assert_validate_pct: Option<f64>,
+    assert_parallel_speedup: Option<f64>,
 ) -> Result<(), String> {
     if let Some(min) = assert_ratio {
         if m.ratio < min {
@@ -399,6 +455,24 @@ fn gates(
             ));
         }
     }
+    if let Some(min) = assert_parallel_speedup {
+        // The requested bar assumes the 8-thread pool has 8 cores to run on.
+        // On narrower hosts (CI containers are often 1-2 cores) an 8-wide
+        // pool time-slices one core and *cannot* beat the serial run, so the
+        // effective bar is capped at 90% of the host's core count (never
+        // above the requested value). A 1-core host therefore asserts only
+        // >= 0.9x — i.e. "the dispatcher adds < ~11% overhead when it cannot
+        // win" — while the 8-core acceptance host asserts the full bar.
+        let effective = min.min(0.9 * m.host_cores.min(8) as f64);
+        if m.mlp_parallel_speedup < effective {
+            return Err(format!(
+                "parallel gate: the 8-thread MLP forward must run >= {effective:.2}x \
+                 faster than the 1-thread run (requested {min}, host has {} cores; \
+                 got {:.2}x)",
+                m.host_cores, m.mlp_parallel_speedup
+            ));
+        }
+    }
     if let Some(max_pct) = assert_validate_pct {
         if m.validate_overhead_pct > max_pct {
             return Err(format!(
@@ -428,6 +502,7 @@ fn main() {
     let assert_ratio: Option<f64> = arg_value(&args, "--assert-ratio");
     let assert_mlp_speedup: Option<f64> = arg_value(&args, "--assert-mlp-speedup");
     let assert_validate_pct: Option<f64> = arg_value(&args, "--assert-validate-overhead-pct");
+    let assert_parallel_speedup: Option<f64> = arg_value(&args, "--assert-parallel-speedup");
     // Best-of-N: re-measure until the gates pass (or N runs are spent), so a
     // single noisy run on a shared host doesn't fail the build.
     let retries: u32 = arg_value(&args, "--retries").unwrap_or(1).max(1);
@@ -435,7 +510,13 @@ fn main() {
     let mut accepted: Option<(Measured, Result<(), String>)> = None;
     for attempt in 1..=retries {
         let m = run_once();
-        let verdict = gates(&m, assert_ratio, assert_mlp_speedup, assert_validate_pct);
+        let verdict = gates(
+            &m,
+            assert_ratio,
+            assert_mlp_speedup,
+            assert_validate_pct,
+            assert_parallel_speedup,
+        );
         let ok = verdict.is_ok();
         if let Err(msg) = &verdict {
             eprintln!("[bench_json] attempt {attempt}/{retries} missed a gate: {msg}");
@@ -464,6 +545,15 @@ fn main() {
         "  \"nn.cnn_speedup_vs_seed\": {:.2},\n",
         m.cnn_speedup
     ));
+    json.push_str(&format!(
+        "  \"nn.mlp_parallel_speedup\": {:.2},\n",
+        m.mlp_parallel_speedup
+    ));
+    json.push_str(&format!(
+        "  \"par.steal_ratio\": {:.3},\n",
+        m.par_steal_ratio
+    ));
+    json.push_str(&format!("  \"par.occupancy\": {:.3},\n", m.par_occupancy));
     json.push_str(&format!(
         "  \"invoke.session_overhead_ns\": {},\n",
         m.overhead_sess

@@ -55,6 +55,9 @@ fn batch_sweep(args: &hpacml_bench::HarnessArgs) {
     let bc = BinomialConfig::for_scale(args.cfg.scale);
     let options = OptionBatch::generate(max_batch, args.cfg.seed.wrapping_add(0xBA7C));
     let mut prices = vec![0.0f32; max_batch];
+    // Window the pool counters around the sweep so the busy-ness line below
+    // reflects this panel only, not the campaigns that ran before it.
+    let pool_base = hpacml_par::global().stats();
     println!("\n(d) Per-sample latency vs runtime batch size (one compiled session):\n");
     println!(
         "{:>8} {:>16} {:>14} {:>10}",
@@ -91,6 +94,18 @@ fn batch_sweep(args: &hpacml_bench::HarnessArgs) {
         s.plan_cache_misses,
         s.validated_invocations,
         s.fallback_invocations
+    );
+    // "Was the machine busy": batch fill above covers the samples axis;
+    // the pool delta covers the threads axis of the same sweep.
+    let p = hpacml_par::global().stats().delta_since(&pool_base);
+    println!(
+        "  pool: {} workers, {} jobs, {} chunks (steal ratio {:.2}, \
+         participant occupancy {:.2})",
+        p.workers,
+        p.jobs,
+        p.chunks,
+        p.steal_ratio(),
+        p.occupancy()
     );
     println!(
         "  The paper's shape: per-sample cost falls steeply with batch size as \

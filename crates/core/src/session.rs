@@ -316,7 +316,9 @@ impl SessionCore {
 
     /// Reserve this thread's inference workspace — activation arenas,
     /// normalization staging, the model-output swap buffer and the
-    /// per-layer GEMM scratch (weight packing, im2col columns) — for the
+    /// per-layer GEMM scratch (weight packing, im2col columns; the scratch
+    /// reserve is broadcast across every pool participant, so workers
+    /// drafted into a parallel forward are warm too) — for the
     /// largest batch this session can see, once per
     /// `(thread, core, max_batch)`. Shared by [`Session::build`] (the
     /// building thread starts its first invocation already in the

@@ -101,11 +101,14 @@ pub trait Layer: Send + Sync {
         false
     }
 
-    /// `(pack_elems, col_elems)` of per-thread GEMM scratch one forward pass
-    /// at `in_dims` (batch included) may use — lets workspaces pre-size the
-    /// scratch so even a session's first invocation allocates nothing.
-    fn scratch_hint(&self, _in_dims: &[usize]) -> (usize, usize) {
-        (0, 0)
+    /// `(a_pack_elems, b_pack_elems, col_elems)` of per-thread GEMM scratch
+    /// one forward pass at `in_dims` (batch included) may use — lets
+    /// workspaces pre-size the scratch (on every pool thread, via
+    /// `hpacml_par::broadcast`) so even a session's first invocation
+    /// allocates nothing. `a` covers on-the-fly conv weight packs, `b`
+    /// uncompiled `Linear` weight panels, `col` im2col columns.
+    fn scratch_hint(&self, _in_dims: &[usize]) -> (usize, usize, usize) {
+        (0, 0, 0)
     }
 }
 
@@ -276,11 +279,12 @@ impl Layer for Linear {
         true
     }
 
-    fn scratch_hint(&self, _in_dims: &[usize]) -> (usize, usize) {
+    fn scratch_hint(&self, _in_dims: &[usize]) -> (usize, usize, usize) {
         if self.packed.is_some() {
-            (0, 0) // steady state never repacks
+            (0, 0, 0) // steady state never repacks
         } else {
             (
+                0,
                 PackedB::<f32>::packed_elems(self.in_features(), self.out_features()),
                 0,
             )
@@ -696,19 +700,27 @@ impl Layer for Conv2d {
         true
     }
 
-    fn scratch_hint(&self, in_dims: &[usize]) -> (usize, usize) {
+    fn scratch_hint(&self, in_dims: &[usize]) -> (usize, usize, usize) {
         if in_dims.len() != 4 {
-            return (0, 0);
+            return (0, 0, 0);
         }
         let (oh, ow) = self.geom.out_hw(in_dims[2], in_dims[3]);
         let l = oh * ow;
         let ckk = self.taps();
+        // The GEMM route's inner-parallel branch packs an uncompiled weight
+        // into the per-thread A scratch once per forward.
+        let worthwhile = ops::conv_gemm_worthwhile(self.filters(), ckk, l);
+        let a = if worthwhile && self.packed.is_none() {
+            self.filters() * ckk
+        } else {
+            0
+        };
         // The im2col column buffer is per-sample; both the GEMM route and
         // the strided fallback stage through it.
-        if ops::conv_gemm_worthwhile(self.filters(), ckk, l) || self.geom.stride != (1, 1) {
-            (0, ckk * l)
+        if worthwhile || self.geom.stride != (1, 1) {
+            (a, 0, ckk * l)
         } else {
-            (0, 0)
+            (0, 0, 0)
         }
     }
 }

@@ -61,30 +61,32 @@ impl ForwardWorkspace {
     /// functions. After reserving for the *largest* batch a caller will use
     /// (e.g. a session's `max_batch`), forward passes at **any** smaller
     /// batch reuse the grown arenas — the zero-allocation guarantee of
-    /// runtime-batched inference. Also pre-sizes the **calling thread's**
-    /// per-layer GEMM scratch (weight-pack panels for uncompiled `Linear`s,
-    /// im2col columns for convolutions) from the layers' scratch hints, so
-    /// even this thread's first forward after a reserve allocates nothing.
-    /// (Pool *workers* drafted into a parallel conv batch grow their own
-    /// thread-local scratch once, on their first sample — a per-worker
-    /// warm-up cost, not a steady-state one.) Returns the widest activation
-    /// element count, so callers that swap buffers with the arenas (the
-    /// runtime's model-output hand-off) can size those to match.
+    /// runtime-batched inference. Also pre-sizes the per-thread GEMM
+    /// scratch (conv weight-pack blocks, weight panels for uncompiled
+    /// `Linear`s, im2col columns) from the layers' scratch hints — on
+    /// **every pool participant**, via `hpacml_par::broadcast`, so neither
+    /// this thread's first forward nor a worker's first stolen sample
+    /// allocates anything. Returns the widest activation element count, so
+    /// callers that swap buffers with the arenas (the runtime's
+    /// model-output hand-off) can size those to match.
     pub fn reserve(&mut self, model: &Sequential, in_dims: &[usize]) -> Result<usize> {
         let mut dims = in_dims.to_vec();
         let mut max_elems: usize = dims.iter().product();
         let mut max_rank = dims.len();
-        let (mut pack_elems, mut col_elems) = (0usize, 0usize);
+        let (mut a_elems, mut b_elems, mut col_elems) = (0usize, 0usize, 0usize);
         for layer in model.layers() {
-            let (p, c) = layer.scratch_hint(&dims);
-            pack_elems = pack_elems.max(p);
+            let (a, b, c) = layer.scratch_hint(&dims);
+            a_elems = a_elems.max(a);
+            b_elems = b_elems.max(b);
             col_elems = col_elems.max(c);
             dims = layer.out_dims(&dims)?;
             max_elems = max_elems.max(dims.iter().product());
             max_rank = max_rank.max(dims.len());
         }
-        if pack_elems > 0 || col_elems > 0 {
-            hpacml_tensor::gemm::reserve_scratch::<f32>(pack_elems, col_elems);
+        if a_elems > 0 || b_elems > 0 || col_elems > 0 {
+            hpacml_par::broadcast(|_| {
+                hpacml_tensor::gemm::reserve_scratch::<f32>(a_elems, b_elems, col_elems);
+            });
         }
         // Reserve at the widest rank the pass will use, so the in-place
         // per-layer reshapes never regrow a shape vector either.

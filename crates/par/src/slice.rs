@@ -2,12 +2,14 @@
 //!
 //! The soundness argument for the `unsafe` below is the classic disjoint-
 //! chunks one: each task receives a sub-slice reconstructed from the base
-//! pointer over a range that no other task overlaps (ranges are handed out by
-//! the pool's atomic cursor in `grain` multiples), and the caller of
+//! pointer over a range that no other task overlaps (chunk indices are handed
+//! out exactly once by the pool's per-participant claim cursors, in `grain`
+//! multiples, whether claimed by the owner or stolen), and the caller of
 //! `parallel_for` does not return until every task has finished, so no task
 //! outlives the `&mut [T]` borrow.
-
-use crate::pool::global;
+//!
+//! These helpers dispatch on the *current* pool — the innermost
+//! [`crate::with_pool`] override if one is active, else the global pool.
 
 /// Process `data` in parallel, `chunk`-elements at a time. The closure
 /// receives the chunk's starting element index and the mutable chunk.
@@ -22,7 +24,7 @@ where
     }
     let chunk = chunk.max(1);
     let base = data.as_mut_ptr() as usize;
-    global().parallel_for(len, chunk, |r| {
+    crate::pool::parallel_for(len, chunk, |r| {
         // SAFETY: `r` ranges handed out by the pool are disjoint and within
         // `0..len`; the borrow of `data` outlives the job (completion barrier).
         let sub = unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(r.start), r.len()) };

@@ -1,0 +1,169 @@
+//! Stress tests for the work-stealing dispatcher: exactly-once execution
+//! under deliberately imbalanced chunk durations (forcing steals), nested
+//! dispatch, panic containment, and the `with_pool` scoping used by the
+//! thread-count benchmarks.
+
+use hpacml_par::{with_pool, Pool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Burn deterministic CPU proportional to `units` (no wall clock, no rng).
+fn spin_work(units: usize) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..units {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+        std::hint::black_box(acc);
+    }
+    acc
+}
+
+#[test]
+fn every_index_runs_exactly_once_under_stealing() {
+    // Severely imbalanced chunk costs: the first participant's span holds
+    // almost all the work, so the job cannot finish in time without the
+    // other participants stealing from it. Exactly-once is the invariant
+    // the disjoint-slice helpers build their safety argument on.
+    let pool = Pool::new(3);
+    let n = 4096usize;
+    let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    for round in 0..20 {
+        hits.iter().for_each(|h| h.store(0, Ordering::Relaxed));
+        pool.parallel_for(n, 16, |r| {
+            for i in r {
+                // Front-loaded cost: indices in the first quarter are ~100x
+                // more expensive than the rest.
+                let units = if i < n / 4 { 2000 } else { 20 };
+                std::hint::black_box(spin_work(units));
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                1,
+                "round {round}: index {i} did not run exactly once"
+            );
+        }
+    }
+    let stats = pool.stats();
+    assert_eq!(
+        stats.chunks,
+        stats.participant_chunks.iter().sum::<u64>(),
+        "every executed chunk must be attributed to exactly one participant"
+    );
+}
+
+#[test]
+fn nested_dispatch_inside_stolen_chunks_runs_inline() {
+    let pool = Pool::new(3);
+    let count = AtomicUsize::new(0);
+    pool.parallel_for(64, 1, |outer| {
+        for _ in outer {
+            // Nested call on the same pool: must run inline, not deadlock on
+            // the single dispatch slot.
+            pool.parallel_for(100, 7, |inner| {
+                count.fetch_add(inner.len(), Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 64 * 100);
+}
+
+#[test]
+fn panic_in_stolen_chunk_is_contained_and_pool_survives() {
+    let pool = Pool::new(2);
+    for _ in 0..5 {
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.parallel_for(512, 4, |r| {
+                // Imbalance forces stealing; one mid-range chunk panics.
+                if r.start < 128 {
+                    std::hint::black_box(spin_work(5000));
+                }
+                if r.contains(&300) {
+                    panic!("injected failure");
+                }
+            });
+        }));
+        assert!(res.is_err(), "the injected panic must reach the caller");
+        // Pool must be fully reusable: next job completes and covers all.
+        let acc = AtomicUsize::new(0);
+        pool.parallel_for(1000, 16, |r| {
+            acc.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 1000);
+    }
+}
+
+#[test]
+fn with_pool_scopes_nest_and_restore() {
+    let a = Pool::new(1);
+    let b = Pool::new(3);
+    assert_eq!(with_pool(&a, hpacml_par::current_parallelism), 2);
+    let (outer, inner) = with_pool(&a, || {
+        let inner = with_pool(&b, hpacml_par::current_parallelism);
+        (hpacml_par::current_parallelism(), inner)
+    });
+    assert_eq!(outer, 2, "inner scope must restore the outer override");
+    assert_eq!(inner, 4);
+}
+
+#[test]
+fn slice_helpers_follow_the_pool_override() {
+    let pool = Pool::new(2);
+    let before = pool.stats().jobs;
+    let mut v = vec![0usize; 10_000];
+    with_pool(&pool, || {
+        hpacml_par::par_chunks_mut(&mut v, 64, |start, sub| {
+            for (k, x) in sub.iter_mut().enumerate() {
+                *x = start + k;
+            }
+        });
+    });
+    assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    assert!(
+        pool.stats().jobs > before,
+        "par_chunks_mut must have dispatched on the override pool"
+    );
+}
+
+#[test]
+fn repeated_jobs_alternate_with_broadcasts() {
+    // Interleave normal jobs and broadcasts to shake out slot-reuse bugs
+    // between the two dispatch modes (stealing on/off share the same slot).
+    let workers = 3;
+    let pool = Pool::new(workers);
+    for round in 0..50usize {
+        let acc = AtomicUsize::new(0);
+        pool.parallel_for(round * 13 + 1, 4, |r| {
+            acc.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), round * 13 + 1);
+        let seen = AtomicUsize::new(0);
+        pool.broadcast(|_| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), workers + 1);
+    }
+}
+
+#[test]
+fn occupancy_and_steal_ratio_are_in_range() {
+    let pool = Pool::new(3);
+    for _ in 0..10 {
+        pool.parallel_for(2048, 8, |r| {
+            for i in r {
+                std::hint::black_box(spin_work(if i < 512 { 500 } else { 10 }));
+            }
+        });
+    }
+    let s = pool.stats();
+    assert!(s.jobs >= 10);
+    let ratio = s.steal_ratio();
+    assert!(
+        (0.0..=1.0).contains(&ratio),
+        "steal ratio {ratio} out of range"
+    );
+    let occ = s.occupancy();
+    assert!((0.0..=1.0).contains(&occ), "occupancy {occ} out of range");
+    // Every dispatched job was executed by at least one participant.
+    assert!(s.participant_jobs.iter().sum::<u64>() >= 10);
+}

@@ -79,23 +79,51 @@ pub const KC: usize = 256;
 
 /// Parallelism threshold: below this many multiply-adds a kernel runs
 /// inline on the calling thread — dispatch overhead would dominate.
+///
+/// Measured basis (re-tuned against the work-stealing pool on the
+/// `bench_json` shapes): one pool dispatch costs on the order of a few
+/// microseconds (publish + wake + barrier), and the micro-kernel sustains
+/// a few multiply-adds per cycle, so ~32 Ki multiply-adds (≈ 10 µs of
+/// work) is the break-even point below which the dispatch itself would be
+/// a measurable fraction of the kernel.
 pub const PAR_FLOPS_MIN: usize = 1 << 15;
 
 /// Multiply-adds targeted per parallel task. Tasks much smaller than this
-/// pay dispatch overhead; much larger ones load-balance poorly on the
-/// work-stealing cursor. `PAR_FLOPS_MIN * 8` ≈ a few hundred kiloflops.
+/// pay per-claim overhead (an atomic compare-exchange each); much larger
+/// ones defeat stealing — a straggler's whole task is indivisible, so the
+/// tail latency is one task. `PAR_FLOPS_MIN * 8` ≈ 262 Ki multiply-adds
+/// keeps the MLP bench layer (`m=1024, n=128, k=128` → 16 rows/task, 64
+/// tasks) fine-grained enough that 8 participants each claim ~8 tasks and
+/// the steal path can level any imbalance.
 pub const PAR_TASK_FLOPS: usize = PAR_FLOPS_MIN * 8;
+
+/// Lower bound on tasks per participant when a problem is row-abundant:
+/// with at least this many claimable tasks per thread, the work-stealing
+/// cursor can rebalance a straggler without the tail dominating. 4 keeps
+/// per-claim overhead under a percent at [`PAR_TASK_FLOPS`] task sizes.
+pub const PAR_TASKS_PER_THREAD: usize = 4;
 
 /// The one block-size heuristic shared by every row-parallel kernel
 /// (GEMM stripes, the legacy matmul family, convolution sample blocks):
 /// how many of the `m` output rows of an `[m, n]` result (each costing
-/// `n * k` multiply-adds) one parallel task should own so that it performs
-/// about [`PAR_TASK_FLOPS`] work. Always in `1..=m`.
+/// `n * k` multiply-adds) one parallel task should own. Always in `1..=m`.
+///
+/// Two forces: the *flops* term targets [`PAR_TASK_FLOPS`] multiply-adds
+/// per task (dispatch amortization), and the *balance* term caps a task
+/// at `m / (threads * PAR_TASKS_PER_THREAD)` rows so that even
+/// flops-light, row-heavy problems split into enough tasks for every
+/// participant of the current pool to claim several. The thread count
+/// only moves *where stripe boundaries fall*, never how any output
+/// element accumulates its `k`-sum, so results stay bitwise identical
+/// across pool sizes (pinned by `gemm_determinism`).
 ///
 /// Keeping matmul, conv and GEMM on this single function means their task
 /// granularities cannot drift apart as the constants are tuned.
 pub fn par_rows_per_block(m: usize, n: usize, k: usize) -> usize {
-    (PAR_TASK_FLOPS / (n * k).max(1)).clamp(1, m.max(1))
+    let flops_rows = (PAR_TASK_FLOPS / (n * k).max(1)).max(1);
+    let threads = hpacml_par::current_parallelism();
+    let balance_rows = m.div_ceil(threads * PAR_TASKS_PER_THREAD).max(MR);
+    flops_rows.min(balance_rows).clamp(1, m.max(1))
 }
 
 /// Is an `[m, n] = [m, k] · [k, n]` problem big enough to leave the
@@ -103,6 +131,17 @@ pub fn par_rows_per_block(m: usize, n: usize, k: usize) -> usize {
 /// axis.)
 pub fn par_worthwhile(m: usize, n: usize, k: usize) -> bool {
     m > 1 && m * n * k >= PAR_FLOPS_MIN
+}
+
+/// The shared "cores in use" heuristic: does an outer parallel loop over
+/// `outer` independent items already saturate the current pool? When it
+/// does, inner kernels should run inline (sample-level parallelism wins);
+/// when it does not — small batches on a wide pool — the forward path
+/// drops to intra-GEMM row parallelism instead. A pure function of the
+/// item count and the pool width, so whether a sample was computed inside
+/// a big batch or alone never changes which math runs on its data.
+pub fn outer_saturates(outer: usize) -> bool {
+    outer >= hpacml_par::current_parallelism()
 }
 
 // ---------------------------------------------------------------------------
@@ -876,11 +915,16 @@ pub fn matmul_transb_packed_into_kc<T: Scalar>(
 // ---------------------------------------------------------------------------
 
 /// Reusable per-thread staging buffers for kernels whose operands are not
-/// pre-packed: a [`PackedB`] for on-the-fly weight packing (training-time
-/// and uncompiled-model `Linear` forwards) and a column buffer for
-/// im2col convolution. Grow-only, so steady-state use is allocation-free.
+/// pre-packed: a [`PackedA`] for on-the-fly weight packing on the conv
+/// inner-parallel route, a [`PackedB`] for on-the-fly weight packing
+/// (training-time and uncompiled-model `Linear` forwards) and a column
+/// buffer for im2col convolution. One instance lives per thread (see
+/// [`WithScratch`]), so parallel kernels never contend on — or repack —
+/// another thread's panels. Grow-only, so steady-state use is
+/// allocation-free.
 #[derive(Default)]
 pub struct GemmScratch<T: Scalar> {
+    pub packed_a: PackedA<T>,
     pub packed_b: PackedB<T>,
     pub col: Vec<T>,
 }
@@ -888,9 +932,12 @@ pub struct GemmScratch<T: Scalar> {
 impl<T: Scalar> GemmScratch<T> {
     /// Pre-size the buffers (elements) so even a first use allocates
     /// nothing. Grow-only.
-    pub fn reserve(&mut self, pack_elems: usize, col_elems: usize) {
-        if self.packed_b.data.len() < pack_elems {
-            self.packed_b.data.resize(pack_elems, T::ZERO);
+    pub fn reserve(&mut self, a_elems: usize, b_elems: usize, col_elems: usize) {
+        if self.packed_a.data.len() < a_elems {
+            self.packed_a.data.resize(a_elems, T::ZERO);
+        }
+        if self.packed_b.data.len() < b_elems {
+            self.packed_b.data.resize(b_elems, T::ZERO);
         }
         if self.col.len() < col_elems {
             self.col.resize(col_elems, T::ZERO);
@@ -929,8 +976,10 @@ impl_with_scratch!(f64, GEMM_SCRATCH_F64);
 
 /// Pre-size the calling thread's [`GemmScratch`] — the workspace-reserve
 /// hook sessions use so their first forward pass is already allocation-free.
-pub fn reserve_scratch<T: WithScratch>(pack_elems: usize, col_elems: usize) {
-    T::with_gemm_scratch(|s| s.reserve(pack_elems, col_elems));
+/// Sessions broadcast this across the pool (`hpacml_par::broadcast`) so
+/// every worker's per-thread scratch is warm before the first dispatch.
+pub fn reserve_scratch<T: WithScratch>(a_elems: usize, b_elems: usize, col_elems: usize) {
+    T::with_gemm_scratch(|s| s.reserve(a_elems, b_elems, col_elems));
 }
 
 #[cfg(test)]
@@ -1120,18 +1169,37 @@ mod tests {
     #[test]
     fn block_heuristic_is_sane() {
         assert_eq!(par_rows_per_block(0, 10, 10), 1);
-        assert!(par_rows_per_block(1024, 128, 6) >= 1);
-        assert!(par_rows_per_block(1024, 128, 6) <= 1024);
-        // Bigger per-row cost => fewer rows per task.
+        // Invariants over a grid of shapes: always in 1..=m, and monotone
+        // non-increasing in the per-row cost n*k.
+        for &m in &[1usize, 7, 8, 64, 1024, 100_000] {
+            let mut prev = usize::MAX;
+            for &nk in &[1usize, 16, 128, 1024, 16_384, 262_144, 1 << 24] {
+                let rows = par_rows_per_block(m, nk, 1);
+                assert!((1..=m.max(1)).contains(&rows), "m={m} nk={nk} rows={rows}");
+                assert!(rows <= prev, "m={m}: rows must not grow with n*k");
+                prev = rows;
+            }
+        }
+        // Bigger per-row cost => fewer (or equal) rows per task.
         assert!(par_rows_per_block(1024, 512, 512) <= par_rows_per_block(1024, 16, 16));
+        // Row-heavy, flops-light problems still split into at least one
+        // task per participant so the stealing cursor has work to level.
+        let threads = hpacml_par::current_parallelism();
+        let rows = par_rows_per_block(100_000, 4, 4);
+        assert!(100_000usize.div_ceil(rows) >= threads);
         assert!(!par_worthwhile(1, 4096, 4096));
         assert!(par_worthwhile(64, 64, 64));
+        // Saturation heuristic is a pure threshold at the pool width.
+        assert!(!outer_saturates(threads - 1) || threads == 1);
+        assert!(outer_saturates(threads));
+        assert!(outer_saturates(threads + 5));
     }
 
     #[test]
     fn scratch_reserve_grows_once() {
-        reserve_scratch::<f32>(1024, 2048);
+        reserve_scratch::<f32>(512, 1024, 2048);
         f32::with_gemm_scratch(|s| {
+            assert!(s.packed_a.data.len() >= 512);
             assert!(s.packed_b.data.len() >= 1024);
             assert!(s.col.len() >= 2048);
         });

@@ -276,11 +276,52 @@ impl Conv2dGeom {
     }
 }
 
-/// im2col for one sample: input `[C, H, W]` slice → col `[C*KH*KW, OH*OW]`.
-pub fn im2col<T: Scalar>(input: &[T], c: usize, h: usize, w: usize, g: Conv2dGeom, col: &mut [T]) {
+/// Fill one im2col row: `row` encodes the tap `(ch, ki, kj)` as
+/// `(ch * kh + ki) * kw + kj`, `dst` is that row's `OH*OW` destination.
+/// Shared verbatim by the sequential and parallel fills — each row's
+/// content depends only on the input and its own tap, so fill order (and
+/// which thread runs it) cannot change a single bit.
+fn im2col_fill_row<T: Scalar>(
+    input: &[T],
+    h: usize,
+    w: usize,
+    g: Conv2dGeom,
+    row: usize,
+    dst: &mut [T],
+) {
     let (kh, kw) = g.kernel;
     let (sh, sw) = g.stride;
     let (ph, pw) = g.pad;
+    let (oh, ow) = g.out_hw(h, w);
+    debug_assert_eq!(dst.len(), oh * ow);
+    let kj = row % kw;
+    let ki = (row / kw) % kh;
+    let ch = row / (kh * kw);
+    for oy in 0..oh {
+        let iy = (oy * sh + ki) as isize - ph as isize;
+        let drow = &mut dst[oy * ow..(oy + 1) * ow];
+        if iy < 0 || iy as usize >= h {
+            for v in drow.iter_mut() {
+                *v = T::ZERO;
+            }
+            continue;
+        }
+        let iy = iy as usize;
+        let src_row = &input[(ch * h + iy) * w..(ch * h + iy + 1) * w];
+        for (ox, v) in drow.iter_mut().enumerate() {
+            let ix = (ox * sw + kj) as isize - pw as isize;
+            *v = if ix < 0 || ix as usize >= w {
+                T::ZERO
+            } else {
+                src_row[ix as usize]
+            };
+        }
+    }
+}
+
+/// im2col for one sample: input `[C, H, W]` slice → col `[C*KH*KW, OH*OW]`.
+pub fn im2col<T: Scalar>(input: &[T], c: usize, h: usize, w: usize, g: Conv2dGeom, col: &mut [T]) {
+    let (kh, kw) = g.kernel;
     let (oh, ow) = g.out_hw(h, w);
     assert_eq!(
         col.len(),
@@ -289,34 +330,37 @@ pub fn im2col<T: Scalar>(input: &[T], c: usize, h: usize, w: usize, g: Conv2dGeo
     );
     let l = oh * ow;
     // Row r of col corresponds to (ch, ki, kj); column to (oy, ox).
-    for ch in 0..c {
-        for ki in 0..kh {
-            for kj in 0..kw {
-                let row = (ch * kh + ki) * kw + kj;
-                let dst = &mut col[row * l..(row + 1) * l];
-                for oy in 0..oh {
-                    let iy = (oy * sh + ki) as isize - ph as isize;
-                    let drow = &mut dst[oy * ow..(oy + 1) * ow];
-                    if iy < 0 || iy as usize >= h {
-                        for v in drow.iter_mut() {
-                            *v = T::ZERO;
-                        }
-                        continue;
-                    }
-                    let iy = iy as usize;
-                    let src_row = &input[(ch * h + iy) * w..(ch * h + iy + 1) * w];
-                    for (ox, v) in drow.iter_mut().enumerate() {
-                        let ix = (ox * sw + kj) as isize - pw as isize;
-                        *v = if ix < 0 || ix as usize >= w {
-                            T::ZERO
-                        } else {
-                            src_row[ix as usize]
-                        };
-                    }
-                }
-            }
-        }
+    for (row, dst) in col.chunks_exact_mut(l.max(1)).enumerate() {
+        im2col_fill_row(input, h, w, g, row, dst);
     }
+}
+
+/// [`im2col`] with the row fills dispatched across the pool — the conv
+/// inner-parallel route uses this so the column-matrix build scales along
+/// with the GEMM that consumes it. Row contents are produced by the same
+/// scalar fill as the sequential version, so results are bit-identical;
+/// small problems fall back to the sequential loop inline.
+pub fn im2col_par<T: Scalar + Send>(
+    input: &[T],
+    c: usize,
+    h: usize,
+    w: usize,
+    g: Conv2dGeom,
+    col: &mut [T],
+) {
+    let (kh, kw) = g.kernel;
+    let (oh, ow) = g.out_hw(h, w);
+    let l = oh * ow;
+    let rows = c * kh * kw;
+    assert_eq!(col.len(), rows * l, "im2col_par: bad col buffer size");
+    if rows <= 1 || rows * l < PAR_FLOPS_MIN {
+        im2col(input, c, h, w, g, col);
+        return;
+    }
+    hpacml_par::par_chunks_mut(col, l, |start, dst| {
+        // One chunk == one col row (the grain divides col.len() exactly).
+        im2col_fill_row(input, h, w, g, start / l, dst);
+    });
 }
 
 /// Reverse of [`im2col`]: accumulate col `[C*KH*KW, OH*OW]` back into the
@@ -450,6 +494,49 @@ pub fn conv2d_fused_into<T: Scalar + WithScratch>(
     let id = input.data();
     let use_gemm = conv_gemm_worthwhile(f, ckk, l);
     let direct = g.stride == (1, 1);
+
+    // Small batches on a wide pool starve it if samples are the only
+    // parallel axis (n < threads leaves cores idle); route those through
+    // intra-sample parallelism — parallel im2col fill plus the row-parallel
+    // GEMM — on the caller's thread instead. The per-sample math is the
+    // same on both routes (each output element keeps its one ascending-k
+    // chain; packed and row-major A are bit-identical by the packing
+    // tests), and the route choice is a pure function of batch size and
+    // pool width, so batched == sequential stays bitwise.
+    if use_gemm && !gemm::outer_saturates(n) {
+        let od = out.data_mut();
+        T::with_gemm_scratch(|s| {
+            // Pack the weight once per call into this thread's scratch when
+            // the model didn't pre-pack: every sample's GEMM then reads
+            // MR-interleaved panels instead of re-walking row-major rows.
+            if packed_w.is_none() {
+                s.packed_a.pack_rows_into(wd, f, ckk);
+            }
+            let gemm::GemmScratch { packed_a, col, .. } = s;
+            if col.len() < ckk * l {
+                col.resize(ckk * l, T::ZERO);
+            }
+            let col = &mut col[..ckk * l];
+            let a = match packed_w {
+                Some(p) => ASource::Packed(p),
+                None => ASource::Packed(packed_a),
+            };
+            for (sample, out_n) in od.chunks_exact_mut(out_sample).enumerate() {
+                let inp = &id[sample * in_sample..(sample + 1) * in_sample];
+                im2col_par(inp, c, h, w, g, col);
+                gemm::gemm_into(
+                    f,
+                    l,
+                    ckk,
+                    a,
+                    BSource::Cols(col),
+                    Epilogue::row_bias(bias).with_act(act),
+                    out_n,
+                );
+            }
+        });
+        return Ok(());
+    }
 
     hpacml_par::par_chunks_mut(out.data_mut(), out_sample, |start, out_n| {
         let sample = start / out_sample;

@@ -149,6 +149,130 @@ fn conv_forward_is_bitwise_identical_at_1_and_n_threads() {
     assert_eq!(par.data(), serial.lock().data());
 }
 
+/// Pool width must never change a bit. Totals {1, 2, 3, 8} cover the
+/// caller-only path, even splits, an odd count (stripe boundaries land off
+/// the MR grid's natural splits, catching tail-alignment bugs) and the CI
+/// matrix's wide end — all compared against the 8-thread global pool.
+#[test]
+fn gemm_bits_are_identical_across_pool_sizes() {
+    setup();
+    let (m, k, n) = (137usize, 83usize, 61usize);
+    let a = mat(m, k, 11);
+    let bt = mat(n, k, 12);
+    let bp = PackedB::from_transb(&bt).unwrap();
+    let bias: Vec<f32> = (0..n).map(|j| (j as f32) * 0.07 - 0.4).collect();
+    let epi = Epilogue::col_bias(&bias).with_act(Some(Act::Tanh));
+    let mut base = Tensor::zeros([0usize; 2]);
+    gemm::matmul_transb_packed_into(&a, &bp, epi, &mut base).unwrap();
+    for workers in [0usize, 1, 2, 7] {
+        let pool = hpacml_par::Pool::new(workers);
+        hpacml_par::with_pool(&pool, || {
+            let mut c = Tensor::zeros([0usize; 2]);
+            gemm::matmul_transb_packed_into(&a, &bp, epi, &mut c).unwrap();
+            assert_eq!(
+                c.data(),
+                base.data(),
+                "{} total threads changed the bits",
+                workers + 1
+            );
+        });
+    }
+}
+
+/// Steal schedules vary from run to run of the *same build* — which chunk
+/// a worker claims depends on OS scheduling. The bits must not.
+#[test]
+fn repeated_runs_with_stealing_are_bitwise_stable() {
+    setup();
+    let (m, k, n) = (301usize, 67usize, 93usize);
+    let a = mat(m, k, 13);
+    let bt = mat(n, k, 14);
+    let bp = PackedB::from_transb(&bt).unwrap();
+    let bias: Vec<f32> = (0..n).map(|j| (j as f32).cos()).collect();
+    let epi = Epilogue::col_bias(&bias).with_act(Some(Act::Sigmoid));
+    let mut base = Tensor::zeros([0usize; 2]);
+    gemm::matmul_transb_packed_into(&a, &bp, epi, &mut base).unwrap();
+    let mut c = Tensor::zeros([0usize; 2]);
+    for rep in 0..10 {
+        gemm::matmul_transb_packed_into(&a, &bp, epi, &mut c).unwrap();
+        assert_eq!(c.data(), base.data(), "rep {rep} produced different bits");
+    }
+}
+
+/// The pack-on-the-fly path stages `B` through *per-thread* scratch before
+/// dispatching row stripes; neither the scratch reuse nor the pool width
+/// may change its bits relative to the pre-packed kernel.
+#[test]
+fn per_thread_scratch_pack_path_is_deterministic() {
+    setup();
+    let (m, k, n) = (96usize, 41usize, 53usize);
+    let a = mat(m, k, 15);
+    let bt = mat(n, k, 16);
+    let bp = PackedB::from_transb(&bt).unwrap();
+    let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.03).collect();
+    let epi = Epilogue::col_bias(&bias).with_act(Some(Act::Relu));
+    let mut want = Tensor::zeros([0usize; 2]);
+    gemm::matmul_transb_packed_into(&a, &bp, epi, &mut want).unwrap();
+    for workers in [0usize, 2, 7] {
+        let pool = hpacml_par::Pool::new(workers);
+        hpacml_par::with_pool(&pool, || {
+            let mut c = Tensor::zeros([0usize; 2]);
+            ops::matmul_transb_into(&a, &bt, &mut c, epi).unwrap();
+            assert_eq!(c.data(), want.data(), "workers={workers}");
+        });
+    }
+}
+
+/// The conv forward has two parallel routes — over samples when the batch
+/// saturates the pool, intra-sample (parallel im2col + row-parallel GEMM,
+/// staged through per-thread scratch) when it does not. Both must agree
+/// with each other and with a caller-only pool, and a batch's prefix must
+/// equal the smaller batch, whichever route each took.
+#[test]
+fn conv_routes_agree_bitwise() {
+    setup();
+    let g = Conv2dGeom::square(3, 1, 1);
+    let big_n = 8usize; // == total threads → sample-parallel route
+    let small_n = 2usize; // < total threads → intra-sample route
+    let input = mat(big_n * 4 * 24 * 48, 1, 17)
+        .reshape([big_n, 4, 24, 48])
+        .unwrap();
+    let weight = mat(4 * 4 * 3 * 3, 1, 18).reshape([4, 4, 3, 3]).unwrap();
+    let bias = vec![0.05f32, -0.1, 0.2, 0.0];
+    let mut big = Tensor::zeros([0usize; 4]);
+    ops::conv2d_fused_into(&input, &weight, None, &bias, g, Some(Act::Tanh), &mut big).unwrap();
+
+    let small_in = Tensor::from_vec(
+        input.data()[..small_n * 4 * 24 * 48].to_vec(),
+        [small_n, 4, 24, 48],
+    )
+    .unwrap();
+    let mut small = Tensor::zeros([0usize; 4]);
+    ops::conv2d_fused_into(
+        &small_in,
+        &weight,
+        None,
+        &bias,
+        g,
+        Some(Act::Tanh),
+        &mut small,
+    )
+    .unwrap();
+    assert_eq!(
+        small.data(),
+        &big.data()[..small.data().len()],
+        "intra-sample route disagrees with the sample-parallel route"
+    );
+
+    let serial_pool = hpacml_par::Pool::new(0);
+    hpacml_par::with_pool(&serial_pool, || {
+        let mut c = Tensor::zeros([0usize; 4]);
+        ops::conv2d_fused_into(&small_in, &weight, None, &bias, g, Some(Act::Tanh), &mut c)
+            .unwrap();
+        assert_eq!(c.data(), small.data(), "caller-only pool changed the bits");
+    });
+}
+
 /// A row's bits must not depend on the batch it was computed under — the
 /// invariant the runtime's dynamic batching relies on. (The nn-level
 /// batched tests cover whole models; this pins the kernel itself.)

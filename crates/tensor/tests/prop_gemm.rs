@@ -148,4 +148,30 @@ proptest! {
         gemm::matmul_transb_packed_into(&sub, &bp, epi, &mut part).unwrap();
         prop_assert_eq!(part.data(), &full.data()[..sub_m * n]);
     }
+
+    /// Pool width (and therefore partitioning and steal schedule) must
+    /// never change a bit: the same problem under caller-only, odd and
+    /// wide pools. Odd totals put stripe boundaries off the MR grid's
+    /// natural splits, catching tail-alignment bugs.
+    #[test]
+    fn pool_size_never_changes_bits((m, n, k, seed) in shape()) {
+        let a = values(m * k, seed);
+        let bt = values(n * k, seed ^ 0x0DDB1A5E);
+        let at = Tensor::from_vec(a, [m, k]).unwrap();
+        let bp = PackedB::from_transb(&Tensor::from_vec(bt, [n, k]).unwrap()).unwrap();
+        let bias = values(n, seed ^ 0xABCD);
+        let epi = Epilogue::col_bias(Box::leak(bias.into_boxed_slice()))
+            .with_act(Some(Act::Tanh));
+        let mut base = Tensor::zeros([0usize; 2]);
+        gemm::matmul_transb_packed_into(&at, &bp, epi, &mut base).unwrap();
+        for workers in [0usize, 2, 7] {
+            let pool = hpacml_par::Pool::new(workers);
+            hpacml_par::with_pool(&pool, || {
+                let mut c = Tensor::zeros([0usize; 2]);
+                gemm::matmul_transb_packed_into(&at, &bp, epi, &mut c).unwrap();
+                // assert (not prop_assert): inside the pool-scope closure.
+                assert_eq!(c.data(), base.data(), "workers={workers}");
+            });
+        }
+    }
 }
