@@ -206,6 +206,21 @@ impl BinomialOptions {
         model_path: &Path,
         policy: hpacml_core::ValidationPolicy,
     ) -> AppResult<PolicyEval> {
+        self.evaluate_with_policy_at(cfg, model_path, policy, hpacml_core::Precision::F32)
+    }
+
+    /// [`evaluate_with_policy`](Self::evaluate_with_policy) with a serving
+    /// precision: the region's model is quantized to `precision` before the
+    /// sweep, and the validation controller demotes through the precision
+    /// ladder (int8 → bf16 → f32) before any host fallback — the fig10
+    /// precision axis.
+    pub fn evaluate_with_policy_at(
+        &self,
+        cfg: &BenchConfig,
+        model_path: &Path,
+        policy: hpacml_core::ValidationPolicy,
+        precision: hpacml_core::Precision,
+    ) -> AppResult<PolicyEval> {
         let bc = BinomialConfig::for_scale(cfg.scale);
         let batch = OptionBatch::generate(bc.n_options, cfg.seed.wrapping_add(0xDEAD));
 
@@ -215,6 +230,11 @@ impl BinomialOptions {
         let accurate_time = t0.elapsed();
 
         let region = build_region(None, Some(model_path))?;
+        if precision != hpacml_core::Precision::F32 {
+            // Before the validation policy, so the fresh controller picks up
+            // the precision ladder.
+            region.set_precision_policy(&hpacml_core::PrecisionPolicy::at(precision))?;
+        }
         region.set_validation_policy(policy)?;
         let t0 = Instant::now();
         let approx = run_annotated(&region, &batch, bc.steps, bc.collect_batch, true)?;

@@ -11,15 +11,26 @@
 //! pin the region to host code (speedup collapses toward the shadow-laden
 //! accurate baseline, error goes to the original application's), budgets
 //! above it recover the full surrogate speedup at the model's error.
+//!
+//! A second sweep adds the **precision axis**: the same validated run at
+//! each serving precision (f32, bf16, int8 weights; f32 accumulation
+//! everywhere) under a generous budget, showing what reduced-precision
+//! serving buys — and the `demotes`/`promotes` columns showing how often
+//! the validation controller stepped the precision ladder instead of
+//! falling back to host code.
 
 use hpacml_apps::binomial::BinomialOptions;
 use hpacml_apps::particlefilter::ParticleFilter;
-use hpacml_apps::{Benchmark, PolicyEval};
-use hpacml_core::{ErrorMetric, ValidationPolicy};
+use hpacml_apps::{BenchConfig, Benchmark, PolicyEval};
+use hpacml_core::{ErrorMetric, Precision, ValidationPolicy};
+use std::path::Path;
 
 /// Budget multipliers applied to each model's measured QoI error; the last
 /// entry is an effectively unlimited budget (pure surrogate + shadow cost).
 const BUDGET_SCALES: [f64; 6] = [0.25, 0.5, 1.0, 2.0, 4.0, f64::INFINITY];
+
+/// Serving precisions for the precision axis, finest first.
+const PRECISIONS: [Precision; 3] = [Precision::F32, Precision::Bf16, Precision::Int8];
 
 /// The sweep's shared policy shape: validate 1 in 2 region invocations,
 /// react within a 2-sample window, compare up to 8 samples per drawn batch.
@@ -35,38 +46,96 @@ fn print_header(name: &str, base_error: f64, base_speedup: f64) {
         "\n--- {name} (model error {base_error:.4}, unvalidated speedup {base_speedup:.2}x) ---"
     );
     println!(
-        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
-        "budget", "speedup", "qoi_err", "fallback%", "validated", "disable", "reenable"
+        "{:>6} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "prec",
+        "budget",
+        "speedup",
+        "qoi_err",
+        "fallback%",
+        "validated",
+        "disable",
+        "reenable",
+        "demote",
+        "promote"
     );
 }
 
 /// `budget` is the exact value the policy ran with (`f64::MAX` for the
 /// unlimited point, labelled `unlimited` in both the table and the CSV).
-fn print_row(rows: &mut Vec<String>, name: &str, budget: f64, p: &PolicyEval) {
+fn print_row(rows: &mut Vec<String>, name: &str, prec: Precision, budget: f64, p: &PolicyEval) {
     let b = if budget < f64::MAX {
         format!("{budget:.4}")
     } else {
         "unlimited".to_string()
     };
     println!(
-        "{:>12} {:>9.2}x {:>10.4} {:>9.1}% {:>10} {:>8} {:>8}",
+        "{:>6} {:>12} {:>9.2}x {:>10.4} {:>9.1}% {:>10} {:>8} {:>8} {:>8} {:>8}",
+        prec,
         b,
         p.speedup,
         p.qoi_error,
         p.fallback_fraction * 100.0,
         p.validated,
         p.region.surrogate_disables,
-        p.region.surrogate_reenables
+        p.region.surrogate_reenables,
+        p.region.precision_demotes,
+        p.region.precision_promotes
     );
     rows.push(format!(
-        "{name},{b},{:.4},{:.6},{:.4},{},{},{}",
+        "{name},{prec},{b},{:.4},{:.6},{:.4},{},{},{},{},{}",
         p.speedup,
         p.qoi_error,
         p.fallback_fraction,
         p.validated,
         p.region.surrogate_disables,
-        p.region.surrogate_reenables
+        p.region.surrogate_reenables,
+        p.region.precision_demotes,
+        p.region.precision_promotes
     ));
+}
+
+/// Both sweeps for one benchmark: the error-budget axis at f32, then the
+/// precision axis at a generous (2x model error) budget.
+fn sweep(
+    rows: &mut Vec<String>,
+    name: &str,
+    anchor: f64,
+    mut eval: impl FnMut(ValidationPolicy, Precision) -> Result<PolicyEval, hpacml_apps::AppError>,
+) {
+    for scale in BUDGET_SCALES {
+        let budget = if scale.is_finite() {
+            anchor * scale
+        } else {
+            f64::MAX
+        };
+        match eval(policy_for(budget), Precision::F32) {
+            Ok(p) => print_row(rows, name, Precision::F32, budget, &p),
+            Err(e) => eprintln!("[fig10] {name} budget {budget:.4} failed: {e}"),
+        }
+    }
+    // Precision axis: a budget above the model's true error keeps the
+    // surrogate serving, so the column isolates the quantization effect;
+    // the ladder still reacts if a quantized rung drifts past it.
+    let budget = anchor * 2.0;
+    for prec in PRECISIONS {
+        match eval(policy_for(budget), prec) {
+            Ok(p) => print_row(rows, name, prec, budget, &p),
+            Err(e) => eprintln!("[fig10] {name} precision {prec} failed: {e}"),
+        }
+    }
+}
+
+fn base_eval(
+    bench: &dyn Benchmark,
+    cfg: &BenchConfig,
+    model_path: &Path,
+) -> Result<hpacml_apps::EvalStats, hpacml_apps::AppError> {
+    if model_path.exists() {
+        bench.evaluate(cfg, model_path)
+    } else {
+        println!("[fig10] training the {} surrogate...", bench.name());
+        bench.pipeline(cfg).map(|(_, _, e)| e)
+    }
 }
 
 fn main() {
@@ -75,7 +144,9 @@ fn main() {
         "\nFigure 10: error budget vs achieved speedup under online validation \
          ({:?} scale).\n\nShadow validation samples 1 in 2 region invocations; the \
          rolling RMSE against the shadow-executed original kernels drives \
-         adaptive fallback (window 2, hysteresis = one window).",
+         adaptive fallback (window 2, hysteresis = one window). The trailing \
+         rows per benchmark sweep the serving precision (bf16/int8 weights, \
+         f32 accumulation) at a 2x-error budget.",
         args.cfg.scale
     );
     let mut rows = Vec::new();
@@ -83,27 +154,13 @@ fn main() {
     // --- Binomial Options -------------------------------------------------
     let bench = BinomialOptions;
     let model_path = args.cfg.model_path(bench.name());
-    let base = if model_path.exists() {
-        bench.evaluate(&args.cfg, &model_path)
-    } else {
-        println!("[fig10] training the Binomial surrogate...");
-        bench.pipeline(&args.cfg).map(|(_, _, e)| e)
-    };
-    match base {
+    match base_eval(&bench, &args.cfg, &model_path) {
         Ok(base) => {
             print_header("binomial", base.qoi_error, base.speedup);
             let anchor = base.qoi_error.max(1e-6);
-            for scale in BUDGET_SCALES {
-                let budget = if scale.is_finite() {
-                    anchor * scale
-                } else {
-                    f64::MAX
-                };
-                match bench.evaluate_with_policy(&args.cfg, &model_path, policy_for(budget)) {
-                    Ok(p) => print_row(&mut rows, "binomial", budget, &p),
-                    Err(e) => eprintln!("[fig10] binomial budget {budget:.4} failed: {e}"),
-                }
-            }
+            sweep(&mut rows, "binomial", anchor, |policy, prec| {
+                bench.evaluate_with_policy_at(&args.cfg, &model_path, policy, prec)
+            });
         }
         Err(e) => eprintln!("[fig10] binomial skipped: {e}"),
     }
@@ -111,29 +168,15 @@ fn main() {
     // --- ParticleFilter ---------------------------------------------------
     let bench = ParticleFilter;
     let model_path = args.cfg.model_path(bench.name());
-    let base = if model_path.exists() {
-        bench.evaluate(&args.cfg, &model_path)
-    } else {
-        println!("[fig10] training the ParticleFilter surrogate...");
-        bench.pipeline(&args.cfg).map(|(_, _, e)| e)
-    };
-    match base {
+    match base_eval(&bench, &args.cfg, &model_path) {
         Ok(base) => {
             print_header("particlefilter", base.qoi_error, base.speedup);
             // The PF validation reference is the original tracker, not
             // ground truth; anchor on the same scale regardless.
             let anchor = base.qoi_error.max(1e-6);
-            for scale in BUDGET_SCALES {
-                let budget = if scale.is_finite() {
-                    anchor * scale
-                } else {
-                    f64::MAX
-                };
-                match bench.evaluate_with_policy(&args.cfg, &model_path, policy_for(budget)) {
-                    Ok(p) => print_row(&mut rows, "particlefilter", budget, &p),
-                    Err(e) => eprintln!("[fig10] particlefilter budget {budget:.4} failed: {e}"),
-                }
-            }
+            sweep(&mut rows, "particlefilter", anchor, |policy, prec| {
+                bench.evaluate_with_policy_at(&args.cfg, &model_path, policy, prec)
+            });
         }
         Err(e) => eprintln!("[fig10] particlefilter skipped: {e}"),
     }
@@ -142,12 +185,15 @@ fn main() {
         "\nReading the frontier: tight budgets trade the surrogate's speedup \
          for the original code's accuracy (fallback% -> 100); budgets above \
          the model's true error keep the surrogate serving with shadow \
-         overhead proportional to the sample rate."
+         overhead proportional to the sample rate. On the precision rows, \
+         bf16/int8 cut the weight bytes streamed per forward pass while the \
+         ladder demotes any rung whose rolling error crosses the budget."
     );
     hpacml_bench::write_csv(
         &args.results_dir,
         "fig10.csv",
-        "benchmark,error_budget,speedup,qoi_error,fallback_fraction,validated,disables,reenables",
+        "benchmark,precision,error_budget,speedup,qoi_error,fallback_fraction,validated,\
+         disables,reenables,precision_demotes,precision_promotes",
         &rows,
     );
 }

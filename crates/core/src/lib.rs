@@ -68,6 +68,15 @@
 //! falls back to the (bit-identical) host code when the rolling error
 //! exceeds the budget — re-enabling once a window of probes recovers. See
 //! the [`validate`] module docs.
+//!
+//! **Reduced-precision serving** rides the same loop: a [`PrecisionPolicy`]
+//! attached with [`Region::set_precision_policy`] quantizes the region's
+//! model (bf16 or int8 weights, f32 accumulation), calibrates the quantized
+//! rungs on collected input rows from the region db, and installs an
+//! `int8 → bf16 → f32 → host` demotion ladder into the validation
+//! controller — over-budget windows demote one rung at a time before the
+//! surrogate is disabled outright, and sustained healthy windows promote
+//! back toward the target.
 
 pub mod error;
 pub mod exec;
@@ -80,7 +89,9 @@ pub mod validate;
 
 pub use error::CoreError;
 pub use exec::{Invocation, Outcome, PathTaken};
-pub use region::{Region, RegionBuilder};
+pub use hpacml_nn::PrecisionPolicy;
+pub use hpacml_tensor::Precision;
+pub use region::{PrecisionReport, Region, RegionBuilder};
 pub use registry::{registered_regions, RegionRecord};
 pub use serve::BatchServer;
 pub use session::{Session, SessionOutcome, SessionRun};

@@ -3,18 +3,19 @@
 use crate::registry::{register, RegionRecord};
 use crate::session::{Session, SessionCore, SessionKey};
 use crate::timing::RegionStats;
-use crate::validate::{ErrorMetric, RegionValidation};
+use crate::validate::{ErrorMetric, FallbackController, RegionValidation};
 use crate::{CoreError, Result};
 use hpacml_bridge::{CompiledMap, PlanCache, PlanKey};
 use hpacml_directive::ast::{Direction, Directive, MapDirective, MlDirective, MlMode};
 use hpacml_directive::parse::parse_directives;
 use hpacml_directive::sema::{analyze, Bindings, FunctorInfo};
-use hpacml_nn::SavedModel;
+use hpacml_nn::{InferWorkspace, PrecisionPolicy, SavedModel};
 use hpacml_store::H5File;
+use hpacml_tensor::{Precision, Tensor};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// An annotated code region — the unit HPAC-ML can replace with a surrogate.
@@ -50,6 +51,29 @@ pub struct Region {
     validation: Mutex<Option<Arc<RegionValidation>>>,
     /// Operator override: route every invocation onto the host code.
     forced_fallback: AtomicBool,
+    /// Precision tag ([`Precision::tag`]) the next surrogate pass serves
+    /// at — lock-free mirror of the controller's current ladder rung.
+    serve_precision: AtomicU8,
+    /// Report of the last [`Region::set_precision_policy`] call.
+    precision: Mutex<Option<PrecisionReport>>,
+}
+
+/// What [`Region::set_precision_policy`] did: the quantization target, how
+/// many layers grew reduced-precision packs, and the calibration evidence
+/// from the region's collected input rows.
+#[derive(Debug, Clone)]
+pub struct PrecisionReport {
+    /// The coarsest rung of the installed demotion ladder.
+    pub target: Precision,
+    /// Layers that built reduced-precision weight packs.
+    pub quantized_layers: usize,
+    /// Collected input rows read from the region db for calibration
+    /// (0 when the region has no db or no collected inputs yet).
+    pub calib_rows: usize,
+    /// Per-rung RMSE of the quantized forward against the f32 forward over
+    /// the calibration rows, coarsest rung first. Empty when no rows were
+    /// available.
+    pub calib_errors: Vec<(Precision, f64)>,
 }
 
 impl Region {
@@ -126,6 +150,140 @@ impl Region {
         self.plans.clear();
         *self.model.lock() = None;
         self.sessions.lock().clear();
+    }
+
+    /// Attach a reduced-precision serving policy: reload the region's model,
+    /// quantize it for `policy.target` (per-layer bf16/int8 weight packs with
+    /// f32 accumulation — see `hpacml_nn::fuse`), **calibrate** the quantized
+    /// rungs against the f32 forward on up to `policy.max_calib_rows`
+    /// collected input rows from the region db, and install the matching
+    /// demotion ladder (`int8 → bf16 → f32 → host`) into the validation
+    /// controller when a [`crate::ValidationPolicy`] is attached.
+    ///
+    /// Subsequent surrogate passes serve at [`Region::serve_precision`],
+    /// which the controller demotes/promotes as the rolling validation error
+    /// crosses the budget (see [`crate::validate`]). An `F32` target reverts
+    /// to full-precision serving and removes the ladder. Sessions built
+    /// *before* this call keep the model they compiled against — rebuild
+    /// them to pick up the quantized packs.
+    pub fn set_precision_policy(&self, policy: &PrecisionPolicy) -> Result<PrecisionReport> {
+        let path = self.model_path().ok_or_else(|| {
+            CoreError::Region(format!(
+                "region `{}`: set_precision_policy requires a model(...) clause or set_model_path",
+                self.name
+            ))
+        })?;
+        // Fresh load so re-targeting never stacks packs built for an earlier
+        // policy; `load_model` compiles the network for inference.
+        let mut model = hpacml_nn::serialize::load_model(&path)?;
+        let quantized_layers = model.quantize(policy.target);
+        let (calib_rows, batch) = self.calibration_batch(&model, policy.max_calib_rows)?;
+        let mut calib_errors = Vec::new();
+        if let Some(x) = &batch {
+            let mut ws = InferWorkspace::new();
+            let reference = model.infer_with_at(&mut ws, x, Precision::F32)?.clone();
+            for prec in FallbackController::ladder_for(policy.target) {
+                if prec == Precision::F32 {
+                    break;
+                }
+                let y = model.infer_with_at(&mut ws, x, prec)?;
+                let mut acc = 0.0f64;
+                for (r, a) in reference.data().iter().zip(y.data()) {
+                    let d = (*r - *a) as f64;
+                    acc += d * d;
+                }
+                let rmse = (acc / reference.numel().max(1) as f64).sqrt();
+                calib_errors.push((prec, rmse));
+            }
+        }
+        // Serve the quantized model: swap the resolved handle in place and
+        // drop compiled session cores that captured the old one.
+        *self.model.lock() = Some((path, Arc::new(model)));
+        self.sessions.lock().clear();
+        self.set_serve_precision(policy.target);
+        if let Some(v) = self.validation() {
+            v.install_ladder(FallbackController::ladder_for(policy.target));
+        }
+        let report = PrecisionReport {
+            target: policy.target,
+            quantized_layers,
+            calib_rows,
+            calib_errors,
+        };
+        *self.precision.lock() = Some(report.clone());
+        Ok(report)
+    }
+
+    /// The precision the next surrogate pass serves at: the policy target,
+    /// as demoted/promoted by the validation controller. `F32` when no
+    /// precision policy is attached.
+    pub fn serve_precision(&self) -> Precision {
+        Precision::from_tag(self.serve_precision.load(Ordering::Relaxed)).unwrap_or(Precision::F32)
+    }
+
+    pub(crate) fn set_serve_precision(&self, p: Precision) {
+        self.serve_precision.store(p.tag(), Ordering::Relaxed);
+    }
+
+    /// The report of the last [`Region::set_precision_policy`] call.
+    pub fn precision_report(&self) -> Option<PrecisionReport> {
+        self.precision.lock().clone()
+    }
+
+    /// The quantization target of the attached precision policy, if any.
+    pub(crate) fn precision_target(&self) -> Option<Precision> {
+        self.precision.lock().as_ref().map(|r| r.target)
+    }
+
+    /// Assemble up to `max_rows` collected input rows from the region db
+    /// into one forward batch shaped for `model`: row `r` concatenates every
+    /// declared input's dataset row `r` (declaration order), mirroring the
+    /// session assembly layout. Returns `(rows_read, batch)` — `(0, None)`
+    /// when the region has no db, no collected inputs, or the rows do not
+    /// tile the model's input shape.
+    fn calibration_batch(
+        &self,
+        model: &SavedModel,
+        max_rows: usize,
+    ) -> Result<(usize, Option<Tensor>)> {
+        if max_rows == 0 || self.db_path().is_none() {
+            return Ok((0, None));
+        }
+        let input_order = &self.input_order;
+        let mut rows = 0usize;
+        let mut feat_total = 0usize;
+        let mut data: Vec<f32> = Vec::new();
+        self.with_db(|name, file| {
+            let Ok(group) = file.root().group(name).and_then(|g| g.group("inputs")) else {
+                return Ok(());
+            };
+            let mut avail = usize::MAX;
+            for input in input_order {
+                let Ok(ds) = group.dataset(input) else {
+                    return Ok(());
+                };
+                avail = avail.min(ds.rows());
+                feat_total += ds.entry_numel();
+            }
+            rows = avail.min(max_rows);
+            data.reserve(rows * feat_total);
+            for r in 0..rows {
+                for input in input_order {
+                    let ds = group.dataset(input)?;
+                    data.extend_from_slice(&ds.read_row_f32(r)?);
+                }
+            }
+            Ok(())
+        })?;
+        let per_sample: usize = model.spec.input_shape.iter().product::<usize>().max(1);
+        let total = rows * feat_total;
+        if total == 0 || !total.is_multiple_of(per_sample) {
+            return Ok((0, None));
+        }
+        let mut dims = Vec::with_capacity(1 + model.spec.input_shape.len());
+        dims.push(total / per_sample);
+        dims.extend_from_slice(&model.spec.input_shape);
+        Ok((rows, Some(Tensor::from_vec(data, dims)?)))
     }
 
     /// Path of the data-collection database.
@@ -556,6 +714,8 @@ impl RegionBuilder {
             sessions: Mutex::new(HashMap::new()),
             validation: Mutex::new(None),
             forced_fallback: AtomicBool::new(false),
+            serve_precision: AtomicU8::new(Precision::F32.tag()),
+            precision: Mutex::new(None),
         })
     }
 }

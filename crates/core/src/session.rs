@@ -462,7 +462,11 @@ impl SessionCore {
             ..
         } = scratch;
         staged.reshape_in_place(dims_buf)?;
-        let (y, inference_ns) = timed(|| state.model.infer_with(ws, staged));
+        // Serve at the region's current precision rung: the quantization
+        // target, as demoted/promoted by the validation controller. Layers
+        // without a pack for the rung fall through to the next finer one.
+        let prec = region.serve_precision();
+        let (y, inference_ns) = timed(|| state.model.infer_with_at(ws, staged, prec));
         std::mem::swap(out, y?);
         Ok(inference_ns)
     }

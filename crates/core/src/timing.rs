@@ -58,6 +58,13 @@ pub struct RegionStats {
     /// Times the controller re-enabled the surrogate after a recovered
     /// window of probes.
     pub surrogate_reenables: u64,
+    /// Times the controller demoted the serving precision one rung toward
+    /// full f32 (an over-budget window at a reduced-precision rung).
+    pub precision_demotes: u64,
+    /// Times the controller promoted the serving precision one rung back
+    /// toward the quantization target (a doubled window of healthy
+    /// observations).
+    pub precision_promotes: u64,
 }
 
 impl RegionStats {

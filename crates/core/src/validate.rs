@@ -52,6 +52,7 @@
 
 use crate::region::Region;
 use crate::{CoreError, Result};
+use hpacml_tensor::Precision;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -198,13 +199,25 @@ impl ValidationPolicy {
 ///
 /// Rules, per observed error:
 ///
-/// * **Disable** exactly when the surrogate is enabled and the rolling mean
-///   of the last `window` observations exceeds `budget`.
+/// * **Disable** exactly when the surrogate is enabled, the rolling mean
+///   of the last `window` observations exceeds `budget`, and there is no
+///   finer precision rung left to demote to.
 /// * **Re-enable** only when the surrogate is disabled, at least `window`
 ///   observations have arrived since the disable (the hysteresis span, so
 ///   the rolling mean consists entirely of post-disable probes), and that
 ///   rolling mean is back within budget. Re-enabling therefore never
 ///   oscillates within one window of a disable.
+///
+/// With a **precision ladder** installed ([`FallbackController::with_ladder`],
+/// rungs ordered coarsest first, e.g. `[Int8, Bf16, F32]`), an over-budget
+/// window first **demotes** one rung toward full precision — clearing the
+/// window so the finer rung is judged on its own evidence — and only an
+/// over-budget window on the *last* rung disables the surrogate outright.
+/// Symmetrically, `2 * window` consecutive under-budget observations
+/// **promote** one rung back toward the coarse target (the same doubled-span
+/// hysteresis that keeps disable/re-enable from oscillating). A re-enable
+/// after a full disable lands on the last (finest) rung and heals downward
+/// from there.
 ///
 /// ```
 /// use hpacml_core::FallbackController;
@@ -226,6 +239,16 @@ pub struct FallbackController {
     cooldown: usize,
     disables: u64,
     reenables: u64,
+    /// Serving-precision rungs, coarsest (cheapest) first. Empty = no
+    /// precision management (the pre-ladder disable/re-enable behavior).
+    ladder: Vec<Precision>,
+    /// Index of the rung currently served.
+    rung: usize,
+    /// Consecutive under-budget observations at the current rung (promotion
+    /// hysteresis counter).
+    stable: usize,
+    demotes: u64,
+    promotes: u64,
 }
 
 impl FallbackController {
@@ -238,12 +261,58 @@ impl FallbackController {
             cooldown: 0,
             disables: 0,
             reenables: 0,
+            ladder: Vec::new(),
+            rung: 0,
+            stable: 0,
+            demotes: 0,
+            promotes: 0,
+        }
+    }
+
+    /// Install a serving-precision ladder, coarsest rung first. See the
+    /// type docs for the demotion/promotion rules.
+    pub fn with_ladder(mut self, ladder: Vec<Precision>) -> Self {
+        self.set_ladder(ladder);
+        self
+    }
+
+    /// Replace the ladder and restart at its coarsest rung with a fresh
+    /// window.
+    pub fn set_ladder(&mut self, ladder: Vec<Precision>) {
+        self.ladder = ladder;
+        self.rung = 0;
+        self.stable = 0;
+        self.errors.clear();
+    }
+
+    /// The canonical ladder for a quantization target: every rung from the
+    /// target up to full precision, or no ladder at all for an `F32` target.
+    pub fn ladder_for(target: Precision) -> Vec<Precision> {
+        match target {
+            Precision::Int8 => vec![Precision::Int8, Precision::Bf16, Precision::F32],
+            Precision::Bf16 => vec![Precision::Bf16, Precision::F32],
+            Precision::F32 => Vec::new(),
         }
     }
 
     /// Whether the surrogate is currently allowed.
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The precision rung currently served, when a ladder is installed.
+    pub fn precision(&self) -> Option<Precision> {
+        self.ladder.get(self.rung).copied()
+    }
+
+    /// Index of the current rung (0 = coarsest).
+    pub fn rung(&self) -> usize {
+        self.rung
+    }
+
+    /// Lifetime demote / promote transition counts.
+    pub fn precision_transitions(&self) -> (u64, u64) {
+        (self.demotes, self.promotes)
     }
 
     /// Mean error over the current window (0 when nothing observed yet).
@@ -270,11 +339,32 @@ impl FallbackController {
         let rolling = self.rolling();
         if self.enabled {
             if rolling > self.budget {
-                self.enabled = false;
-                self.disables += 1;
-                self.cooldown = self.window;
+                self.stable = 0;
+                if self.rung + 1 < self.ladder.len() {
+                    // Demote one rung toward full precision; the finer rung
+                    // is judged on its own evidence, not the coarse rung's
+                    // over-budget window.
+                    self.rung += 1;
+                    self.demotes += 1;
+                    self.errors.clear();
+                } else {
+                    self.enabled = false;
+                    self.disables += 1;
+                    self.cooldown = self.window;
+                }
+            } else {
+                self.stable += 1;
+                if self.rung > 0 && self.stable >= 2 * self.window {
+                    // A doubled window of healthy observations: promote one
+                    // rung back toward the coarse target.
+                    self.rung -= 1;
+                    self.promotes += 1;
+                    self.stable = 0;
+                    self.errors.clear();
+                }
             }
         } else {
+            self.stable = 0;
             if self.cooldown > 0 {
                 self.cooldown -= 1;
             }
@@ -291,11 +381,15 @@ impl FallbackController {
 // Per-region shared state
 // ---------------------------------------------------------------------------
 
-/// A disable / re-enable transition reported by one observation.
+/// A disable / re-enable / precision transition reported by one observation.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct Transition {
     pub disabled: bool,
     pub reenabled: bool,
+    /// The controller moved one rung toward full precision.
+    pub demoted: bool,
+    /// The controller moved one rung back toward the coarse target.
+    pub promoted: bool,
 }
 
 /// The region-attached validation state: the immutable policy, the sampling
@@ -333,6 +427,17 @@ impl RegionValidation {
         self.controller.lock().rolling()
     }
 
+    /// Current precision rung, when the controller has a ladder.
+    pub(crate) fn precision(&self) -> Option<Precision> {
+        self.controller.lock().precision()
+    }
+
+    /// Install (or replace) the controller's precision ladder; it restarts
+    /// at the coarsest rung with a fresh window.
+    pub(crate) fn install_ladder(&self, ladder: Vec<Precision>) {
+        self.controller.lock().set_ladder(ladder);
+    }
+
     /// Claim the next invocation sequence number and decide whether this
     /// invocation (a flush of `n` logical samples) is shadow-validated. On a
     /// draw, fills `offsets` with the in-batch sample indices to compare
@@ -362,11 +467,15 @@ impl RegionValidation {
     pub(crate) fn observe(&self, error: f64) -> Transition {
         let mut c = self.controller.lock();
         let before = c.enabled();
+        let rung_before = c.rung();
         let after = c.observe(error);
+        let rung_after = c.rung();
         self.enabled.store(after, Ordering::Relaxed);
         Transition {
             disabled: before && !after,
             reenabled: !before && after,
+            demoted: rung_after > rung_before,
+            promoted: rung_after < rung_before,
         }
     }
 }
@@ -464,7 +573,17 @@ impl Region {
     /// module docs.
     pub fn set_validation_policy(&self, policy: ValidationPolicy) -> Result<()> {
         policy.validate()?;
-        *self.validation_slot().lock() = Some(Arc::new(RegionValidation::new(policy)));
+        let v = Arc::new(RegionValidation::new(policy));
+        // A precision policy attached earlier hands its demotion ladder to
+        // the fresh controller, so validation immediately gates the
+        // quantized serving precision too.
+        if let Some(target) = self.precision_target() {
+            let ladder = FallbackController::ladder_for(target);
+            if !ladder.is_empty() {
+                v.install_ladder(ladder);
+            }
+        }
+        *self.validation_slot().lock() = Some(v);
         Ok(())
     }
 
@@ -527,15 +646,27 @@ impl Region {
     ) -> Result<()> {
         let mut disables = 0u64;
         let mut reenables = 0u64;
+        let mut demotes = 0u64;
+        let mut promotes = 0u64;
         for &err in errors {
             let t = v.observe(err);
             disables += t.disabled as u64;
             reenables += t.reenabled as u64;
+            demotes += t.demoted as u64;
+            promotes += t.promoted as u64;
+        }
+        // Keep the region's lock-free serving-precision mirror in step with
+        // the controller's rung, so the next surrogate pass runs at the
+        // (possibly demoted or healed) precision.
+        if let Some(p) = v.precision() {
+            self.set_serve_precision(p);
         }
         self.update_stats(|s| {
             s.validated_invocations += errors.len() as u64;
             s.surrogate_disables += disables;
             s.surrogate_reenables += reenables;
+            s.precision_demotes += demotes;
+            s.precision_promotes += promotes;
             s.validation_shadow_ns += shadow_ns;
         });
         self.record_validation_rows(seq, v.policy().metric, errors)
@@ -594,6 +725,77 @@ mod tests {
     fn controller_treats_nan_as_failure() {
         let mut c = FallbackController::new(1.0, 1);
         assert!(!c.observe(f64::NAN));
+    }
+
+    #[test]
+    fn ladder_demotes_before_disabling() {
+        let mut c = FallbackController::new(0.5, 2)
+            .with_ladder(FallbackController::ladder_for(Precision::Int8));
+        assert_eq!(c.precision(), Some(Precision::Int8));
+        // Over budget at int8: demote, stay enabled, fresh window.
+        assert!(c.observe(2.0));
+        assert_eq!(c.precision(), Some(Precision::Bf16));
+        assert_eq!(c.precision_transitions(), (1, 0));
+        // Over budget at bf16 too: demote to f32, still enabled.
+        assert!(c.observe(2.0));
+        assert_eq!(c.precision(), Some(Precision::F32));
+        // Over budget on the last rung: now disable, exactly as unladdered.
+        assert!(!c.observe(2.0));
+        assert_eq!(c.transitions(), (1, 0));
+        assert_eq!(c.precision(), Some(Precision::F32));
+    }
+
+    #[test]
+    fn ladder_promotes_after_doubled_stable_window() {
+        let mut c = FallbackController::new(0.5, 2)
+            .with_ladder(FallbackController::ladder_for(Precision::Int8));
+        assert!(c.observe(2.0)); // int8 -> bf16
+        assert_eq!(c.precision(), Some(Precision::Bf16));
+        // 2 * window = 4 consecutive healthy observations heal one rung.
+        for _ in 0..3 {
+            assert!(c.observe(0.1));
+            assert_eq!(c.precision(), Some(Precision::Bf16));
+        }
+        assert!(c.observe(0.1));
+        assert_eq!(c.precision(), Some(Precision::Int8));
+        assert_eq!(c.precision_transitions(), (1, 1));
+        // An over-budget window resets the stability count.
+        assert!(c.observe(2.0));
+        assert_eq!(c.precision(), Some(Precision::Bf16));
+        assert!(c.observe(2.0)); // demoted again: f32
+        assert_eq!(c.precision(), Some(Precision::F32));
+    }
+
+    #[test]
+    fn ladder_reenable_lands_on_finest_rung() {
+        let mut c = FallbackController::new(0.5, 1)
+            .with_ladder(FallbackController::ladder_for(Precision::Bf16));
+        assert!(c.observe(2.0)); // bf16 -> f32
+        assert!(!c.observe(2.0)); // f32 over budget: disabled
+        assert!(c.observe(0.0)); // window-1 cooldown: one good probe re-enables
+        assert_eq!(c.precision(), Some(Precision::F32));
+        // Healing continues down the ladder after 2 * window stable
+        // observations at f32.
+        assert!(c.observe(0.0));
+        assert_eq!(c.precision(), Some(Precision::F32));
+        assert!(c.observe(0.0));
+        assert_eq!(c.precision(), Some(Precision::Bf16));
+    }
+
+    #[test]
+    fn ladder_for_targets() {
+        assert_eq!(
+            FallbackController::ladder_for(Precision::Int8),
+            vec![Precision::Int8, Precision::Bf16, Precision::F32]
+        );
+        assert_eq!(
+            FallbackController::ladder_for(Precision::Bf16),
+            vec![Precision::Bf16, Precision::F32]
+        );
+        assert!(FallbackController::ladder_for(Precision::F32).is_empty());
+        // No ladder: plain disable/re-enable, no precision to report.
+        let c = FallbackController::new(1.0, 2);
+        assert_eq!(c.precision(), None);
     }
 
     #[test]

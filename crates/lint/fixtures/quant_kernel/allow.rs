@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): the canonical quantized inner loop —
+// each stored weight decodes to one f32 and joins the same ascending-k
+// add/mul accumulator chain the full-precision kernel runs. No FMA, no
+// clocks: nothing for the kernel rules to flag.
+pub fn dequant_dot(a: &[f32], q: &[i8], scale: f32) -> f32 {
+    let mut acc = 0.0f32;
+    for k in 0..a.len() {
+        let w = q[k] as f32 * scale;
+        acc += a[k] * w;
+    }
+    acc
+}

@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): a quantized-GEMM inner loop that breaks
+// the determinism contract twice — FMA contraction in the dequantize-
+// accumulate chain, and wall-clock timing inside kernel code.
+use std::time::Instant;
+
+pub fn dequant_dot(a: &[f32], q: &[i8], scale: f32) -> (f32, u128) {
+    let t0 = Instant::now();
+    let mut acc = 0.0f32;
+    for k in 0..a.len() {
+        acc = a[k].mul_add(q[k] as f32 * scale, acc);
+    }
+    (acc, t0.elapsed().as_nanos())
+}

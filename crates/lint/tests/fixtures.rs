@@ -43,6 +43,33 @@ fn no_fma_is_scoped_to_kernel_crates() {
 }
 
 #[test]
+fn quant_kernel_path_is_in_kernel_scope() {
+    // `crates/tensor/src/quant.rs` (the reduced-precision GEMM subsystem)
+    // must sit inside the kernel-scope prefix: a dequantize-accumulate loop
+    // with FMA contraction and wall-clock timing draws both kernel rules.
+    let f = lint(
+        "crates/tensor/src/quant.rs",
+        include_str!("../fixtures/quant_kernel/fire.rs"),
+    );
+    assert_eq!(
+        rules_of(&f),
+        ["no-wall-clock", "no-wall-clock", "no-fma"],
+        "{f:?}"
+    );
+}
+
+#[test]
+fn quant_kernel_canonical_loop_is_clean() {
+    // The shipped idiom — decode each weight to one canonical f32, then the
+    // same separate mul/add chain as the f32 kernel — lints clean.
+    let f = lint(
+        "crates/tensor/src/quant.rs",
+        include_str!("../fixtures/quant_kernel/allow.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
 fn no_wall_clock_fires_on_instant_and_import() {
     let f = lint(
         "crates/nn/src/fixture.rs",

@@ -26,6 +26,7 @@
 //! inference-only (its backward pass no longer sees the removed layers).
 
 use crate::model::Sequential;
+use hpacml_tensor::quant::Precision;
 
 /// What [`compile_for_inference`] did to a model — surfaced so runtimes
 /// and benches can attribute their speedups.
@@ -37,6 +38,78 @@ pub struct CompileInfo {
     pub fused_activations: usize,
     /// Layers whose weights were pre-packed into panel layouts.
     pub packed_layers: usize,
+    /// Layers that built reduced-precision packs (quantize stage).
+    pub quantized_layers: usize,
+}
+
+/// Per-layer weight precision for the compile pass's quantization stage.
+///
+/// `target` is the *coarsest* rung the model will serve at; the stage
+/// builds that pack plus every finer one (int8 target also builds bf16)
+/// so the online-validation demotion ladder int8 → bf16 → f32 moves by a
+/// pointer swap, never a repack. Accumulation is always f32 — the policy
+/// only changes how many bytes per weight the forward pass streams.
+///
+/// `max_calib_rows` bounds how many collected input rows the runtime
+/// reads from the region db to score the quantized model against the f32
+/// one before it serves (`Region::set_precision_policy` in
+/// `hpacml-core`); `0` skips calibration scoring entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecisionPolicy {
+    /// Coarsest precision to serve at (the ladder's starting rung).
+    pub target: Precision,
+    /// Calibration-row budget for db-driven scoring (0 = skip).
+    pub max_calib_rows: usize,
+}
+
+impl Default for PrecisionPolicy {
+    fn default() -> Self {
+        PrecisionPolicy {
+            target: Precision::F32,
+            max_calib_rows: 256,
+        }
+    }
+}
+
+impl PrecisionPolicy {
+    /// Policy targeting an arbitrary precision (the parametric form of
+    /// [`f32`](Self::f32)/[`bf16`](Self::bf16)/[`int8`](Self::int8)).
+    pub fn at(target: Precision) -> Self {
+        PrecisionPolicy {
+            target,
+            ..Default::default()
+        }
+    }
+
+    /// Full-precision policy — compile behaves exactly as before.
+    pub fn f32() -> Self {
+        PrecisionPolicy {
+            target: Precision::F32,
+            ..Default::default()
+        }
+    }
+
+    /// Serve bf16 weights (2x weight bandwidth).
+    pub fn bf16() -> Self {
+        PrecisionPolicy {
+            target: Precision::Bf16,
+            ..Default::default()
+        }
+    }
+
+    /// Serve int8 weights (4x weight bandwidth), bf16 + f32 rungs ready.
+    pub fn int8() -> Self {
+        PrecisionPolicy {
+            target: Precision::Int8,
+            ..Default::default()
+        }
+    }
+
+    /// Bound the calibration rows read from the region db (0 = skip).
+    pub fn with_max_calib_rows(mut self, rows: usize) -> Self {
+        self.max_calib_rows = rows;
+        self
+    }
 }
 
 /// Compile a model for inference: drop identities, fuse activations into
@@ -65,6 +138,22 @@ pub fn compile_for_inference(model: &mut Sequential) -> CompileInfo {
     for l in layers.iter_mut() {
         if l.prepack() {
             info.packed_layers += 1;
+        }
+    }
+    info
+}
+
+/// [`compile_for_inference`] plus a quantization stage: after fusing and
+/// packing, each layer that supports reduced precision builds packs for
+/// `policy.target` and every finer ladder rung. With an `F32` target this
+/// is exactly `compile_for_inference`.
+pub fn compile_for_inference_with(model: &mut Sequential, policy: &PrecisionPolicy) -> CompileInfo {
+    let mut info = compile_for_inference(model);
+    if policy.target != Precision::F32 {
+        for l in model.layers_mut().iter_mut() {
+            if l.quantize(policy.target) {
+                info.quantized_layers += 1;
+            }
         }
     }
     info
@@ -200,6 +289,80 @@ mod tests {
         let _ = m.export_weights();
         let again = m.forward(&x).unwrap();
         assert_eq!(after.data(), again.data());
+    }
+
+    #[test]
+    fn quantize_stage_builds_ladder_packs() {
+        let spec = ModelSpec::mlp(6, &[32, 16], 2, Activation::Tanh, 0.25);
+        // int8 target: every Linear gets int8 + bf16 rungs.
+        let mut m = spec.build(7).unwrap();
+        let info = compile_for_inference_with(&mut m, &PrecisionPolicy::int8());
+        assert_eq!(info.quantized_layers, 3);
+        assert_eq!(info.packed_layers, 3);
+        // f32 target is exactly the plain pass.
+        let mut m3 = spec.build(7).unwrap();
+        let info3 = compile_for_inference_with(&mut m3, &PrecisionPolicy::f32());
+        assert_eq!(info3.quantized_layers, 0);
+        assert_eq!(compile_for_inference(&mut spec.build(7).unwrap()), info3);
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_and_honors_the_ladder() {
+        use hpacml_tensor::quant::Precision;
+        let spec = ModelSpec::mlp(6, &[32, 16], 2, Activation::Tanh, 0.0);
+        let mut m = spec.build(11).unwrap();
+        compile_for_inference_with(&mut m, &PrecisionPolicy::int8());
+        let x = Tensor::from_shape_fn([9, 6], |ix| (ix[0] as f32 - ix[1] as f32) * 0.17);
+        let mut ws = crate::ForwardWorkspace::new();
+        let f32_y = ws.forward_at(&m, &x, Precision::F32).unwrap().clone();
+        let bf16_y = ws.forward_at(&m, &x, Precision::Bf16).unwrap().clone();
+        let int8_y = ws.forward_at(&m, &x, Precision::Int8).unwrap().clone();
+        // Quantized serving approximates f32 — close, not equal.
+        for ((q, b), f) in int8_y.data().iter().zip(bf16_y.data()).zip(f32_y.data()) {
+            assert!((q - f).abs() < 0.1, "int8 drifted: {q} vs {f}");
+            assert!((b - f).abs() < 0.05, "bf16 drifted: {b} vs {f}");
+        }
+        // F32 serving of a quantized model is the plain compiled forward.
+        assert_eq!(f32_y.data(), m.forward(&x).unwrap().data());
+
+        // A bf16-target model asked for int8 serves its coarsest rung —
+        // bf16 — bit for bit (the ladder fallthrough rule).
+        let mut mb = spec.build(11).unwrap();
+        compile_for_inference_with(&mut mb, &PrecisionPolicy::bf16());
+        let bf16_only = ws.forward_at(&mb, &x, Precision::Int8).unwrap().clone();
+        assert_eq!(bf16_only.data(), bf16_y.data());
+    }
+
+    #[test]
+    fn visiting_params_refreshes_quantized_packs() {
+        use hpacml_tensor::quant::Precision;
+        let spec = ModelSpec::mlp(3, &[6], 1, Activation::ReLU, 0.0);
+        let mut m = spec.build(9).unwrap();
+        compile_for_inference_with(&mut m, &PrecisionPolicy::int8());
+        let x = Tensor::full([4, 3], 0.25f32);
+        let mut ws = crate::ForwardWorkspace::new();
+        let before = ws.forward_at(&m, &x, Precision::Int8).unwrap().clone();
+        m.visit_params(&mut |p| {
+            for v in p.value.data_mut() {
+                *v *= 2.0;
+            }
+        });
+        let after = ws.forward_at(&m, &x, Precision::Int8).unwrap().clone();
+        assert_ne!(
+            before.data(),
+            after.data(),
+            "quantized forward must see the mutated weights, not stale panels"
+        );
+        // And the refreshed pack is the same as packing the new weights.
+        let mut fresh = spec.build(9).unwrap();
+        fresh.visit_params(&mut |p| {
+            for v in p.value.data_mut() {
+                *v *= 2.0;
+            }
+        });
+        compile_for_inference_with(&mut fresh, &PrecisionPolicy::int8());
+        let want = ws.forward_at(&fresh, &x, Precision::Int8).unwrap().clone();
+        assert_eq!(after.data(), want.data());
     }
 
     #[test]

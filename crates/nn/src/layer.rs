@@ -8,6 +8,7 @@
 use crate::{NnError, Result};
 use hpacml_tensor::gemm::{self, Act, Epilogue, PackedA, PackedB};
 use hpacml_tensor::ops::{self, Conv2dGeom};
+use hpacml_tensor::quant::{self, Precision, QPackedB};
 use hpacml_tensor::Tensor;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -110,6 +111,26 @@ pub trait Layer: Send + Sync {
     fn scratch_hint(&self, _in_dims: &[usize]) -> (usize, usize, usize) {
         (0, 0, 0)
     }
+
+    /// Pure forward pass at a serving precision. Layers that carry
+    /// reduced-precision weight packs (see [`Layer::quantize`]) route to
+    /// their quantized kernel; everything else — and every layer at
+    /// `F32` — falls back to [`Layer::forward_into`]. A layer asked for a
+    /// precision it has no pack for serves the next finer one it does
+    /// have (int8 → bf16 → f32), so a mixed-precision model is always
+    /// well-defined at every ladder rung.
+    fn forward_into_at(&self, x: &Tensor, out: &mut Tensor, _prec: Precision) -> Result<()> {
+        self.forward_into(x, out)
+    }
+
+    /// Build reduced-precision weight packs so the layer can serve at
+    /// `target` — and at every finer rung of the demotion ladder up to
+    /// f32, since the online-validation controller may demote at any
+    /// time. Returns `true` if anything was quantized. `F32` is a no-op
+    /// (the f32 panels from [`Layer::prepack`] are that rung).
+    fn quantize(&mut self, _target: Precision) -> bool {
+        false
+    }
 }
 
 fn missing_cache(layer: &'static str) -> NnError {
@@ -132,6 +153,11 @@ pub struct Linear {
     pub b: Param,
     /// Panel-packed weights (compile pass; inference only).
     packed: Option<PackedB<f32>>,
+    /// Reduced-precision weight panels (quantize pass; inference only).
+    /// Both rungs below f32 are kept so the validation-driven demotion
+    /// ladder (int8 → bf16 → f32) can move without repacking.
+    q_bf16: Option<QPackedB>,
+    q_int8: Option<QPackedB>,
     /// Activation fused into the epilogue (compile pass; inference only).
     act: Option<Act>,
     cache_x: Option<Tensor>,
@@ -145,6 +171,8 @@ impl Linear {
             w: Param::new(Tensor::from_vec(w, [out_features, in_features]).expect("init size")),
             b: Param::new(Tensor::from_vec(b, [out_features]).expect("init size")),
             packed: None,
+            q_bf16: None,
+            q_int8: None,
             act: None,
             cache_x: None,
         }
@@ -155,6 +183,8 @@ impl Linear {
             w: Param::new(w),
             b: Param::new(b),
             packed: None,
+            q_bf16: None,
+            q_int8: None,
             act: None,
             cache_x: None,
         }
@@ -177,6 +207,27 @@ impl Linear {
     pub fn is_packed(&self) -> bool {
         self.packed.is_some()
     }
+
+    /// Does this layer carry a reduced-precision pack for `prec`?
+    /// (`F32` asks about the plain packed panels.)
+    pub fn has_precision(&self, prec: Precision) -> bool {
+        match prec {
+            Precision::F32 => self.packed.is_some(),
+            Precision::Bf16 => self.q_bf16.is_some(),
+            Precision::Int8 => self.q_int8.is_some(),
+        }
+    }
+
+    /// The quantized pack serving requests at `prec`, honoring the
+    /// fallthrough rule (a missing int8 pack serves bf16; a missing bf16
+    /// pack serves f32 — i.e. `None`).
+    fn qpack_for(&self, prec: Precision) -> Option<&QPackedB> {
+        match prec {
+            Precision::Int8 => self.q_int8.as_ref().or(self.q_bf16.as_ref()),
+            Precision::Bf16 => self.q_bf16.as_ref(),
+            Precision::F32 => None,
+        }
+    }
 }
 
 impl Layer for Linear {
@@ -197,6 +248,17 @@ impl Layer for Linear {
             None => ops::matmul_transb_into(x, &self.w.value, out, epi)?,
         }
         Ok(())
+    }
+
+    fn forward_into_at(&self, x: &Tensor, out: &mut Tensor, prec: Precision) -> Result<()> {
+        match self.qpack_for(prec) {
+            Some(q) => {
+                let epi = Epilogue::col_bias(self.b.value.data()).with_act(self.act);
+                quant::matmul_transb_qpacked_into(x, q, epi, out)?;
+                Ok(())
+            }
+            None => self.forward_into(x, out),
+        }
     }
 
     fn out_dims(&self, in_dims: &[usize]) -> Result<Vec<usize>> {
@@ -259,6 +321,12 @@ impl Layer for Linear {
         if self.packed.is_some() {
             self.prepack();
         }
+        // Same stale-pack protection for the quantized rungs.
+        if self.q_int8.is_some() {
+            self.quantize(Precision::Int8);
+        } else if self.q_bf16.is_some() {
+            self.quantize(Precision::Bf16);
+        }
     }
 
     fn param_count(&self) -> usize {
@@ -276,6 +344,31 @@ impl Layer for Linear {
 
     fn prepack(&mut self) -> bool {
         self.packed = Some(PackedB::from_transb(&self.w.value).expect("weights are rank 2"));
+        true
+    }
+
+    fn quantize(&mut self, target: Precision) -> bool {
+        if target == Precision::F32 {
+            return false;
+        }
+        // Build every rung from `target` up: the validation controller
+        // may demote int8 → bf16 → f32 at runtime, and each hop must be
+        // a pointer swap, not a repack. The f32 rung is the plain packed
+        // panels — ensure they exist so demotion lands on the fast path.
+        self.q_bf16 = Some(
+            QPackedB::from_transb(&self.w.value, Precision::Bf16).expect("weights are rank 2"),
+        );
+        if target == Precision::Int8 {
+            self.q_int8 = Some(
+                QPackedB::from_transb(&self.w.value, Precision::Int8).expect("weights are rank 2"),
+            );
+        } else {
+            // A bf16-target model must not keep serving a coarser rung.
+            self.q_int8 = None;
+        }
+        if self.packed.is_none() {
+            self.prepack();
+        }
         true
     }
 

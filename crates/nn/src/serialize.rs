@@ -8,32 +8,46 @@
 //! Layout (little-endian):
 //!
 //! ```text
-//! magic "HMLMODEL", version u8 = 1
+//! magic "HMLMODEL", version u8 = 2
+//! prec    : u8 (v2+ only — Precision tag; v1 files are implicitly f32)
 //! spec    : rank:u32, input_dims:u64*, n_layers:u32, layer*
 //! layer   : tag:u8 + per-variant fields (u64 ints / f32 floats)
 //! norm_in : present:u8 [axis:u8, len:u32, mean:f32*, std:f32*]
 //! norm_out: same
 //! weights : n:u32, { len:u64, f32* }*
 //! ```
+//!
+//! Weights are always stored at full f32 precision; the precision byte
+//! only records the *serving* target. The quantized packs are rebuilt
+//! deterministically from the f32 weights at load/compile time (bf16
+//! round-to-nearest-even and int8 abs-max scales are pure functions of
+//! the weights), so a model file never bakes in quantization error twice
+//! and older readers are only ever one byte away from compatibility.
 
 use crate::data::{NormAxis, Normalizer};
+use crate::fuse::PrecisionPolicy;
 use crate::model::Sequential;
 use crate::spec::{LayerSpec, ModelSpec};
 use crate::workspace::{with_thread_workspace, InferWorkspace};
 use crate::{NnError, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hpacml_tensor::quant::Precision;
 use hpacml_tensor::Tensor;
 use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"HMLMODEL";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+/// The previous format version (no precision byte, implicitly f32) —
+/// still accepted by [`load_model`].
+const VERSION_V1: u8 = 1;
 
 impl std::fmt::Debug for SavedModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SavedModel")
             .field("spec", &self.spec.summary())
             .field("params", &self.param_count())
+            .field("precision", &self.precision)
             .field("in_norm", &self.in_norm.is_some())
             .field("out_norm", &self.out_norm.is_some())
             .finish()
@@ -46,6 +60,9 @@ pub struct SavedModel {
     pub model: Sequential,
     pub in_norm: Option<Normalizer>,
     pub out_norm: Option<Normalizer>,
+    /// Serving precision target (the coarsest ladder rung this model was
+    /// saved/quantized for). `F32` for v1 files and unquantized models.
+    pub precision: Precision,
 }
 
 impl SavedModel {
@@ -65,12 +82,25 @@ impl SavedModel {
     /// ping-pongs inside `ws`, and denormalization happens in place on the
     /// returned output buffer.
     pub fn infer_with<'w>(&self, ws: &'w mut InferWorkspace, x: &Tensor) -> Result<&'w mut Tensor> {
+        self.infer_with_at(ws, x, self.precision)
+    }
+
+    /// [`SavedModel::infer_with`] at an explicit serving precision —
+    /// the hook the validation-driven demotion ladder uses to move
+    /// between int8/bf16/f32 without touching the model. Layers missing
+    /// a pack for `prec` serve the next finer one they have.
+    pub fn infer_with_at<'w>(
+        &self,
+        ws: &'w mut InferWorkspace,
+        x: &Tensor,
+        prec: Precision,
+    ) -> Result<&'w mut Tensor> {
         let y = match &self.in_norm {
             Some(n) => {
                 n.transform_into(x, &mut ws.staged);
-                ws.fw.forward(&self.model, &ws.staged)?
+                ws.fw.forward_at(&self.model, &ws.staged, prec)?
             }
-            None => ws.fw.forward(&self.model, x)?,
+            None => ws.fw.forward_at(&self.model, x, prec)?,
         };
         if let Some(n) = &self.out_norm {
             n.inverse_in_place(y);
@@ -108,11 +138,37 @@ impl SavedModel {
     /// by [`load_model`], so every model resolved through the engine runs
     /// the steady-state kernels. A compiled model is inference-only.
     pub fn compile(&mut self) -> crate::fuse::CompileInfo {
-        crate::fuse::compile_for_inference(&mut self.model)
+        crate::fuse::compile_for_inference_with(
+            &mut self.model,
+            &PrecisionPolicy {
+                target: self.precision,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Quantize the (already compiled) model for serving at `target`:
+    /// builds reduced-precision weight packs on every layer that supports
+    /// them and records the target as the model's serving precision.
+    /// Returns the number of layers quantized. `F32` reverts the serving
+    /// precision without touching existing packs.
+    pub fn quantize(&mut self, target: Precision) -> usize {
+        self.precision = target;
+        if target == Precision::F32 {
+            return 0;
+        }
+        let mut n = 0;
+        for l in self.model.layers_mut().iter_mut() {
+            if l.quantize(target) {
+                n += 1;
+            }
+        }
+        n
     }
 }
 
-/// Serialize a trained model (plus normalizers) to `path`.
+/// Serialize a trained model (plus normalizers) to `path` at the default
+/// f32 serving precision.
 pub fn save_model(
     path: impl AsRef<Path>,
     spec: &ModelSpec,
@@ -120,9 +176,24 @@ pub fn save_model(
     in_norm: Option<&Normalizer>,
     out_norm: Option<&Normalizer>,
 ) -> Result<()> {
+    save_model_with_precision(path, spec, model, in_norm, out_norm, Precision::F32)
+}
+
+/// [`save_model`] with an explicit serving-precision target. Weights are
+/// still stored at f32 (see the module docs); the byte only tells loaders
+/// which ladder rung to quantize for.
+pub fn save_model_with_precision(
+    path: impl AsRef<Path>,
+    spec: &ModelSpec,
+    model: &mut Sequential,
+    in_norm: Option<&Normalizer>,
+    out_norm: Option<&Normalizer>,
+    precision: Precision,
+) -> Result<()> {
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
+    buf.put_u8(precision.tag());
     encode_spec(&mut buf, spec);
     encode_norm(&mut buf, in_norm);
     encode_norm(&mut buf, out_norm);
@@ -159,11 +230,19 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<SavedModel> {
         return Err(NnError::Serialize("not an .hml model (bad magic)".into()));
     }
     let version = buf.get_u8();
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V1 {
         return Err(NnError::Serialize(format!(
             "unsupported .hml version {version}"
         )));
     }
+    // v1 files predate the precision byte and are implicitly f32.
+    let precision = if version >= 2 {
+        let tag = need_u8(&mut buf)?;
+        Precision::from_tag(tag)
+            .ok_or_else(|| NnError::Serialize(format!("bad precision tag {tag}")))?
+    } else {
+        Precision::F32
+    };
     let spec = decode_spec(&mut buf)?;
     let in_norm = decode_norm(&mut buf)?;
     let out_norm = decode_norm(&mut buf)?;
@@ -188,11 +267,13 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<SavedModel> {
         model,
         in_norm,
         out_norm,
+        precision,
     };
     // Models loaded from disk are inference models: compile once here
-    // (fusion + weight pre-packing) so every forward pass downstream —
-    // engine cache hits, compiled sessions, batched invokes — runs the
-    // steady-state kernels without ever repacking.
+    // (fusion + weight pre-packing + quantization at the recorded
+    // serving precision) so every forward pass downstream — engine cache
+    // hits, compiled sessions, batched invokes — runs the steady-state
+    // kernels without ever repacking.
     saved.compile();
     Ok(saved)
 }
@@ -435,6 +516,86 @@ mod tests {
         let raw = loaded.model.forward(&x).unwrap().data()[0];
         let scaled = loaded.infer(&x).unwrap().data()[0];
         assert!((scaled - (raw * 10.0 + 100.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn v1_files_still_load_as_f32() {
+        // Hand-write a v-previous (version 1) byte stream with the same
+        // private encoders: no precision byte, implicitly f32. Models
+        // saved before the version bump must keep loading bit-for-bit.
+        let spec = ModelSpec::mlp(3, &[8], 1, Activation::Tanh, 0.0);
+        let mut model = spec.build(6).unwrap();
+        let x = Tensor::from_shape_fn([4, 3], |ix| (ix[0] as f32 - ix[1] as f32) * 0.11);
+        let before = model.forward(&x).unwrap();
+
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION_V1);
+        encode_spec(&mut buf, &spec);
+        encode_norm(&mut buf, None);
+        encode_norm(&mut buf, None);
+        let weights = model.export_weights();
+        buf.put_u32_le(weights.len() as u32);
+        for w in &weights {
+            buf.put_u64_le(w.len() as u64);
+            for v in w {
+                buf.put_f32_le(*v);
+            }
+        }
+        let path = tmp("v1_compat.hml");
+        std::fs::write(&path, &buf).unwrap();
+
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.precision, Precision::F32);
+        assert_eq!(loaded.model.forward(&x).unwrap().data(), before.data());
+    }
+
+    #[test]
+    fn precision_tag_round_trips_and_quantizes_on_load() {
+        let spec = ModelSpec::mlp(4, &[16], 2, Activation::Tanh, 0.0);
+        let mut model = spec.build(8).unwrap();
+        let path = tmp("int8.hml");
+        save_model_with_precision(&path, &spec, &mut model, None, None, Precision::Int8).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.precision, Precision::Int8);
+
+        let x = Tensor::from_shape_fn([5, 4], |ix| (ix[0] * 4 + ix[1]) as f32 * 0.07 - 0.5);
+        let mut ws = InferWorkspace::new();
+        // The model's default serving route is its recorded precision...
+        let qy = loaded.infer_with(&mut ws, &x).unwrap().clone();
+        let qy2 = loaded
+            .infer_with_at(&mut ws, &x, Precision::Int8)
+            .unwrap()
+            .clone();
+        assert_eq!(qy.data(), qy2.data());
+        // ...and every finer ladder rung is available and close to f32.
+        let by = loaded
+            .infer_with_at(&mut ws, &x, Precision::Bf16)
+            .unwrap()
+            .clone();
+        let fy = loaded
+            .infer_with_at(&mut ws, &x, Precision::F32)
+            .unwrap()
+            .clone();
+        for ((q, b), f) in qy.data().iter().zip(by.data()).zip(fy.data()) {
+            assert!((q - f).abs() < 0.1, "int8 drifted: {q} vs {f}");
+            assert!((b - f).abs() < 0.05, "bf16 drifted: {b} vs {f}");
+        }
+    }
+
+    #[test]
+    fn bad_precision_tag_rejected() {
+        let spec = ModelSpec::mlp(2, &[4], 1, Activation::ReLU, 0.0);
+        let mut model = spec.build(2).unwrap();
+        let path = tmp("badprec.hml");
+        save_model(&path, &spec, &mut model, None, None).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[9] = 0xEE; // the v2 precision byte
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_model(&path),
+            Err(NnError::Serialize(msg)) if msg.contains("precision tag")
+        ));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::model::Sequential;
 use crate::Result;
+use hpacml_tensor::quant::Precision;
 use hpacml_tensor::Tensor;
 use std::cell::RefCell;
 
@@ -34,6 +35,19 @@ impl ForwardWorkspace {
     /// activation held inside the workspace. Steady-state allocation-free
     /// once both arenas have grown to the model's widest activation.
     pub fn forward<'a>(&'a mut self, model: &Sequential, x: &Tensor) -> Result<&'a mut Tensor> {
+        self.forward_at(model, x, Precision::F32)
+    }
+
+    /// [`ForwardWorkspace::forward`] at a serving precision: layers with
+    /// reduced-precision packs route through their quantized kernels;
+    /// everything else (and `F32`) is the plain forward. Same arenas,
+    /// same zero-allocation steady state.
+    pub fn forward_at<'a>(
+        &'a mut self,
+        model: &Sequential,
+        x: &Tensor,
+        prec: Precision,
+    ) -> Result<&'a mut Tensor> {
         let layers = model.layers();
         let Some(first) = layers.first() else {
             x.copy_into(&mut self.ping);
@@ -41,10 +55,10 @@ impl ForwardWorkspace {
         };
         // The first layer reads the caller's tensor directly — no staging
         // copy of the input batch on the hot path.
-        first.forward_into(x, &mut self.ping)?;
+        first.forward_into_at(x, &mut self.ping, prec)?;
         let (mut cur, mut nxt) = (&mut self.ping, &mut self.pong);
         for layer in &layers[1..] {
-            layer.forward_into(cur, nxt)?;
+            layer.forward_into_at(cur, nxt, prec)?;
             std::mem::swap(&mut cur, &mut nxt);
         }
         Ok(cur)

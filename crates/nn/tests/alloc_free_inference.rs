@@ -80,6 +80,7 @@ fn mlp_inference_steady_state_is_allocation_free() {
         model,
         in_norm: None,
         out_norm: None,
+        precision: hpacml_tensor::Precision::F32,
     };
     let x = Tensor::from_shape_fn([8, 4], |ix| (ix[0] * 4 + ix[1]) as f32 * 0.01);
     let mut ws = InferWorkspace::new();
@@ -133,6 +134,7 @@ fn normalized_inference_is_also_allocation_free() {
         model,
         in_norm: Some(norm(3)),
         out_norm: Some(norm(1)),
+        precision: hpacml_tensor::Precision::F32,
     };
     let x = Tensor::full([6, 3], 0.7f32);
     let mut ws = InferWorkspace::new();

@@ -503,53 +503,68 @@ fn micro_tile<T: Scalar, const M: usize>(
         }
     }
     if let Some((epi, row0, col0)) = finish {
-        // Branch-free full-width passes over the register tile: the
-        // bias/activation selectors are matched once per row, never per
-        // element, so each pass vectorizes like the k-loop. Padding lanes
-        // past `cols` compute garbage and are clipped at the store.
-        for (i, arow) in acc.iter_mut().enumerate() {
-            match epi.bias {
-                Bias::None => {}
-                Bias::Col(bias) if cols == NR => {
-                    let bs = &bias[col0..col0 + NR];
-                    for (v, b) in arow.iter_mut().zip(bs) {
-                        *v += *b;
-                    }
-                }
-                Bias::Col(bias) => {
-                    for (j, v) in arow.iter_mut().enumerate().take(cols) {
-                        *v += bias[col0 + j];
-                    }
-                }
-                Bias::Row(bias) => {
-                    let rb = bias[row0 + i];
-                    for v in arow.iter_mut() {
-                        *v += rb;
-                    }
-                }
-            }
-            match epi.act {
-                None => {}
-                Some(Act::Relu) => {
-                    for v in arow.iter_mut() {
-                        *v = v.maximum(T::ZERO);
-                    }
-                }
-                Some(Act::Tanh) => {
-                    for v in arow.iter_mut() {
-                        *v = v.tanh_activation();
-                    }
-                }
-                Some(Act::Sigmoid) => {
-                    for v in arow.iter_mut() {
-                        *v = T::ONE / (T::ONE + (-*v).exp());
-                    }
-                }
-            }
-        }
+        finish_tile::<T, M>(&mut acc, epi, row0, col0, cols);
     }
     for (i, arow) in acc.iter().enumerate() {
         c[i * ldc..i * ldc + cols].copy_from_slice(&arow[..cols]);
+    }
+}
+
+/// Apply the fused epilogue to one register tile — shared by the f32/f64
+/// micro-kernel above and the quantized micro-kernels in [`crate::quant`],
+/// so every precision runs the *same* float expression after its `k`-sum.
+///
+/// Branch-free full-width passes over the register tile: the
+/// bias/activation selectors are matched once per row, never per element,
+/// so each pass vectorizes like the k-loop. Padding lanes past `cols`
+/// compute garbage and are clipped by the caller's store.
+#[inline(always)]
+pub(crate) fn finish_tile<T: Scalar, const M: usize>(
+    acc: &mut [[T; NR]; M],
+    epi: &Epilogue<'_, T>,
+    row0: usize,
+    col0: usize,
+    cols: usize,
+) {
+    for (i, arow) in acc.iter_mut().enumerate() {
+        match epi.bias {
+            Bias::None => {}
+            Bias::Col(bias) if cols == NR => {
+                let bs = &bias[col0..col0 + NR];
+                for (v, b) in arow.iter_mut().zip(bs) {
+                    *v += *b;
+                }
+            }
+            Bias::Col(bias) => {
+                for (j, v) in arow.iter_mut().enumerate().take(cols) {
+                    *v += bias[col0 + j];
+                }
+            }
+            Bias::Row(bias) => {
+                let rb = bias[row0 + i];
+                for v in arow.iter_mut() {
+                    *v += rb;
+                }
+            }
+        }
+        match epi.act {
+            None => {}
+            Some(Act::Relu) => {
+                for v in arow.iter_mut() {
+                    *v = v.maximum(T::ZERO);
+                }
+            }
+            Some(Act::Tanh) => {
+                for v in arow.iter_mut() {
+                    *v = v.tanh_activation();
+                }
+            }
+            Some(Act::Sigmoid) => {
+                for v in arow.iter_mut() {
+                    *v = T::ONE / (T::ONE + (-*v).exp());
+                }
+            }
+        }
     }
 }
 

@@ -14,12 +14,14 @@
 pub mod gemm;
 pub mod linalg;
 pub mod ops;
+pub mod quant;
 pub mod scalar;
 pub mod shape;
 pub mod tensor;
 pub mod view;
 
 pub use gemm::{Act, Bias, Epilogue, PackedA, PackedB};
+pub use quant::{Precision, QPackedB};
 pub use scalar::Scalar;
 pub use shape::Shape;
 pub use tensor::Tensor;

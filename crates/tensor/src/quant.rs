@@ -1,0 +1,859 @@
+//! Reduced-precision weight storage for the inference GEMM: bf16 and
+//! int8-symmetric packed panels with **f32 accumulation everywhere**.
+//!
+//! # Why this module exists
+//!
+//! The fused multicore GEMM made MLP inference memory-bandwidth-bound at
+//! the weight stream: every forward pass walks the whole packed weight
+//! panel once, and for models larger than the last-level cache that walk
+//! is a DRAM read. Halving (bf16) or quartering (int8) the bytes per
+//! weight therefore converts directly into forward-pass speedup, on any
+//! host — including single-core ones, where there is no parallel lever
+//! left to pull.
+//!
+//! # Determinism
+//!
+//! The quantized kernels preserve the module-wide bitwise-determinism
+//! contract (see [`crate::gemm`]): each stored weight maps to **one
+//! canonical f32** (`bf16_decode`, or `int8 as f32 * scale`) before it
+//! enters the accumulator chain, and every output element is still a
+//! single ascending-`k` f32 add-chain (`acc += a * dequant(b)`, no
+//! `mul_add`). Dequantization is a pure per-element function of the
+//! packed panel — independent of thread count, `KC` blocking, stripe
+//! boundaries and batch size — so quantized results are a pure function
+//! of the quantized panel, not the schedule. The epilogue is shared with
+//! the f32 kernel (`gemm::finish_tile`) so bias/activation math
+//! is the same float expression at every precision.
+//!
+//! # Encodings
+//!
+//! * **bf16**: the top 16 bits of the f32 representation, encoded with
+//!   round-to-nearest-even and stored as `u16`. Decode is a lossless
+//!   shift back into the high half of an f32 — exactly representable, no
+//!   arithmetic.
+//! * **int8 symmetric**: per-output-channel scale `absmax / 127` (abs-max
+//!   over that channel's weights), `q = round(w / scale)` clamped to
+//!   `±127` (`f32::round`, half-away-from-zero — deterministic, no FPU
+//!   mode dependence). Decode is `q as f32 * scale`. Zero maps to zero
+//!   exactly, so panel padding decodes to `0.0` at both precisions.
+
+use crate::gemm::{finish_tile, par_rows_per_block, par_worthwhile, Bias, Epilogue, KC, NR};
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+use crate::gemm::MR;
+
+// ---------------------------------------------------------------------------
+// Precision tags
+// ---------------------------------------------------------------------------
+
+/// Weight storage precision for inference. Accumulation is always f32;
+/// the tag only selects how packed weights are stored and decoded.
+///
+/// Ordered coarsest-first so that `Int8 < Bf16 < F32` reads as "less
+/// precise < more precise" — the demotion ladder walks toward `F32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Precision {
+    /// int8 symmetric, per-output-channel scales (4x weight bandwidth).
+    Int8,
+    /// bfloat16 round-to-nearest-even (2x weight bandwidth).
+    Bf16,
+    /// Full f32 storage — the existing kernels, byte-exact baseline.
+    F32,
+}
+
+impl Precision {
+    /// Stable serialization tag (model files, wire formats).
+    pub fn tag(self) -> u8 {
+        match self {
+            Precision::F32 => 0,
+            Precision::Bf16 => 1,
+            Precision::Int8 => 2,
+        }
+    }
+
+    /// Inverse of [`Precision::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Precision::F32),
+            1 => Some(Precision::Bf16),
+            2 => Some(Precision::Int8),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name (bench keys, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Bf16 => "bf16",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar codecs
+// ---------------------------------------------------------------------------
+
+/// Encode an f32 as bf16 (top 16 bits) with round-to-nearest-even.
+/// NaN payloads are truncated but kept NaN (quiet bit forced).
+#[inline(always)]
+pub fn bf16_encode(v: f32) -> u16 {
+    let bits = v.to_bits();
+    if v.is_nan() {
+        // Truncation could zero a signaling NaN's payload into an
+        // infinity; force a quiet-NaN bit instead.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let round = 0x7FFF + ((bits >> 16) & 1);
+    (bits.wrapping_add(round) >> 16) as u16
+}
+
+/// Decode a bf16 back to f32 — exact (bf16 values are a subset of f32).
+#[inline(always)]
+pub fn bf16_decode(q: u16) -> f32 {
+    f32::from_bits((q as u32) << 16)
+}
+
+/// Symmetric int8 scale for a channel with the given abs-max. An all-zero
+/// channel gets scale `1.0` so decode still maps `0 -> 0.0` exactly.
+#[inline]
+pub fn int8_scale(absmax: f32) -> f32 {
+    if absmax == 0.0 {
+        1.0
+    } else {
+        absmax / 127.0
+    }
+}
+
+/// Quantize one weight against its channel scale. `f32::round` is
+/// half-away-from-zero — a deterministic scalar op, no FPU rounding-mode
+/// dependence — and the clamp keeps the encoding symmetric (`-128` unused).
+#[inline(always)]
+pub fn int8_quantize(v: f32, scale: f32) -> i8 {
+    (v / scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Decode one int8 weight: the canonical f32 the accumulator chain sees.
+#[inline(always)]
+pub fn int8_dequantize(q: i8, scale: f32) -> f32 {
+    q as f32 * scale
+}
+
+// ---------------------------------------------------------------------------
+// Quantized packed B panels
+// ---------------------------------------------------------------------------
+
+/// Reduced-precision storage behind a [`QPackedB`].
+#[derive(Debug, Clone)]
+enum QData {
+    Bf16(Vec<u16>),
+    Int8(Vec<i8>),
+}
+
+/// The `B` operand of a `Linear` forward (`C = A · Bᵀ`), packed exactly
+/// like [`crate::gemm::PackedB`] — `NR`-wide column panels, `k`-major,
+/// zero-padded past column `n` — but stored at reduced precision plus a
+/// per-column f32 scale table (all `1.0` for bf16; per-output-channel
+/// `absmax/127` for int8, padded with `1.0`).
+///
+/// Weights are immutable at inference, so layers build one of these once
+/// at compile/quantize time and steady-state forwards only ever read it.
+#[derive(Debug, Clone)]
+pub struct QPackedB {
+    k: usize,
+    n: usize,
+    /// Per-column dequant scales, padded to `panels() * NR` with `1.0`.
+    scales: Vec<f32>,
+    data: QData,
+}
+
+impl QPackedB {
+    /// Logical dims of the packed matrix: `[k, n]`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of `NR`-wide panels (last one possibly zero-padded).
+    pub fn panels(&self) -> usize {
+        self.n.div_ceil(NR)
+    }
+
+    /// Storage precision of this pack.
+    pub fn precision(&self) -> Precision {
+        match self.data {
+            QData::Bf16(_) => Precision::Bf16,
+            QData::Int8(_) => Precision::Int8,
+        }
+    }
+
+    /// Per-output-channel dequant scales (first `n` entries meaningful).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales[..self.n]
+    }
+
+    /// Bytes of packed weight storage — the bandwidth the forward pass
+    /// actually streams (bench reporting).
+    pub fn packed_bytes(&self) -> usize {
+        match &self.data {
+            QData::Bf16(d) => d.len() * 2,
+            QData::Int8(d) => d.len(),
+        }
+    }
+
+    /// Pack a rank-2 transb tensor `[n, k]` (the `Linear` weight layout
+    /// `w[out, in]`) at the given precision. `F32` has no quantized pack —
+    /// callers keep using [`crate::gemm::PackedB`] for it.
+    pub fn from_transb(t: &Tensor<f32>, prec: Precision) -> Result<Self> {
+        if t.rank() != 2 {
+            return Err(TensorError::DimMismatch(format!(
+                "QPackedB::from_transb: expected rank 2, got {:?}",
+                t.dims()
+            )));
+        }
+        if prec == Precision::F32 {
+            return Err(TensorError::DimMismatch(
+                "QPackedB::from_transb: F32 uses the unquantized PackedB".into(),
+            ));
+        }
+        let (n, k) = (t.dims()[0], t.dims()[1]);
+        let bt = t.data();
+        let panels = n.div_ceil(NR);
+        let mut scales = vec![1.0f32; panels * NR];
+        let data = match prec {
+            Precision::Bf16 => {
+                let mut d = vec![0u16; panels * k * NR];
+                for p in 0..panels {
+                    let j0 = p * NR;
+                    let w = NR.min(n - j0);
+                    let panel = &mut d[p * k * NR..(p + 1) * k * NR];
+                    for (kk, row) in panel.chunks_exact_mut(NR).enumerate() {
+                        for (j, v) in row.iter_mut().enumerate().take(w) {
+                            *v = bf16_encode(bt[(j0 + j) * k + kk]);
+                        }
+                    }
+                }
+                QData::Bf16(d)
+            }
+            Precision::Int8 => {
+                // Per-output-channel abs-max scales: output channel j is
+                // row j of the transb weight matrix = packed column j.
+                for (j, s) in scales.iter_mut().enumerate().take(n) {
+                    let ch = &bt[j * k..(j + 1) * k];
+                    let absmax = ch.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                    *s = int8_scale(absmax);
+                }
+                let mut d = vec![0i8; panels * k * NR];
+                for p in 0..panels {
+                    let j0 = p * NR;
+                    let w = NR.min(n - j0);
+                    let panel = &mut d[p * k * NR..(p + 1) * k * NR];
+                    for (kk, row) in panel.chunks_exact_mut(NR).enumerate() {
+                        for (j, v) in row.iter_mut().enumerate().take(w) {
+                            *v = int8_quantize(bt[(j0 + j) * k + kk], scales[j0 + j]);
+                        }
+                    }
+                }
+                QData::Int8(d)
+            }
+            Precision::F32 => unreachable!(),
+        };
+        Ok(QPackedB { k, n, scales, data })
+    }
+
+    /// The canonical f32 a stored weight decodes to: `dequant(j, kk)` for
+    /// output channel `j`, input `kk` — the exact value the accumulator
+    /// chain sees. Test/calibration oracle, not a hot path.
+    pub fn dequant(&self, j: usize, kk: usize) -> f32 {
+        assert!(j < self.n && kk < self.k, "QPackedB::dequant: out of range");
+        let p = j / NR;
+        let idx = (p * self.k + kk) * NR + (j % NR);
+        match &self.data {
+            QData::Bf16(d) => bf16_decode(d[idx]),
+            QData::Int8(d) => int8_dequantize(d[idx], self.scales[j]),
+        }
+    }
+
+    /// Worst-case int8 round-trip error in scale units:
+    /// `max |w - dequant(quant(w))| / scale` over all weights. For a
+    /// correct symmetric quantizer this is ≤ 0.5 (half a quantization
+    /// step); bf16 packs report the analogous bound in ulps-at-bf16,
+    /// which round-to-nearest-even also keeps ≤ 0.5. Bench/audit hook.
+    pub fn max_abs_scale_err(&self, t: &Tensor<f32>) -> f32 {
+        let (n, k) = (self.n, self.k);
+        assert_eq!(t.dims(), &[n, k], "max_abs_scale_err: dims mismatch");
+        let bt = t.data();
+        let mut worst = 0.0f32;
+        for j in 0..n {
+            for kk in 0..k {
+                let w = bt[j * k + kk];
+                let dq = self.dequant(j, kk);
+                let step = match self.data {
+                    QData::Bf16(_) => {
+                        // One bf16 ulp at w's magnitude: 7 explicit
+                        // mantissa bits → spacing 2^-7 of the binade base.
+                        let e = f32::from_bits(w.to_bits() & 0x7F80_0000);
+                        if e == 0.0 {
+                            f32::MIN_POSITIVE
+                        } else {
+                            e * (1.0 / 128.0)
+                        }
+                    }
+                    QData::Int8(_) => self.scales[j],
+                };
+                worst = worst.max((w - dq).abs() / step);
+            }
+        }
+        worst
+    }
+
+    /// One row stripe of the quantized GEMM, dispatched to the dtype's
+    /// monomorphized body.
+    // allow: GEMM kernel plumbing — see micro_tile_q.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn stripe(
+        &self,
+        row0: usize,
+        stripe: &mut [f32],
+        n: usize,
+        k: usize,
+        a: &[f32],
+        epi: &Epilogue<'_, f32>,
+        kc: usize,
+    ) {
+        match &self.data {
+            QData::Bf16(d) => {
+                stripe_body_q::<DeqBf16>(row0, stripe, n, k, a, d, &self.scales, epi, kc)
+            }
+            QData::Int8(d) => {
+                stripe_body_q::<DeqInt8>(row0, stripe, n, k, a, d, &self.scales, epi, kc)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dequantizing micro/macro-kernel
+// ---------------------------------------------------------------------------
+
+/// In-register dequantization: how one stored weight becomes the single
+/// canonical f32 the accumulator chain consumes.
+trait Dequant {
+    type Q: Copy + Send + Sync;
+    fn decode(q: Self::Q, scale: f32) -> f32;
+}
+
+struct DeqBf16;
+
+impl Dequant for DeqBf16 {
+    type Q = u16;
+    #[inline(always)]
+    fn decode(q: u16, _scale: f32) -> f32 {
+        bf16_decode(q)
+    }
+}
+
+struct DeqInt8;
+
+impl Dequant for DeqInt8 {
+    type Q = i8;
+    #[inline(always)]
+    fn decode(q: i8, scale: f32) -> f32 {
+        int8_dequantize(q, scale)
+    }
+}
+
+/// The quantized register-tiled micro-kernel: identical structure to
+/// `gemm::micro_tile` (strides, accumulate/finish protocol, ascending-`k`
+/// chains) with one extra step — each packed `NR`-row is decoded into a
+/// stack-resident f32 row before entering the multiply-add chain. The
+/// decode is a pure element map, so the accumulation order and float
+/// expression match the f32 kernel run on pre-dequantized weights bit for
+/// bit.
+// allow: GEMM kernel plumbing — dims, panel slices and strides stay
+// individual scalars so they live in registers through the tile loops.
+#[allow(clippy::too_many_arguments)]
+#[inline(never)] // same rationale as gemm::micro_tile: keep the hot loop a
+                 // small standalone optimization unit so LLVM vectorizes it.
+fn micro_tile_q<D: Dequant, const M: usize>(
+    a: &[f32],
+    a_kk: usize,
+    a_i: usize,
+    b: &[D::Q], // panel slab: b[kk * NR + j]
+    scales: &[f32],
+    klen: usize,
+    c: &mut [f32],
+    ldc: usize,
+    cols: usize,
+    accumulate: bool,
+    finish: Option<(&Epilogue<'_, f32>, usize, usize)>,
+) {
+    let scales = &scales[..NR];
+    let mut acc = [[0.0f32; NR]; M];
+    if accumulate {
+        for (i, arow) in acc.iter_mut().enumerate() {
+            for (j, v) in arow.iter_mut().enumerate().take(cols) {
+                *v = c[i * ldc + j];
+            }
+        }
+    }
+    for kk in 0..klen {
+        let braw = &b[kk * NR..kk * NR + NR];
+        let mut brow = [0.0f32; NR];
+        for (j, v) in brow.iter_mut().enumerate() {
+            *v = D::decode(braw[j], scales[j]);
+        }
+        let abase = kk * a_kk;
+        for (i, arow) in acc.iter_mut().enumerate() {
+            let av = a[abase + i * a_i];
+            for (j, v) in arow.iter_mut().enumerate() {
+                // One chain per element, mul+add (not mul_add) — the same
+                // contract as the f32 micro-kernel.
+                *v += av * brow[j];
+            }
+        }
+    }
+    if let Some((epi, row0, col0)) = finish {
+        finish_tile::<f32, M>(&mut acc, epi, row0, col0, cols);
+    }
+    for (i, arow) in acc.iter().enumerate() {
+        c[i * ldc..i * ldc + cols].copy_from_slice(&arow[..cols]);
+    }
+}
+
+/// Sweep the `NR`-wide quantized panels of one `M`-row block.
+// allow: GEMM kernel plumbing — see micro_tile_q.
+#[allow(clippy::too_many_arguments)]
+fn panel_sweep_q<D: Dequant, const M: usize>(
+    a: &[f32],
+    a_kk: usize,
+    a_i: usize,
+    data: &[D::Q],
+    scales: &[f32],
+    n: usize,
+    k: usize,
+    k0: usize,
+    klen: usize,
+    c: &mut [f32], // M rows, ldc == n
+    row0: usize,
+    accumulate: bool,
+    epi: Option<&Epilogue<'_, f32>>,
+) {
+    for p in 0..n.div_ceil(NR) {
+        let j0 = p * NR;
+        let cols = NR.min(n - j0);
+        let slab = &data[p * k * NR + k0 * NR..(p + 1) * k * NR];
+        micro_tile_q::<D, M>(
+            a,
+            a_kk,
+            a_i,
+            slab,
+            &scales[j0..j0 + NR],
+            klen,
+            &mut c[j0..],
+            n,
+            cols,
+            accumulate,
+            epi.map(|e| (e, row0, j0)),
+        );
+    }
+}
+
+/// Compute one C row-stripe against quantized panels — the structural twin
+/// of `gemm::stripe_body` for a row-major `A` (`Linear` activations are
+/// never packed): `kc`-deep `k` slabs, MR tiles, then 4/2/1 step-down.
+// allow: GEMM kernel plumbing — see micro_tile_q.
+#[allow(clippy::too_many_arguments)]
+fn stripe_body_q<D: Dequant>(
+    row0: usize,
+    stripe: &mut [f32],
+    n: usize,
+    k: usize,
+    a: &[f32],
+    data: &[D::Q],
+    scales: &[f32],
+    epi: &Epilogue<'_, f32>,
+    kc: usize,
+) {
+    let rows = stripe.len() / n;
+    let slabs = k.div_ceil(kc).max(1); // k == 0 still runs one epilogue pass
+    for slab in 0..slabs {
+        let k0 = slab * kc;
+        let klen = kc.min(k - k0);
+        let accumulate = slab > 0;
+        let last = slab + 1 == slabs;
+
+        let mut r = 0;
+        while rows - r >= MR {
+            let row = row0 + r;
+            panel_sweep_q::<D, MR>(
+                &a[row * k + k0..],
+                1,
+                k,
+                data,
+                scales,
+                n,
+                k,
+                k0,
+                klen,
+                &mut stripe[r * n..(r + MR) * n],
+                row,
+                accumulate,
+                last.then_some(epi),
+            );
+            r += MR;
+        }
+        while r < rows {
+            let row = row0 + r;
+            let left = rows - r;
+            let ab = &a[row * k + k0..];
+            let step = if left >= 4 {
+                panel_sweep_q::<D, 4>(
+                    ab,
+                    1,
+                    k,
+                    data,
+                    scales,
+                    n,
+                    k,
+                    k0,
+                    klen,
+                    &mut stripe[r * n..(r + 4) * n],
+                    row,
+                    accumulate,
+                    last.then_some(epi),
+                );
+                4
+            } else if left >= 2 {
+                panel_sweep_q::<D, 2>(
+                    ab,
+                    1,
+                    k,
+                    data,
+                    scales,
+                    n,
+                    k,
+                    k0,
+                    klen,
+                    &mut stripe[r * n..(r + 2) * n],
+                    row,
+                    accumulate,
+                    last.then_some(epi),
+                );
+                2
+            } else {
+                panel_sweep_q::<D, 1>(
+                    ab,
+                    1,
+                    0,
+                    data,
+                    scales,
+                    n,
+                    k,
+                    k0,
+                    klen,
+                    &mut stripe[r * n..(r + 1) * n],
+                    row,
+                    accumulate,
+                    last.then_some(epi),
+                );
+                1
+            };
+            r += step;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tensor-level entry points
+// ---------------------------------------------------------------------------
+
+/// `C[m, n] = epilogue(A[m, k] · Bᵀ)` against quantized packed weights —
+/// the reduced-precision `Linear` forward kernel. `c` is resized in place
+/// (allocation-free once it has capacity). Bit-identical across pool
+/// widths, `KC` blocking and batch sizes, like every kernel in the crate.
+pub fn matmul_transb_qpacked_into(
+    a: &Tensor<f32>,
+    qb: &QPackedB,
+    epi: Epilogue<'_, f32>,
+    c: &mut Tensor<f32>,
+) -> Result<()> {
+    matmul_transb_qpacked_into_kc(a, qb, epi, c, KC)
+}
+
+/// [`matmul_transb_qpacked_into`] with an explicit cache-slab depth (the
+/// determinism/tuning hook, mirroring the f32 entry points).
+pub fn matmul_transb_qpacked_into_kc(
+    a: &Tensor<f32>,
+    qb: &QPackedB,
+    epi: Epilogue<'_, f32>,
+    c: &mut Tensor<f32>,
+    kc: usize,
+) -> Result<()> {
+    if a.rank() != 2 {
+        return Err(TensorError::DimMismatch(format!(
+            "matmul_transb_qpacked: lhs expected rank 2, got {:?}",
+            a.dims()
+        )));
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    if k != qb.k() {
+        return Err(TensorError::DimMismatch(format!(
+            "matmul_transb_qpacked: lhs is [{m}, {k}], packed rhs is [{}, {}]",
+            qb.n(),
+            qb.k()
+        )));
+    }
+    let n = qb.n();
+    c.resize(&[m, n]);
+    gemm_q_into_kc(m, n, k, a.data(), qb, epi, c.data_mut(), kc);
+    Ok(())
+}
+
+/// The quantized macro-kernel driver: same shape validation, parallel
+/// split and stripe alignment as `gemm::gemm_into_kc` — row stripes are
+/// the parallel axis, aligned to `MR` so every stripe starts on a
+/// register-tile boundary.
+// allow: GEMM kernel plumbing — see micro_tile_q.
+#[allow(clippy::too_many_arguments)]
+fn gemm_q_into_kc(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    qb: &QPackedB,
+    epi: Epilogue<'_, f32>,
+    c: &mut [f32],
+    kc: usize,
+) {
+    assert_eq!(c.len(), m * n, "qgemm: bad C length");
+    assert_eq!(a.len(), m * k, "qgemm: bad A length");
+    if let Bias::Col(bias) = epi.bias {
+        assert_eq!(bias.len(), n, "qgemm: col bias length");
+    }
+    if let Bias::Row(bias) = epi.bias {
+        assert_eq!(bias.len(), m, "qgemm: row bias length");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    let kc = kc.max(1);
+    if par_worthwhile(m, n, k) {
+        let rows = par_rows_per_block(m, n, k).div_ceil(MR) * MR;
+        hpacml_par::par_chunks_mut(c, rows * n, |start, stripe| {
+            qb.stripe(start / n, stripe, n, k, a, &epi, kc);
+        });
+    } else {
+        qb.stripe(0, c, n, k, a, &epi, kc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::Act;
+
+    fn lcg(seed: u64, len: usize) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    /// Naive reference over the *dequantized* weights: one accumulator
+    /// per element, ascending k — the canonical semantics the quantized
+    /// kernel must reproduce bit for bit.
+    fn reference_q(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        qb: &QPackedB,
+        epi: &Epilogue<'_, f32>,
+    ) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * qb.dequant(j, kk);
+                }
+                acc = match epi.bias {
+                    Bias::None => acc,
+                    Bias::Col(b) => acc + b[j],
+                    Bias::Row(b) => acc + b[i],
+                };
+                if let Some(act) = epi.act {
+                    acc = act.apply(acc);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn bf16_codec_round_trips_exact_values() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 96.0, -1024.0] {
+            assert_eq!(bf16_decode(bf16_encode(v)), v, "v={v}");
+        }
+        assert_eq!(bf16_decode(bf16_encode(f32::INFINITY)), f32::INFINITY);
+        assert!(bf16_decode(bf16_encode(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn bf16_rounds_to_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between bf16(1.0) and the next
+        // bf16 up; nearest-even keeps the even (lower) one.
+        let halfway = f32::from_bits(0x3F80_8000);
+        assert_eq!(bf16_decode(bf16_encode(halfway)), 1.0);
+        // Just above halfway rounds up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(bf16_decode(bf16_encode(above)), f32::from_bits(0x3F81_0000));
+        // Odd-mantissa halfway rounds up to the even neighbor.
+        let odd_half = f32::from_bits(0x3F81_8000);
+        assert_eq!(
+            bf16_decode(bf16_encode(odd_half)),
+            f32::from_bits(0x3F82_0000)
+        );
+    }
+
+    #[test]
+    fn int8_quantizer_is_symmetric_and_bounded() {
+        let scale = int8_scale(3.5);
+        assert_eq!(int8_quantize(3.5, scale), 127);
+        assert_eq!(int8_quantize(-3.5, scale), -127);
+        assert_eq!(int8_quantize(0.0, scale), 0);
+        assert_eq!(int8_scale(0.0), 1.0);
+        // Round-trip error never exceeds half a step.
+        for v in lcg(7, 1000) {
+            let s = int8_scale(1.0);
+            let err = (v - int8_dequantize(int8_quantize(v, s), s)).abs();
+            assert!(err <= 0.5 * s + f32::EPSILON, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn qpacked_gemm_bitwise_matches_dequant_reference() {
+        for prec in [Precision::Bf16, Precision::Int8] {
+            for &(m, k, n) in &[
+                (1usize, 1usize, 1usize),
+                (1, 7, 30),
+                (3, 4, 5),
+                (8, 16, 16),
+                (9, 3, 17),
+                (17, 9, 23),
+                (64, 33, 48),
+                (70, 64, 64),
+            ] {
+                let a = Tensor::from_vec(lcg(m as u64 * 31 + 1, m * k), [m, k]).unwrap();
+                let bt = Tensor::from_vec(lcg(n as u64 * 17 + 2, n * k), [n, k]).unwrap();
+                let bias = lcg(99, n);
+                let qb = QPackedB::from_transb(&bt, prec).unwrap();
+                for epi in [
+                    Epilogue::none(),
+                    Epilogue::col_bias(&bias).with_act(Some(Act::Tanh)),
+                    Epilogue::col_bias(&bias).with_act(Some(Act::Relu)),
+                ] {
+                    let want = reference_q(m, n, k, a.data(), &qb, &epi);
+                    let mut c = Tensor::zeros([0usize; 2]);
+                    matmul_transb_qpacked_into(&a, &qb, epi, &mut c).unwrap();
+                    assert_eq!(c.data(), &want[..], "{prec} ({m},{k},{n})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kc_slabs_do_not_change_quantized_results() {
+        let (m, k, n) = (13usize, 37usize, 29usize);
+        let a = Tensor::from_vec(lcg(5, m * k), [m, k]).unwrap();
+        let bt = Tensor::from_vec(lcg(6, n * k), [n, k]).unwrap();
+        let bias = lcg(7, n);
+        for prec in [Precision::Bf16, Precision::Int8] {
+            let qb = QPackedB::from_transb(&bt, prec).unwrap();
+            let epi = Epilogue::col_bias(&bias).with_act(Some(Act::Tanh));
+            let mut base = Tensor::zeros([0usize; 2]);
+            matmul_transb_qpacked_into_kc(&a, &qb, epi, &mut base, 1).unwrap();
+            for kc in [2usize, 3, 8, 16, 64, 4096] {
+                let mut c = Tensor::zeros([0usize; 2]);
+                matmul_transb_qpacked_into_kc(&a, &qb, epi, &mut c, kc).unwrap();
+                assert_eq!(c.data(), base.data(), "{prec} kc={kc}");
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_pack_of_bf16_exact_weights_matches_f32_kernel() {
+        // Weights already on the bf16 grid survive the pack losslessly,
+        // so the quantized kernel must equal the f32 kernel bit for bit.
+        let (m, k, n) = (9usize, 24usize, 33usize);
+        let bt_exact: Vec<f32> = lcg(8, n * k)
+            .into_iter()
+            .map(|v| bf16_decode(bf16_encode(v)))
+            .collect();
+        let a = Tensor::from_vec(lcg(9, m * k), [m, k]).unwrap();
+        let btt = Tensor::from_vec(bt_exact, [n, k]).unwrap();
+        let bias = lcg(10, n);
+        let epi = Epilogue::col_bias(&bias).with_act(Some(Act::Sigmoid));
+        let qb = QPackedB::from_transb(&btt, Precision::Bf16).unwrap();
+        let pb = crate::gemm::PackedB::from_transb(&btt).unwrap();
+        let mut cq = Tensor::zeros([0usize; 2]);
+        matmul_transb_qpacked_into(&a, &qb, epi, &mut cq).unwrap();
+        let mut cf = Tensor::zeros([0usize; 2]);
+        crate::gemm::matmul_transb_packed_into(&a, &pb, epi, &mut cf).unwrap();
+        assert_eq!(cq.data(), cf.data());
+    }
+
+    #[test]
+    fn precision_tags_round_trip() {
+        for p in [Precision::F32, Precision::Bf16, Precision::Int8] {
+            assert_eq!(Precision::from_tag(p.tag()), Some(p));
+        }
+        assert_eq!(Precision::from_tag(9), None);
+        // The ladder order the fallback controller walks.
+        assert!(Precision::Int8 < Precision::Bf16);
+        assert!(Precision::Bf16 < Precision::F32);
+    }
+
+    #[test]
+    fn scale_err_bound_holds() {
+        let bt = Tensor::from_vec(lcg(11, 40 * 24), [40, 24]).unwrap();
+        for prec in [Precision::Bf16, Precision::Int8] {
+            let qb = QPackedB::from_transb(&bt, prec).unwrap();
+            let err = qb.max_abs_scale_err(&bt);
+            assert!(err <= 0.5 + 1e-4, "{prec}: err={err}");
+        }
+    }
+
+    #[test]
+    fn zero_channel_gets_unit_scale_and_exact_zero() {
+        let mut w = lcg(12, 5 * 8);
+        for v in &mut w[2 * 8..3 * 8] {
+            *v = 0.0;
+        }
+        let bt = Tensor::from_vec(w, [5, 8]).unwrap();
+        let qb = QPackedB::from_transb(&bt, Precision::Int8).unwrap();
+        assert_eq!(qb.scales()[2], 1.0);
+        for kk in 0..8 {
+            assert_eq!(qb.dequant(2, kk), 0.0);
+        }
+    }
+}

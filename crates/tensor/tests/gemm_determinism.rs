@@ -12,7 +12,8 @@
 
 use hpacml_tensor::gemm::{self, ASource, Act, BSource, Epilogue, PackedA, PackedB, KC};
 use hpacml_tensor::ops::{self, Conv2dGeom};
-use hpacml_tensor::Tensor;
+use hpacml_tensor::quant::{self, QPackedB};
+use hpacml_tensor::{Precision, Tensor};
 use std::sync::Once;
 
 static INIT: Once = Once::new();
@@ -271,6 +272,97 @@ fn conv_routes_agree_bitwise() {
             .unwrap();
         assert_eq!(c.data(), small.data(), "caller-only pool changed the bits");
     });
+}
+
+/// Pool width must never change a bit of the *quantized* kernels either:
+/// in-register dequantization happens per weight inside the micro-kernel,
+/// so partitioning is as irrelevant to the bits as it is for f32. Same
+/// totals as the f32 sweep, at both reduced precisions.
+#[test]
+fn quantized_gemm_bits_are_identical_across_pool_sizes() {
+    setup();
+    let (m, k, n) = (137usize, 83usize, 61usize);
+    let a = mat(m, k, 19);
+    let bt = mat(n, k, 20);
+    let bias: Vec<f32> = (0..n).map(|j| (j as f32) * 0.07 - 0.4).collect();
+    let epi = Epilogue::col_bias(&bias).with_act(Some(Act::Tanh));
+    for prec in [Precision::Bf16, Precision::Int8] {
+        let qb = QPackedB::from_transb(&bt, prec).unwrap();
+        let mut base = Tensor::zeros([0usize; 2]);
+        quant::matmul_transb_qpacked_into(&a, &qb, epi, &mut base).unwrap();
+        for workers in [0usize, 1, 2, 7] {
+            let pool = hpacml_par::Pool::new(workers);
+            hpacml_par::with_pool(&pool, || {
+                let mut c = Tensor::zeros([0usize; 2]);
+                quant::matmul_transb_qpacked_into(&a, &qb, epi, &mut c).unwrap();
+                assert_eq!(
+                    c.data(),
+                    base.data(),
+                    "{prec:?}: {} total threads changed the bits",
+                    workers + 1
+                );
+            });
+        }
+    }
+}
+
+/// Repeated quantized runs under the stealing pool: the steal schedule
+/// varies, the bits must not. Also pins serial-vs-parallel agreement via
+/// the nested-dispatch rule.
+#[test]
+fn repeated_quantized_runs_with_stealing_are_bitwise_stable() {
+    setup();
+    let (m, k, n) = (301usize, 67usize, 93usize);
+    let a = mat(m, k, 21);
+    let bt = mat(n, k, 22);
+    let bias: Vec<f32> = (0..n).map(|j| (j as f32).cos()).collect();
+    let epi = Epilogue::col_bias(&bias).with_act(Some(Act::Sigmoid));
+    for prec in [Precision::Bf16, Precision::Int8] {
+        let qb = QPackedB::from_transb(&bt, prec).unwrap();
+        let serial = parking_lot::Mutex::new(Tensor::zeros([0usize; 2]));
+        run_serial(|| {
+            let mut c = Tensor::zeros([0usize; 2]);
+            quant::matmul_transb_qpacked_into(&a, &qb, epi, &mut c).unwrap();
+            *serial.lock() = c;
+        });
+        let base = serial.into_inner();
+        let mut c = Tensor::zeros([0usize; 2]);
+        for rep in 0..10 {
+            quant::matmul_transb_qpacked_into(&a, &qb, epi, &mut c).unwrap();
+            assert_eq!(
+                c.data(),
+                base.data(),
+                "{prec:?}: rep {rep} produced different bits"
+            );
+        }
+    }
+}
+
+/// A quantized row's bits must not depend on the batch it was computed
+/// under — dynamic batching holds at every precision.
+#[test]
+fn quantized_rows_are_independent_of_batch_size() {
+    setup();
+    let (k, n) = (31usize, 29usize);
+    let big = mat(64, k, 23);
+    let bt = mat(n, k, 24);
+    let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.02).collect();
+    let epi = Epilogue::col_bias(&bias).with_act(Some(Act::Sigmoid));
+    for prec in [Precision::Bf16, Precision::Int8] {
+        let qb = QPackedB::from_transb(&bt, prec).unwrap();
+        let mut full = Tensor::zeros([0usize; 2]);
+        quant::matmul_transb_qpacked_into(&big, &qb, epi, &mut full).unwrap();
+        for batch in [1usize, 3, 8, 17, 64] {
+            let sub = Tensor::from_vec(big.data()[..batch * k].to_vec(), [batch, k]).unwrap();
+            let mut c = Tensor::zeros([0usize; 2]);
+            quant::matmul_transb_qpacked_into(&sub, &qb, epi, &mut c).unwrap();
+            assert_eq!(
+                c.data(),
+                &full.data()[..batch * n],
+                "{prec:?}: batch {batch} changed some row's bits"
+            );
+        }
+    }
 }
 
 /// A row's bits must not depend on the batch it was computed under — the

@@ -1,0 +1,178 @@
+//! Property tests for the quantized GEMM: over random `(m, n, k)` shapes,
+//! the bf16 and int8 kernels must reproduce a *dequantize-then-reference*
+//! oracle **bit for bit** — not within a tolerance. Quantization loses
+//! information exactly once, at pack time: each stored weight decodes to
+//! one canonical f32, and from there the kernel is the same ascending-`k`
+//! f32 accumulator chain the full-precision GEMM runs. So the naive loop
+//! over `qb.dequant(j, kk)` is the complete semantics of the fast path.
+
+use hpacml_tensor::gemm::{Act, Bias, Epilogue};
+use hpacml_tensor::quant::{self, QPackedB};
+use hpacml_tensor::{Precision, Tensor};
+use proptest::prelude::*;
+
+/// Naive reference over the *dequantized* weights: one accumulator per
+/// element, ascending `k`, bias then activation.
+fn reference(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    qb: &QPackedB,
+    epi: &Epilogue<'_, f32>,
+) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * qb.dequant(j, kk);
+            }
+            acc = match epi.bias {
+                Bias::None => acc,
+                Bias::Col(bias) => acc + bias[j],
+                Bias::Row(bias) => acc + bias[i],
+            };
+            if let Some(act) = epi.act {
+                acc = act.apply(acc);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+fn values(len: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+        .collect()
+}
+
+/// Random shape strategy: m spans batch sizes from single samples through
+/// several register blocks; n and k cross the panel/tile boundaries.
+fn shape() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    (
+        1usize..70,
+        1usize..40,
+        0usize..50,
+        proptest::prelude::any::<u64>(),
+    )
+}
+
+fn epilogues(bias_col: &[f32], bias_row: &[f32]) -> Vec<Epilogue<'static, f32>> {
+    // Leak the bias slices: proptest closures need 'static epilogues and
+    // the test process discards everything at exit anyway.
+    let col: &'static [f32] = Box::leak(bias_col.to_vec().into_boxed_slice());
+    let row: &'static [f32] = Box::leak(bias_row.to_vec().into_boxed_slice());
+    let mut out = vec![Epilogue::none()];
+    for act in [None, Some(Act::Relu), Some(Act::Tanh), Some(Act::Sigmoid)] {
+        out.push(Epilogue::col_bias(col).with_act(act));
+        out.push(Epilogue::row_bias(row).with_act(act));
+        out.push(Epilogue::none().with_act(act));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The quantized packed-B GEMM over every epilogue variant, at both
+    /// reduced precisions.
+    #[test]
+    fn quantized_gemm_bitwise_matches_dequant_reference((m, n, k, seed) in shape()) {
+        let a = values(m * k, seed);
+        let bt = values(n * k, seed ^ 0x9E3779B97F4A7C15);
+        let at = Tensor::from_vec(a.clone(), [m, k]).unwrap();
+        let btt = Tensor::from_vec(bt, [n, k]).unwrap();
+        let bias_col = values(n, seed ^ 0xC0FFEE);
+        let bias_row = values(m, seed ^ 0xBEEF);
+        for prec in [Precision::Bf16, Precision::Int8] {
+            let qb = QPackedB::from_transb(&btt, prec).unwrap();
+            for epi in epilogues(&bias_col, &bias_row) {
+                let want = reference(m, n, k, &a, &qb, &epi);
+                let mut c = Tensor::zeros([0usize; 2]);
+                quant::matmul_transb_qpacked_into(&at, &qb, epi, &mut c).unwrap();
+                prop_assert_eq!(c.data(), &want[..], "{:?}, epi {:?}", prec, epi);
+            }
+        }
+    }
+
+    /// The cache-slab depth partitions the `k` chain into partials that are
+    /// stored and reloaded losslessly — no `kc` may change a bit.
+    #[test]
+    fn quantized_gemm_bits_survive_kc_blocking((m, n, k, seed) in shape()) {
+        let a = Tensor::from_vec(values(m * k, seed), [m, k]).unwrap();
+        let btt = Tensor::from_vec(values(n * k, seed ^ 0xA5A5A5A5), [n, k]).unwrap();
+        let bias = values(n, seed ^ 0x777);
+        let epi = Epilogue::col_bias(Box::leak(bias.into_boxed_slice()))
+            .with_act(Some(Act::Tanh));
+        for prec in [Precision::Bf16, Precision::Int8] {
+            let qb = QPackedB::from_transb(&btt, prec).unwrap();
+            let mut base = Tensor::zeros([0usize; 2]);
+            quant::matmul_transb_qpacked_into(&a, &qb, epi, &mut base).unwrap();
+            for kc in [1usize, 3, 16, 1 << 20] {
+                let mut c = Tensor::zeros([0usize; 2]);
+                quant::matmul_transb_qpacked_into_kc(&a, &qb, epi, &mut c, kc).unwrap();
+                prop_assert_eq!(c.data(), base.data(), "{:?}, kc {}", prec, kc);
+            }
+        }
+    }
+
+    /// Any leading sub-batch of a bigger quantized GEMM equals the smaller
+    /// GEMM bit for bit — the invariant dynamic batching relies on.
+    #[test]
+    fn quantized_sub_batches_are_prefixes(
+        (m, n, k, seed) in shape(),
+        frac in 1usize..=8,
+    ) {
+        let sub_m = (m * frac / 8).clamp(1, m);
+        let a = values(m * k, seed);
+        let btt = Tensor::from_vec(values(n * k, seed ^ 0x5151), [n, k]).unwrap();
+        let at = Tensor::from_vec(a.clone(), [m, k]).unwrap();
+        let sub = Tensor::from_vec(a[..sub_m * k].to_vec(), [sub_m, k]).unwrap();
+        let bias = values(n, seed ^ 0x31415);
+        let epi = Epilogue::col_bias(Box::leak(bias.into_boxed_slice()))
+            .with_act(Some(Act::Sigmoid));
+        for prec in [Precision::Bf16, Precision::Int8] {
+            let qb = QPackedB::from_transb(&btt, prec).unwrap();
+            let mut full = Tensor::zeros([0usize; 2]);
+            quant::matmul_transb_qpacked_into(&at, &qb, epi, &mut full).unwrap();
+            let mut part = Tensor::zeros([0usize; 2]);
+            quant::matmul_transb_qpacked_into(&sub, &qb, epi, &mut part).unwrap();
+            prop_assert_eq!(part.data(), &full.data()[..sub_m * n], "{:?}", prec);
+        }
+    }
+
+    /// Pool width (and therefore partitioning and steal schedule) must
+    /// never change a bit of the quantized kernels.
+    #[test]
+    fn quantized_pool_size_never_changes_bits((m, n, k, seed) in shape()) {
+        let a = Tensor::from_vec(values(m * k, seed), [m, k]).unwrap();
+        let btt = Tensor::from_vec(values(n * k, seed ^ 0x0DDB1A5E), [n, k]).unwrap();
+        let bias = values(n, seed ^ 0xABCD);
+        let epi = Epilogue::col_bias(Box::leak(bias.into_boxed_slice()))
+            .with_act(Some(Act::Tanh));
+        for prec in [Precision::Bf16, Precision::Int8] {
+            let qb = QPackedB::from_transb(&btt, prec).unwrap();
+            let mut base = Tensor::zeros([0usize; 2]);
+            quant::matmul_transb_qpacked_into(&a, &qb, epi, &mut base).unwrap();
+            for workers in [0usize, 2, 7] {
+                let pool = hpacml_par::Pool::new(workers);
+                hpacml_par::with_pool(&pool, || {
+                    let mut c = Tensor::zeros([0usize; 2]);
+                    quant::matmul_transb_qpacked_into(&a, &qb, epi, &mut c).unwrap();
+                    // assert (not prop_assert): inside the pool-scope closure.
+                    assert_eq!(c.data(), base.data(), "{prec:?} workers={workers}");
+                });
+            }
+        }
+    }
+}

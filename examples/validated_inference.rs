@@ -1,14 +1,17 @@
-//! Online validation and adaptive fallback, end to end: a deployed
-//! surrogate drifts off its training distribution, the runtime's shadow
-//! validation catches it, the region falls back to the original host code
-//! bit for bit, and when the inputs return to the trained regime the
-//! surrogate automatically re-enables.
+//! Online validation, reduced-precision serving and the demotion ladder,
+//! end to end: a surrogate quantized to int8 serves a deployed region;
+//! when the inputs drift off the training distribution the runtime's
+//! shadow validation walks the precision ladder (int8 → bf16 → f32) one
+//! rung per window before disabling the surrogate outright and falling
+//! back to the original host code bit for bit — and when the inputs
+//! return to the trained regime it re-enables on the finest rung and
+//! promotes back down to the int8 target.
 //!
 //! ```sh
 //! cargo run --release --example validated_inference
 //! ```
 
-use hpac_ml::core::{ErrorMetric, PathTaken, Region, ValidationPolicy};
+use hpac_ml::core::{ErrorMetric, PathTaken, Precision, PrecisionPolicy, Region, ValidationPolicy};
 use hpac_ml::directive::sema::Bindings;
 use hpac_ml::nn::spec::{Activation, ModelSpec};
 
@@ -65,10 +68,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
     }
 
-    // Deploy it behind an annotated region with a validation policy:
-    // shadow-validate every 4th invocation under RMSE, budget 0.35 (between the
-    // model's in-distribution error ~0.16 and its drifted error ~1.2),
-    // window 4 (the hysteresis span).
+    // Deploy it behind an annotated region. The precision policy quantizes
+    // the model's weights to int8 (per-output-channel symmetric scales,
+    // f32 accumulation) and readies the bf16 rung; the validation policy
+    // then shadow-validates every 2nd invocation under RMSE, budget 0.5
+    // (between the model's in-distribution error ~0.16 and its drifted
+    // error ~1.2), window 2. Because a precision target is attached, the
+    // controller demotes through int8 → bf16 → f32 before any disable.
     let region = Region::from_source(
         "kernel",
         &format!(
@@ -81,10 +87,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             model_path.display()
         ),
     )?;
+    let report = region.set_precision_policy(&PrecisionPolicy::int8())?;
+    println!(
+        "quantized {} layers to {} (no region db attached: {} calibration rows)",
+        report.quantized_layers, report.target, report.calib_rows
+    );
     region.set_validation_policy(
-        ValidationPolicy::new(ErrorMetric::Rmse, 0.35)
-            .with_sample_rate(4)
-            .with_window(4)
+        ValidationPolicy::new(ErrorMetric::Rmse, 0.5)
+            .with_sample_rate(2)
+            .with_window(2)
             .with_batch_samples(0),
     )?;
 
@@ -92,12 +103,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let binds = Bindings::new().with("N", 1);
     let session = region.session(&binds, &[("x", &[2]), ("y", &[1])], batch)?;
 
-    // Three traffic phases: in-distribution, drifted (inputs scaled 6x, far
-    // outside the trained range), back in-distribution.
+    // Three traffic phases: in-distribution (int8 serves), drifted (inputs
+    // scaled 6x, far outside the trained range — every rung is over budget,
+    // so the ladder walks down and then trips fallback), back
+    // in-distribution (re-enable, then promote back to int8).
     let phases = [
         ("in-distribution", 1.0f32, 24usize),
         ("drifted (6x out of range)", 6.0, 24),
-        ("recovered", 1.0, 24),
+        ("recovered", 1.0, 40),
     ];
     let mut step = 0u64;
     for (label, scale, invocations) in phases {
@@ -122,8 +135,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!(
             "{label:<26} surrogate served {surrogate_served:>2}/{invocations} invocations, \
-             rolling error {:.4}, surrogate_active = {}",
+             rolling error {:.4}, serving at {}, surrogate_active = {}",
             region.validation_rolling_error().unwrap_or(0.0),
+            region.serve_precision(),
             region.surrogate_active()
         );
     }
@@ -131,21 +145,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s = region.stats();
     println!(
         "\nstats: {} invocations, {} validated samples, {} fallback-served, \
-         {} disable(s), {} re-enable(s)",
+         {} demote(s), {} promote(s), {} disable(s), {} re-enable(s)",
         s.invocations,
         s.validated_invocations,
         s.fallback_invocations,
+        s.precision_demotes,
+        s.precision_promotes,
         s.surrogate_disables,
         s.surrogate_reenables
     );
     assert!(
+        s.precision_demotes >= 2,
+        "the drift phase must walk the ladder through bf16 to f32"
+    );
+    assert!(
         s.surrogate_disables >= 1,
-        "the drift phase must trip fallback"
+        "sustained drift must trip fallback after the ladder is exhausted"
     );
     assert!(
         s.surrogate_reenables >= 1,
         "the recovery phase must re-enable the surrogate"
     );
-    println!("\nThe drift was caught online and the region healed itself.");
+    assert!(
+        s.precision_promotes >= 2,
+        "healthy service must promote back down the ladder"
+    );
+    assert_eq!(
+        region.serve_precision(),
+        Precision::Int8,
+        "the healed region serves the int8 target again"
+    );
+    println!(
+        "\nThe drift was caught online, the ladder degraded precision gracefully, \
+         and the region healed back to int8 serving."
+    );
     Ok(())
 }
