@@ -18,7 +18,7 @@ fn main() {
         args.cfg.scale
     );
     println!(
-        "{:<16} {:>12} {:>18} {:>13} {:>14} {:>11} {:>11} {:>9} {:>9} {:>9}",
+        "{:<16} {:>12} {:>18} {:>13} {:>14} {:>11} {:>11} {:>9} {:>9} {:>9} {:>9}",
         "Benchmark",
         "To Tensor",
         "Inference Engine",
@@ -28,9 +28,10 @@ fn main() {
         "Model h/m",
         "Batches",
         "Fill",
-        "Val/Fb"
+        "Val/Fb",
+        "DbE/Rt"
     );
-    println!("{}", "-".repeat(136));
+    println!("{}", "-".repeat(146));
     let mut rows = Vec::new();
     for b in hpacml_apps::all_benchmarks() {
         let model_path = args.cfg.model_path(b.name());
@@ -44,7 +45,7 @@ fn main() {
                 let (to, inf, from) = eval.region.breakdown();
                 let s = &eval.region;
                 println!(
-                    "{:<16} {:>11.2}% {:>17.2}% {:>12.2}% {:>13.3}% {:>11} {:>11} {:>9} {:>9.1} {:>9}",
+                    "{:<16} {:>11.2}% {:>17.2}% {:>12.2}% {:>13.3}% {:>11} {:>11} {:>9} {:>9.1} {:>9} {:>9}",
                     b.name(),
                     to * 100.0,
                     inf * 100.0,
@@ -55,9 +56,10 @@ fn main() {
                     s.batches_flushed,
                     s.mean_batch_fill(),
                     format!("{}/{}", s.validated_invocations, s.fallback_invocations),
+                    format!("{}/{}", s.db_errors, s.retry_attempts),
                 );
                 rows.push(format!(
-                    "{},{:.5},{:.5},{:.5},{:.5},{},{},{},{},{},{},{:.2},{},{},{},{}",
+                    "{},{:.5},{:.5},{:.5},{:.5},{},{},{},{},{},{},{:.2},{},{},{},{},{},{},{},{}",
                     b.name(),
                     to,
                     inf,
@@ -74,6 +76,10 @@ fn main() {
                     s.fallback_invocations,
                     s.surrogate_disables,
                     s.surrogate_reenables,
+                    s.db_errors,
+                    s.retry_attempts,
+                    s.retry_giveups,
+                    s.surrogate_errors,
                 ));
             }
             Err(e) => eprintln!("{:<16} FAILED: {e}", b.name()),
@@ -89,7 +95,9 @@ fn main() {
          auto-regressive loop is the expected fill-1 outlier). Val/Fb counts \
          shadow-validated and fallback-served invocations: both 0 here because \
          the evaluation harness attaches no ValidationPolicy — fig10 sweeps \
-         that axis."
+         that axis. DbE/Rt counts db I/O errors and transient-failure retries \
+         (see crates/faults): anything nonzero on a healthy filesystem means \
+         the store is flaking and the run's collected data deserves suspicion."
     );
     hpacml_bench::write_csv(
         &args.results_dir,
@@ -97,7 +105,8 @@ fn main() {
         "benchmark,to_tensor_frac,inference_frac,from_tensor_frac,bridge_over_engine,\
          plan_cache_hits,plan_cache_misses,model_cache_hits,model_cache_misses,\
          batch_submitted,batches_flushed,mean_batch_fill,validated_invocations,\
-         fallback_invocations,surrogate_disables,surrogate_reenables",
+         fallback_invocations,surrogate_disables,surrogate_reenables,\
+         db_errors,retry_attempts,retry_giveups,surrogate_errors",
         &rows,
     );
 }

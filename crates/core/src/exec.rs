@@ -148,10 +148,29 @@ impl<'r> Invocation<'r> {
                 next += 1;
             }
         }
+        let mut surrogate = surrogate;
+        let mut fallback = fallback;
         let (inference_ns, accurate_ns) = if surrogate {
-            let core = self.region.session_core(&self.binds, &pairs)?;
-            let ns = core.run_surrogate(self.region, &mut self.scratch, 1, 1, false)?;
-            (ns, 0)
+            // Surrogate infrastructure failure (model load / forward errored
+            // after retries) degrades to the host closure — same contract as
+            // the compiled Session path. Host buffers are untouched by a
+            // failed pass, so the accurate run stays bit-identical.
+            let run = self
+                .region
+                .session_core(&self.binds, &pairs)
+                .and_then(|core| core.run_surrogate(self.region, &mut self.scratch, 1, 1, false));
+            match run {
+                Ok(ns) => (ns, 0),
+                Err(e) => {
+                    if !self.region.note_surrogate_failure(&e) {
+                        return Err(e);
+                    }
+                    surrogate = false;
+                    fallback = true;
+                    let ((), ns) = timed(accurate);
+                    (0, ns)
+                }
+            }
         } else {
             let ((), ns) = timed(accurate);
             (0, ns)

@@ -87,8 +87,9 @@ pub mod session;
 pub mod timing;
 pub mod validate;
 
-pub use error::CoreError;
+pub use error::{CoreError, ServeError};
 pub use exec::{Invocation, Outcome, PathTaken};
+pub use hpacml_faults::retry::RetryPolicy;
 pub use hpacml_nn::PrecisionPolicy;
 pub use hpacml_tensor::Precision;
 pub use region::{PrecisionReport, Region, RegionBuilder};

@@ -9,6 +9,7 @@ use hpacml_bridge::{CompiledMap, PlanCache, PlanKey};
 use hpacml_directive::ast::{Direction, Directive, MapDirective, MlDirective, MlMode};
 use hpacml_directive::parse::parse_directives;
 use hpacml_directive::sema::{analyze, Bindings, FunctorInfo};
+use hpacml_faults::retry::{RetryOutcome, RetryPolicy};
 use hpacml_nn::{InferWorkspace, PrecisionPolicy, SavedModel};
 use hpacml_store::H5File;
 use hpacml_tensor::{Precision, Tensor};
@@ -56,6 +57,9 @@ pub struct Region {
     serve_precision: AtomicU8,
     /// Report of the last [`Region::set_precision_policy`] call.
     precision: Mutex<Option<PrecisionReport>>,
+    /// Transient-failure budget for db open/flush and model resolution
+    /// (deterministic tick backoff; see `hpacml_faults::retry`).
+    retry: Mutex<RetryPolicy>,
 }
 
 /// What [`Region::set_precision_policy`] did: the quantization target, how
@@ -311,6 +315,30 @@ impl Region {
         f(&mut self.stats.lock());
     }
 
+    /// The region's transient-failure retry budget (db open/flush and
+    /// model resolution share it).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.lock()
+    }
+
+    /// Replace the retry budget — e.g. [`RetryPolicy::none`] to fail fast
+    /// in tests, or a wider budget for flaky network filesystems.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.lock() = policy;
+    }
+
+    /// Fold one retry outcome into the region's counters.
+    fn note_retries<T, E>(&self, out: &RetryOutcome<T, E>) {
+        if out.retries() > 0 || out.gave_up() {
+            self.update_stats(|s| {
+                s.retry_attempts += u64::from(out.retries());
+                if out.gave_up() {
+                    s.retry_giveups += 1;
+                }
+            });
+        }
+    }
+
     /// Fetch (or compile and cache) the bridge plan for `array` in the given
     /// direction, for a concrete shape and bindings.
     pub(crate) fn plan_for(
@@ -371,11 +399,29 @@ impl Region {
                 return Ok(model);
             }
         }
-        let model = hpacml_nn::InferenceEngine::global().load(&path)?;
-        *guard = Some((path, Arc::clone(&model)));
+        // The engine already retries quick I/O flakes internally; this layer
+        // treats a full engine give-up as one failed attempt, so an outage
+        // longer than the engine's budget still resolves once the file is
+        // readable again.
+        let out = self
+            .retry_policy()
+            .run(|_| hpacml_nn::InferenceEngine::global().load(&path));
+        let retries = out.retries();
+        let gave_up = out.gave_up();
+        let loaded = out.result;
+        if let Ok(model) = &loaded {
+            *guard = Some((path, Arc::clone(model)));
+        }
         drop(guard);
-        self.update_stats(|s| s.model_cache_misses += 1);
-        Ok(model)
+        self.update_stats(|s| {
+            s.retry_attempts += u64::from(retries);
+            if gave_up {
+                s.retry_giveups += 1;
+            } else {
+                s.model_cache_misses += 1;
+            }
+        });
+        Ok(loaded?)
     }
 
     /// Fetch (or build and cache) the compiled invocation core for this
@@ -486,13 +532,31 @@ impl Region {
                     std::fs::create_dir_all(dir).map_err(hpacml_store::StoreError::Io)?;
                 }
             }
-            *guard = Some(if path.exists() {
-                H5File::open(&path)?
+            let opened = if path.exists() {
+                // Reopening an existing file is real I/O and can flake
+                // (chaos seam `store.open`); retry under the region budget
+                // before surfacing. A create is in-memory and cannot fail.
+                let out = self.retry_policy().run(|_| H5File::open(&path));
+                self.note_retries(&out);
+                match out.result {
+                    Ok(file) => file,
+                    Err(e) => {
+                        drop(guard);
+                        self.update_stats(|s| s.db_errors += 1);
+                        return Err(e.into());
+                    }
+                }
             } else {
                 H5File::create(&path)
-            });
+            };
+            *guard = Some(opened);
         }
-        body(&self.name, guard.as_mut().expect("db initialized above"))
+        let res = body(&self.name, guard.as_mut().expect("db initialized above"));
+        drop(guard);
+        if res.is_err() {
+            self.update_stats(|s| s.db_errors += 1);
+        }
+        res
     }
 
     pub(crate) fn validation_slot(&self) -> &Mutex<Option<Arc<RegionValidation>>> {
@@ -531,12 +595,22 @@ impl Region {
         })
     }
 
-    /// Persist collected data to disk.
+    /// Persist collected data to disk. Transient failures retry under the
+    /// region's [`RetryPolicy`]; an exhausted budget counts into the
+    /// `db_errors`/`retry_giveups` stats and surfaces the final error.
     pub fn flush_db(&self) -> Result<()> {
-        if let Some(db) = self.db.lock().as_mut() {
-            db.flush()?;
+        let out = {
+            let mut guard = self.db.lock();
+            match guard.as_mut() {
+                None => return Ok(()),
+                Some(db) => self.retry_policy().run(|_| db.flush()),
+            }
+        };
+        self.note_retries(&out);
+        if out.result.is_err() {
+            self.update_stats(|s| s.db_errors += 1);
         }
-        Ok(())
+        out.result.map_err(CoreError::from)
     }
 
     /// Bytes of collected data currently held (Table III's data-size column).
@@ -716,13 +790,23 @@ impl RegionBuilder {
             forced_fallback: AtomicBool::new(false),
             serve_precision: AtomicU8::new(Precision::F32.tag()),
             precision: Mutex::new(None),
+            retry: Mutex::new(RetryPolicy::default()),
         })
     }
 }
 
 impl Drop for Region {
     fn drop(&mut self) {
-        let _ = self.flush_db();
+        // `flush_db` has already retried and counted the failure into
+        // `db_errors`; the stats die with the region, so the message is the
+        // only remaining signal that collected rows were lost.
+        if let Err(e) = self.flush_db() {
+            eprintln!(
+                "hpacml-core: region `{}`: final db flush failed: {e} \
+                 (rows collected since the last successful flush are lost)",
+                self.name
+            );
+        }
     }
 }
 

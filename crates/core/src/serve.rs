@@ -31,7 +31,26 @@
 //! shadow-validated against it, fallback-disabled periods are served by it
 //! (with sampled surrogate probes driving recovery), and a forced fallback
 //! routes every flush through it. [`BatchServer::shutdown`] flushes the
-//! forming batch and rejects later submissions.
+//! forming batch and rejects later submissions;
+//! [`BatchServer::drain`] flushes without closing the server.
+//!
+//! # Admission control
+//!
+//! The server is backpressured, not unbounded:
+//!
+//! * [`BatchServer::with_max_pending`] caps the samples staged or executing
+//!   at any moment; a submit over the cap is rejected with a typed
+//!   [`ServeError::Overloaded`] instead of growing the queue (counted in
+//!   [`RegionStats::serve_rejected_overload`](crate::RegionStats)).
+//! * [`BatchServer::submit_with_deadline`] attaches a wait budget: a submit
+//!   that would join a forming batch flushing *later* than its budget is
+//!   rejected up front with [`ServeError::Deadline`] — never stranded — and
+//!   a leading submit shortens its batch's flush to fit the budget.
+//! * `max_wait` adapts to load: the leader's wait is the configured bound
+//!   scaled by an EWMA of recent batch fill, so it shrinks toward zero under
+//!   light load (no company worth waiting for) and grows back toward the
+//!   configured bound under sustained occupancy. See
+//!   [`BatchServer::current_max_wait`].
 //!
 //! ```no_run
 //! # fn main() -> hpacml_core::Result<()> {
@@ -60,14 +79,20 @@
 //! # }
 //! ```
 
+use crate::error::ServeError;
 use crate::session::Session;
 use crate::timing::timed;
 use crate::validate::SampleError;
 use crate::{CoreError, Result};
 use hpacml_directive::ast::MlMode;
+use hpacml_faults::{fault_point, fault_point_infallible};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// EWMA weight of the newest batch-fill observation in the adaptive
+/// `max_wait` (higher reacts faster, lower smooths bursts).
+const OCCUPANCY_ALPHA: f64 = 0.25;
 
 /// A whole-batch host-code fallback: `(n, staged_inputs, outputs)`, where
 /// `staged_inputs[i]` holds the `n` per-sample arrays of declared input `i`
@@ -75,9 +100,18 @@ use std::time::{Duration, Instant};
 /// results of declared output `j`.
 type FallbackFn<'s> = Box<dyn Fn(usize, &[Vec<f32>], &mut [Vec<f32>]) + Send + Sync + 's>;
 
+/// How a flushed batch failed: the message plus the batch fill at failure
+/// time, fanned out to every member (each member adds its own slot index on
+/// the way out, so diagnostics name the exact sample).
+#[derive(Debug, Clone)]
+struct BatchFailure {
+    msg: String,
+    fill: usize,
+}
+
 /// One flushed batch's published outcome: a buffer per declared output
-/// array, or an error message fanned out to every member.
-type BatchOutcome = std::result::Result<Arc<Vec<Vec<f32>>>, String>;
+/// array, or a structured failure fanned out to every member.
+type BatchOutcome = std::result::Result<Arc<Vec<Vec<f32>>>, BatchFailure>;
 
 /// Per-batch result cell: members park on `cv` until the executor publishes
 /// one output buffer per declared output array (or an error, fanned out to
@@ -112,6 +146,13 @@ struct ServerState {
     spare: Vec<Vec<Vec<f32>>>,
     /// Set by [`BatchServer::shutdown`]; later submissions are rejected.
     shutdown: bool,
+    /// Samples staged or in a flushed-but-unpublished batch — the quantity
+    /// [`BatchServer::with_max_pending`] caps.
+    in_flight: usize,
+    /// EWMA of batch fill (`n / max_batch`) at flush time, in `[0, 1]`.
+    /// Scales the leader's wait: light load shrinks it toward zero,
+    /// sustained occupancy grows it back toward the configured `max_wait`.
+    occupancy_ewma: f64,
 }
 
 /// What a submitter must do after staging its sample.
@@ -129,6 +170,9 @@ enum Role {
 pub struct BatchServer<'s, 'r> {
     session: &'s Session<'r>,
     max_wait: Duration,
+    /// Admission-control cap on staged + executing samples
+    /// (`usize::MAX` = uncapped).
+    max_pending: usize,
     state: Mutex<ServerState>,
     /// Leaders park here; whoever fills a batch signals so the leader stops
     /// waiting for a batch that is already on its way.
@@ -167,10 +211,15 @@ impl<'s, 'r> BatchServer<'s, 'r> {
         Ok(BatchServer {
             session,
             max_wait,
+            max_pending: usize::MAX,
             state: Mutex::new(ServerState {
                 forming: None,
                 spare: Vec::new(),
                 shutdown: false,
+                in_flight: 0,
+                // Start at the configured bound (the pre-adaptive
+                // behavior); the first light-load flushes walk it down.
+                occupancy_ewma: 1.0,
             }),
             leader_cv: Condvar::new(),
             in_arrays,
@@ -199,6 +248,16 @@ impl<'s, 'r> BatchServer<'s, 'r> {
         self
     }
 
+    /// Bound the samples staged or executing at any moment. A submit over
+    /// the cap is rejected with [`ServeError::Overloaded`] (counted in
+    /// [`RegionStats::serve_rejected_overload`](crate::RegionStats))
+    /// instead of queueing without bound — load-shedding backpressure for
+    /// closed-loop clients.
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending.max(1);
+        self
+    }
+
     /// The wrapped session.
     pub fn session(&self) -> &'s Session<'r> {
         self.session
@@ -210,10 +269,24 @@ impl<'s, 'r> BatchServer<'s, 'r> {
         self.state.lock().forming.as_ref().map_or(0, |f| f.n)
     }
 
+    /// Samples staged *or* executing-but-unpublished — the quantity the
+    /// `max_pending` cap applies to (observability; racy by nature).
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().in_flight
+    }
+
+    /// The leader wait currently in force: the configured `max_wait` scaled
+    /// by the batch-fill EWMA. Shrinks toward zero when batches flush
+    /// mostly empty, recovers toward the configured bound as occupancy
+    /// rises.
+    pub fn current_max_wait(&self) -> Duration {
+        self.max_wait.mul_f64(self.state.lock().occupancy_ewma)
+    }
+
     /// Stop accepting submissions: the forming batch (if any) is flushed
     /// immediately on the calling thread so parked members complete, and
-    /// every later [`BatchServer::submit`] is rejected with an error.
-    /// Idempotent.
+    /// every later [`BatchServer::submit`] is rejected with
+    /// [`ServeError::ShutDown`]. Idempotent.
     pub fn shutdown(&self) {
         let forming = {
             let mut st = self.state.lock();
@@ -222,6 +295,21 @@ impl<'s, 'r> BatchServer<'s, 'r> {
         };
         // Wake any leader parked on the (now detached) batch.
         self.leader_cv.notify_all();
+        fault_point_infallible!("serve.shutdown.race");
+        if let Some(f) = forming {
+            self.execute(f);
+        }
+    }
+
+    /// Flush the forming batch (if any) on the calling thread without
+    /// closing the server: parked members complete now instead of at the
+    /// leader's deadline, and later submissions are still accepted. The
+    /// quiesce half of a `drain()`-then-[`shutdown`](Self::shutdown)
+    /// teardown, also usable on its own at a phase boundary.
+    pub fn drain(&self) {
+        let forming = self.state.lock().forming.take();
+        self.leader_cv.notify_all();
+        fault_point_infallible!("serve.drain.race");
         if let Some(f) = forming {
             self.execute(f);
         }
@@ -234,8 +322,34 @@ impl<'s, 'r> BatchServer<'s, 'r> {
     /// one per-sample array long. Safe to call from any number of threads;
     /// whatever is pending when a batch closes shares one forward pass.
     pub fn submit(&self, inputs: &[&[f32]], outputs: &mut [&mut [f32]]) -> Result<()> {
+        self.submit_inner(inputs, outputs, None)
+    }
+
+    /// [`submit`](Self::submit) with a per-request wait budget: the sample
+    /// is only admitted if the batch it would join flushes within `budget`.
+    /// Joining a forming batch whose flush lies beyond the budget is
+    /// rejected **up front** with [`ServeError::Deadline`] (counted in
+    /// [`RegionStats::serve_rejected_deadline`](crate::RegionStats)) rather
+    /// than stranding the sample; an admitted *leading* submit shortens its
+    /// new batch's flush to fit the budget. The budget covers queueing wait
+    /// only — execution time is the pass's own.
+    pub fn submit_with_deadline(
+        &self,
+        inputs: &[&[f32]],
+        outputs: &mut [&mut [f32]],
+        budget: Duration,
+    ) -> Result<()> {
+        self.submit_inner(inputs, outputs, Some(budget))
+    }
+
+    fn submit_inner(
+        &self,
+        inputs: &[&[f32]],
+        outputs: &mut [&mut [f32]],
+        budget: Option<Duration>,
+    ) -> Result<()> {
         self.check_arity(inputs, outputs)?;
-        let (cell, slot, role) = self.stage(inputs)?;
+        let (cell, slot, role) = self.stage(inputs, budget)?;
         match role {
             Role::Execute(f) => {
                 // Wake a leader that may be parked on this (now closed) batch.
@@ -288,15 +402,49 @@ impl<'s, 'r> BatchServer<'s, 'r> {
 
     /// Stage one sample into the forming batch (creating it if none) and
     /// decide this submitter's role. All staging happens under the server
-    /// lock, so a closed batch is always fully staged. Rejected once the
-    /// server is shut down.
-    fn stage(&self, inputs: &[&[f32]]) -> Result<(Arc<Cell>, usize, Role)> {
+    /// lock, so a closed batch is always fully staged. Rejection paths —
+    /// shutdown, the `max_pending` cap, an unmeetable deadline — are all
+    /// decided here, before the sample touches a staging buffer.
+    fn stage(
+        &self,
+        inputs: &[&[f32]],
+        budget: Option<Duration>,
+    ) -> Result<(Arc<Cell>, usize, Role)> {
+        fault_point_infallible!("serve.stage");
+        let region = self.session.region();
         let mut st = self.state.lock();
         if st.shutdown {
-            return Err(CoreError::Region(format!(
-                "region `{}`: BatchServer is shut down; submission rejected",
-                self.session.region().name()
-            )));
+            return Err(ServeError::ShutDown {
+                region: region.name().to_string(),
+            }
+            .into());
+        }
+        if st.in_flight >= self.max_pending {
+            let pending = st.in_flight;
+            drop(st);
+            region.update_stats(|s| s.serve_rejected_overload += 1);
+            return Err(ServeError::Overloaded {
+                region: region.name().to_string(),
+                pending,
+                max_pending: self.max_pending,
+            }
+            .into());
+        }
+        if let (Some(budget), Some(f)) = (budget, st.forming.as_ref()) {
+            // Joining an existing batch: its flush instant is already set.
+            // If that lies beyond this request's budget, admitting the
+            // sample would strand it — reject up front instead.
+            let flush_in = f.deadline.saturating_duration_since(Instant::now());
+            if flush_in > budget {
+                drop(st);
+                region.update_stats(|s| s.serve_rejected_deadline += 1);
+                return Err(ServeError::Deadline {
+                    region: region.name().to_string(),
+                    budget_ns: budget.as_nanos() as u64,
+                    flush_in_ns: flush_in.as_nanos() as u64,
+                }
+                .into());
+            }
         }
         if st.forming.is_none() {
             let staging = st.spare.pop().unwrap_or_else(|| {
@@ -305,11 +453,17 @@ impl<'s, 'r> BatchServer<'s, 'r> {
                     .map(|(_, per)| Vec::with_capacity(self.session.max_batch() * per))
                     .collect()
             });
+            // Leader wait = configured bound scaled by recent occupancy,
+            // further shortened to the leading request's own budget.
+            let mut wait = self.max_wait.mul_f64(st.occupancy_ewma);
+            if let Some(budget) = budget {
+                wait = wait.min(budget);
+            }
             st.forming = Some(Forming {
                 cell: Arc::new(Cell::new()),
                 staging,
                 n: 0,
-                deadline: Instant::now() + self.max_wait,
+                deadline: Instant::now() + wait,
             });
         }
         let f = st.forming.as_mut().expect("forming batch present");
@@ -318,6 +472,8 @@ impl<'s, 'r> BatchServer<'s, 'r> {
             buf.extend_from_slice(data);
         }
         f.n += 1;
+        st.in_flight += 1;
+        let f = st.forming.as_mut().expect("forming batch present");
         let cell = Arc::clone(&f.cell);
         let role = if f.n == self.session.max_batch() {
             Role::Execute(st.forming.take().expect("forming batch present"))
@@ -345,6 +501,7 @@ impl<'s, 'r> BatchServer<'s, 'r> {
             if now >= deadline {
                 let f = st.forming.take().expect("batch checked above");
                 drop(st);
+                fault_point_infallible!("serve.lead.flush");
                 self.execute(f);
                 return;
             }
@@ -358,6 +515,7 @@ impl<'s, 'r> BatchServer<'s, 'r> {
     /// recovery probe (whose timings belong to `validation_shadow_ns`, not
     /// the invocation counters).
     fn surrogate_pass(&self, f: &Forming, n: usize, count_stats: bool) -> Result<Vec<Vec<f32>>> {
+        fault_point!("serve.surrogate");
         let mut run = self
             .session
             .invoke_batch(n)?
@@ -382,6 +540,25 @@ impl<'s, 'r> BatchServer<'s, 'r> {
         // A probe drops the outcome unfinished: scratch still returns to
         // the thread, but nothing is folded into the invocation counters.
         Ok(bufs)
+    }
+
+    /// Serve one staged batch through the host-code fallback handler,
+    /// counting the members as fallback invocations. Caller guarantees a
+    /// handler is installed.
+    fn fallback_pass(&self, f: &Forming, n: usize) -> Vec<Vec<f32>> {
+        let handler = self.fallback.as_ref().expect("caller checked fallback");
+        let mut bufs: Vec<Vec<f32>> = self
+            .out_arrays
+            .iter()
+            .map(|(_, per)| vec![0.0f32; n * per])
+            .collect();
+        let ((), ns) = timed(|| handler(n, &f.staging, &mut bufs));
+        self.session.region().update_stats(|s| {
+            s.invocations += n as u64;
+            s.fallback_invocations += n as u64;
+            s.accurate_ns += ns;
+        });
+        bufs
     }
 
     /// Per-sample errors for the drawn `offsets` of one flush, comparing
@@ -424,6 +601,7 @@ impl<'s, 'r> BatchServer<'s, 'r> {
         if offsets.is_empty() {
             return Ok(());
         }
+        fault_point_infallible!("serve.shadow");
         let (errors, ns) = timed(|| {
             let mut reference: Vec<Vec<f32>> = self
                 .out_arrays
@@ -471,29 +649,36 @@ impl<'s, 'r> BatchServer<'s, 'r> {
         let pass =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<Vec<Vec<f32>>> {
                 if region.surrogate_active() {
-                    let bufs = self.surrogate_pass(&f, n, true)?;
-                    // Monitoring must never destroy correctly served
-                    // results: a shadow-validation failure — an Err from
-                    // the validation-row db append *or* a panic in the
-                    // user's fallback handler — is contained here instead
-                    // of fanned out to members who already have valid
-                    // outputs in `bufs`.
-                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        self.shadow_validate(&f, n, &bufs)
-                    }));
-                    Ok(bufs)
-                } else if let Some(handler) = &self.fallback {
-                    let mut bufs: Vec<Vec<f32>> = self
-                        .out_arrays
-                        .iter()
-                        .map(|(_, per)| vec![0.0f32; n * per])
-                        .collect();
-                    let ((), ns) = timed(|| handler(n, &f.staging, &mut bufs));
-                    region.update_stats(|s| {
-                        s.invocations += n as u64;
-                        s.fallback_invocations += n as u64;
-                        s.accurate_ns += ns;
-                    });
+                    match self.surrogate_pass(&f, n, true) {
+                        Ok(bufs) => {
+                            // Monitoring must never destroy correctly served
+                            // results: a shadow-validation failure — an Err
+                            // from the validation-row db append *or* a panic
+                            // in the user's fallback handler — is contained
+                            // here instead of fanned out to members who
+                            // already have valid outputs in `bufs`.
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                self.shadow_validate(&f, n, &bufs)
+                            }));
+                            Ok(bufs)
+                        }
+                        Err(e) => {
+                            // Permanent surrogate failure after retries:
+                            // trip the controller (when one is attached) so
+                            // later flushes take the fallback branch up
+                            // front, and serve *this* batch by the host
+                            // handler instead of failing every member.
+                            // Without a controller or handler the typed
+                            // error fans out unchanged.
+                            if region.note_surrogate_failure(&e) && self.fallback.is_some() {
+                                Ok(self.fallback_pass(&f, n))
+                            } else {
+                                Err(e)
+                            }
+                        }
+                    }
+                } else if self.fallback.is_some() {
+                    let bufs = self.fallback_pass(&f, n);
                     // As above: a failed (or panicking) recovery probe must
                     // not error out the handler's valid results.
                     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -519,13 +704,22 @@ impl<'s, 'r> BatchServer<'s, 'r> {
 
         // Publish before any other locking: once the pass has an outcome,
         // nothing may stand between it and the waiting members.
+        fault_point_infallible!("serve.execute.publish");
         {
             let mut done = f.cell.done.lock();
-            *done = Some(result.map(Arc::new).map_err(|e| e.to_string()));
+            *done = Some(result.map(Arc::new).map_err(|e| BatchFailure {
+                msg: e.to_string(),
+                fill: n,
+            }));
             f.cell.cv.notify_all();
         }
 
         let mut st = self.state.lock();
+        st.in_flight = st.in_flight.saturating_sub(n);
+        // Fold this flush's fill into the adaptive-wait EWMA.
+        let fill = n as f64 / self.session.max_batch() as f64;
+        st.occupancy_ewma =
+            ((1.0 - OCCUPANCY_ALPHA) * st.occupancy_ewma + OCCUPANCY_ALPHA * fill).clamp(0.0, 1.0);
         let mut staging = f.staging;
         for b in &mut staging {
             b.clear();
@@ -553,9 +747,13 @@ impl<'s, 'r> BatchServer<'s, 'r> {
                 }
                 Ok(())
             }
-            Err(msg) => Err(CoreError::Region(format!(
-                "batched forward pass failed: {msg}"
-            ))),
+            Err(failure) => Err(ServeError::Batch {
+                region: self.session.region().name().to_string(),
+                member: slot,
+                fill: failure.fill,
+                msg: failure.msg,
+            }
+            .into()),
         }
     }
 }

@@ -812,7 +812,10 @@ impl<'s, 'r> SessionRun<'s, 'r> {
                 }
             }
         }
-        let (inference_ns, accurate_ns) = if surrogate {
+        let mut accurate = Some(accurate);
+        let mut inference_ns = 0u64;
+        let mut accurate_ns = 0u64;
+        if surrogate {
             if !self.inputs_complete() {
                 return Err(self.missing_inputs_error());
             }
@@ -821,30 +824,65 @@ impl<'s, 'r> SessionRun<'s, 'r> {
             // `output` compares them (the surrogate scatter then overwrites
             // them — the surrogate remains the primary path).
             if let Some(sh) = &mut shadow {
-                let ((), ns) = timed(accurate);
+                let ((), ns) = timed(accurate.take().expect("accurate unconsumed"));
                 sh.shadow_ns += ns;
             }
-            let ns = core_run(self.session, &mut self.scratch, self.n, false)?;
-            (ns, 0)
-        } else {
-            let ((), ns) = timed(accurate);
+            match core_run(self.session, &mut self.scratch, self.n, false) {
+                Ok(ns) => inference_ns = ns,
+                Err(e) => {
+                    // Permanent surrogate failure (model load / forward
+                    // errored after retries): with a validation policy
+                    // attached, degrade this invocation to the host closure
+                    // and trip the controller so later ones skip the broken
+                    // surrogate up front. Host buffers are untouched by a
+                    // failed pass (scatter happens in `output`), so the
+                    // accurate path stays bit-identical. Without a
+                    // controller the error surfaces unchanged. An exempt
+                    // invocation (a BatchServer pass) also surfaces: the
+                    // server degrades whole batches itself.
+                    if self.validation_exempt || !region.note_surrogate_failure(&e) {
+                        return Err(e);
+                    }
+                    surrogate = false;
+                    fallback = true;
+                    if let Some(sh) = shadow.take() {
+                        // The shadow already ran the host code; there is
+                        // nothing to validate against a pass that produced
+                        // no outputs.
+                        accurate_ns = sh.shadow_ns;
+                    }
+                }
+            }
+        }
+        if !surrogate {
+            if let Some(acc) = accurate.take() {
+                let ((), ns) = timed(acc);
+                accurate_ns = ns;
+            }
             // Recovery probe: while adaptively fallen back, a drawn
             // invocation also runs the surrogate in shadow; `output`
             // compares without scattering. Needs the full input set — a
             // caller that skipped inputs on the accurate path simply isn't
-            // probed.
+            // probed. A probe that itself fails is dropped (the invocation
+            // is already served by the host code).
             if let Some(sh) = &mut shadow {
                 if self.inputs_complete() {
                     let (res, pns) =
                         timed(|| core_run(self.session, &mut self.scratch, self.n, true));
-                    res?;
-                    sh.shadow_ns += pns;
+                    match res {
+                        Ok(_) => sh.shadow_ns += pns,
+                        Err(e) => {
+                            // The invocation is already served by the host
+                            // code; a failed probe is dropped, never raised.
+                            let _degraded = region.note_surrogate_failure(&e);
+                            shadow = None;
+                        }
+                    }
                 } else {
                     shadow = None;
                 }
             }
-            (0, ns)
-        };
+        }
         Ok(SessionOutcome {
             session: self.session,
             scratch: self.scratch,

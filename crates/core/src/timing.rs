@@ -65,6 +65,24 @@ pub struct RegionStats {
     /// toward the quantization target (a doubled window of healthy
     /// observations).
     pub precision_promotes: u64,
+    /// Submissions rejected by the BatchServer's admission control: the
+    /// server was already at its `max_pending` staging cap (backpressure).
+    pub serve_rejected_overload: u64,
+    /// Submissions rejected up front because the forming batch's flush time
+    /// could not meet the request's deadline budget.
+    pub serve_rejected_deadline: u64,
+    /// Db flush/append/open failures — including the final flush on Region
+    /// drop, which previously vanished silently.
+    pub db_errors: u64,
+    /// Transient-failure retries performed (attempts beyond the first) for
+    /// model loads and db I/O under the region's retry policy.
+    pub retry_attempts: u64,
+    /// Operations that exhausted their retry budget and gave up.
+    pub retry_giveups: u64,
+    /// Surrogate passes that failed outright (model unloadable, inference
+    /// error) and were degraded to the host closure instead of erroring the
+    /// invocation.
+    pub surrogate_errors: u64,
 }
 
 impl RegionStats {

@@ -328,6 +328,19 @@ impl FallbackController {
         (self.disables, self.reenables)
     }
 
+    /// Force an immediate disable — surrogate *infrastructure* failure
+    /// (model load or forward pass errored permanently) rather than accuracy
+    /// drift. Recovery follows the normal path: a cooldown window, then
+    /// under-budget shadow probes re-enable.
+    pub fn trip(&mut self) {
+        if self.enabled {
+            self.enabled = false;
+            self.disables += 1;
+        }
+        self.stable = 0;
+        self.cooldown = self.window;
+    }
+
     /// Feed one validated-sample error; returns whether the surrogate is
     /// enabled afterwards. NaN errors are treated as infinitely bad.
     pub fn observe(&mut self, error: f64) -> bool {
@@ -460,6 +473,13 @@ impl RegionValidation {
         }
         offsets.dedup();
         seq
+    }
+
+    /// Force-disable the surrogate after an infrastructure failure (see
+    /// [`FallbackController::trip`]) and refresh the lock-free mirror.
+    pub(crate) fn trip(&self) {
+        self.controller.lock().trip();
+        self.enabled.store(false, Ordering::Relaxed);
     }
 
     /// Feed one validated-sample error into the controller, refresh the
@@ -631,6 +651,29 @@ impl Region {
 
     pub(crate) fn validation(&self) -> Option<Arc<RegionValidation>> {
         self.validation_slot().lock().clone()
+    }
+
+    /// A surrogate pass (model resolution or forward) failed permanently
+    /// after retries. Counts it; when a validation policy is attached, trips
+    /// the adaptive controller so subsequent invocations serve the host code
+    /// until the normal cooldown/probe path recovers, and returns `true` —
+    /// the caller then degrades the failed invocation to its accurate
+    /// closure. Without a controller there is no fallback machinery to
+    /// recover through, so the error surfaces (`false`).
+    pub(crate) fn note_surrogate_failure(&self, err: &crate::CoreError) -> bool {
+        self.update_stats(|s| s.surrogate_errors += 1);
+        match self.validation() {
+            Some(v) => {
+                v.trip();
+                eprintln!(
+                    "hpacml-core: region `{}`: surrogate pass failed ({err}); \
+                     falling back to host code until the controller recovers",
+                    self.name()
+                );
+                true
+            }
+            None => false,
+        }
     }
 
     /// Feed a batch of validated-sample errors into the controller, fold

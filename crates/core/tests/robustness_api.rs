@@ -1,0 +1,517 @@
+//! Fault-tolerant serving, admission control and retry/degrade behavior —
+//! the failure-path contract: rejections are typed and counted, permanent
+//! surrogate failures degrade to the host closure through the fallback
+//! controller, db I/O failures retry then surface with counters, and the
+//! server's adaptive wait tracks occupancy.
+
+use hpacml_core::serve::BatchServer;
+use hpacml_core::{
+    CoreError, ErrorMetric, PathTaken, Region, RetryPolicy, ServeError, ValidationPolicy,
+};
+use hpacml_directive::sema::Bindings;
+use hpacml_nn::spec::{Activation, ModelSpec};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("hpacml-robustness-api")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn save_mlp(path: &std::path::Path, seed: u64) {
+    let spec = ModelSpec::mlp(3, &[8], 1, Activation::Tanh, 0.0);
+    let mut model = spec.build(seed).unwrap();
+    hpacml_nn::serialize::save_model(path, &spec, &mut model, None, None).unwrap();
+}
+
+/// Per-sample infer region: 3 features in, 1 value out.
+fn infer_region(name: &str, model: &std::path::Path) -> Region {
+    Region::from_source(
+        name,
+        &format!(
+            r#"
+            #pragma approx tensor functor(rows: [i, 0:3] = ([3*i : 3*i+3]))
+            #pragma approx tensor functor(single: [i, 0:1] = ([i]))
+            #pragma approx tensor map(to: rows(x[0:N]))
+            #pragma approx ml(infer) in(x) out(single(y[0:N])) model("{}")
+            "#,
+            model.display()
+        ),
+    )
+    .unwrap()
+}
+
+/// Collect-mode region persisting to `db`.
+fn collect_region(name: &str, db: &std::path::Path) -> Region {
+    Region::from_source(
+        name,
+        &format!(
+            r#"
+            #pragma approx tensor functor(rows: [i, 0:3] = ([3*i : 3*i+3]))
+            #pragma approx tensor functor(single: [i, 0:1] = ([i]))
+            #pragma approx tensor map(to: rows(x[0:N]))
+            #pragma approx ml(collect) in(x) out(single(y[0:N])) db("{}")
+            "#,
+            db.display()
+        ),
+    )
+    .unwrap()
+}
+
+fn collect_one(region: &Region, binds: &Bindings, x: &[f32; 3], yv: f32) {
+    let mut y = [0.0f32; 1];
+    let mut out = region
+        .invoke(binds)
+        .input("x", x, &[3])
+        .unwrap()
+        .run(|| y[0] = yv)
+        .unwrap();
+    out.output("y", &mut y, &[1]).unwrap();
+    out.finish().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+#[test]
+fn overload_rejection_is_typed_counted_and_recoverable() {
+    let dir = tmpdir("overload");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 3);
+    let region = infer_region("overload", &model);
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 4)
+        .unwrap();
+
+    let sample = [0.3f32, -0.1, 0.7];
+    let mut direct = [0.0f32; 1];
+    let mut out = session
+        .invoke()
+        .input("x", &sample)
+        .unwrap()
+        .run(|| unreachable!())
+        .unwrap();
+    out.output("y", &mut direct).unwrap();
+    out.finish().unwrap();
+    region.reset_stats();
+
+    // Cap of 1: while one sample is staged, the next submit is shed.
+    let server = BatchServer::new(&session, Duration::from_secs(5))
+        .unwrap()
+        .with_max_pending(1);
+    std::thread::scope(|scope| {
+        let leader = scope.spawn(|| {
+            let mut out = [0.0f32; 1];
+            server.submit(&[&sample], &mut [&mut out]).map(|()| out[0])
+        });
+        while server.in_flight() < 1 {
+            std::thread::yield_now();
+        }
+        let mut out = [0.0f32; 1];
+        let err = server.submit(&[&sample], &mut [&mut out]).unwrap_err();
+        match err {
+            CoreError::Serve(ServeError::Overloaded {
+                pending,
+                max_pending,
+                ..
+            }) => {
+                assert!(pending >= 1);
+                assert_eq!(max_pending, 1);
+            }
+            other => panic!("expected Overloaded, got: {other}"),
+        }
+        // The shed submit left the server fully usable: drain the parked
+        // leader and its result is bit-identical to the direct invoke.
+        server.drain();
+        assert_eq!(leader.join().unwrap().unwrap(), direct[0]);
+    });
+    let s = region.stats();
+    assert_eq!(s.serve_rejected_overload, 1);
+    assert_eq!(s.serve_rejected_deadline, 0);
+    // Rejected submissions never count as served work.
+    assert_eq!(s.batch_submitted, 1);
+}
+
+#[test]
+fn deadline_rejection_is_up_front_and_counted() {
+    let dir = tmpdir("deadline");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 5);
+    let region = infer_region("deadline", &model);
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 2)
+        .unwrap();
+    let server = BatchServer::new(&session, Duration::from_secs(5)).unwrap();
+
+    let sample = [0.1f32, 0.2, 0.3];
+    std::thread::scope(|scope| {
+        let leader = scope.spawn(|| {
+            let mut out = [0.0f32; 1];
+            server.submit(&[&sample], &mut [&mut out]).map(|()| out[0])
+        });
+        while server.pending() < 1 {
+            std::thread::yield_now();
+        }
+        // The forming batch flushes ~5s out; a 1ns budget cannot make it.
+        let budget = Duration::from_nanos(1);
+        let mut out = [0.0f32; 1];
+        let err = server
+            .submit_with_deadline(&[&sample], &mut [&mut out], budget)
+            .unwrap_err();
+        match err {
+            CoreError::Serve(ServeError::Deadline {
+                budget_ns,
+                flush_in_ns,
+                ..
+            }) => {
+                assert_eq!(budget_ns, 1);
+                assert!(flush_in_ns > budget_ns);
+            }
+            other => panic!("expected Deadline, got: {other}"),
+        }
+        // A budget that covers the flush joins normally — and filling the
+        // batch (max_batch = 2) flushes it immediately, completing both.
+        let mut out2 = [0.0f32; 1];
+        server
+            .submit_with_deadline(&[&sample], &mut [&mut out2], Duration::from_secs(60))
+            .unwrap();
+        let lead_y = leader.join().unwrap().unwrap();
+        assert_eq!(lead_y, out2[0], "same sample, same batch, same result");
+    });
+    let s = region.stats();
+    assert_eq!(s.serve_rejected_deadline, 1);
+    assert_eq!(s.serve_rejected_overload, 0);
+
+    // A tight-deadline submit that *leads* a new batch is admitted: the
+    // batch's own wait shrinks to fit the budget.
+    let mut out = [0.0f32; 1];
+    server
+        .submit_with_deadline(&[&sample], &mut [&mut out], Duration::ZERO)
+        .unwrap();
+    assert_eq!(region.stats().serve_rejected_deadline, 1);
+}
+
+#[test]
+fn adaptive_wait_tracks_occupancy() {
+    let dir = tmpdir("adaptive");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 7);
+    let region = infer_region("adaptive", &model);
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 4)
+        .unwrap();
+    let max_wait = Duration::from_millis(100);
+    let server = BatchServer::new(&session, max_wait).unwrap();
+    assert_eq!(server.current_max_wait(), max_wait);
+
+    // Light load: solo submits flush 1/4-full batches; the leader wait
+    // decays toward zero so lone requests stop paying for company that
+    // never comes.
+    let sample = [0.5f32, 0.5, 0.5];
+    for _ in 0..5 {
+        let mut out = [0.0f32; 1];
+        server.submit(&[&sample], &mut [&mut out]).unwrap();
+    }
+    let after_solo = server.current_max_wait();
+    assert!(
+        after_solo < max_wait / 2,
+        "five 1/4-fill flushes must at least halve the wait (got {after_solo:?})"
+    );
+
+    // Heavy load: full batches pull the wait back up toward the bound.
+    for _ in 0..3 {
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let server = &server;
+                scope.spawn(move || {
+                    let mut out = [0.0f32; 1];
+                    server
+                        .submit(&[&[0.2f32, 0.4, 0.6]], &mut [&mut out])
+                        .unwrap();
+                });
+            }
+        });
+    }
+    let after_burst = server.current_max_wait();
+    assert!(
+        after_burst > after_solo,
+        "fuller flushes must grow the wait back ({after_solo:?} -> {after_burst:?})"
+    );
+    assert!(after_burst <= max_wait);
+}
+
+#[test]
+fn batch_failure_names_member_and_fill() {
+    let dir = tmpdir("member");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 9);
+    let region = infer_region("member", &model);
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 2)
+        .unwrap();
+    // Force fallback with no handler installed: every flush fails, and the
+    // fan-out must tell each member its own slot and the batch fill.
+    region.force_fallback(true);
+    let server = BatchServer::new(&session, Duration::from_secs(5)).unwrap();
+    let mut members = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = [0.0f32; 1];
+                    server.submit(&[&[0.1f32, 0.2, 0.3]], &mut [&mut out])
+                })
+            })
+            .collect();
+        for h in handles {
+            let err = h.join().unwrap().unwrap_err();
+            match err {
+                CoreError::Serve(ServeError::Batch {
+                    member, fill, msg, ..
+                }) => {
+                    assert_eq!(fill, 2);
+                    assert!(msg.contains("fallback"), "unexpected message: {msg}");
+                    members.push(member);
+                }
+                other => panic!("expected Batch, got: {other}"),
+            }
+        }
+    });
+    members.sort_unstable();
+    assert_eq!(members, vec![0, 1], "each member gets its own slot index");
+}
+
+#[test]
+fn shutdown_rejection_is_typed() {
+    let dir = tmpdir("shutdown");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 11);
+    let region = infer_region("shutdown", &model);
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 2)
+        .unwrap();
+    let server = BatchServer::new(&session, Duration::ZERO).unwrap();
+    server.shutdown();
+    let mut out = [0.0f32; 1];
+    let err = server
+        .submit(&[&[0.0f32, 0.0, 0.0]], &mut [&mut out])
+        .unwrap_err();
+    assert!(matches!(err, CoreError::Serve(ServeError::ShutDown { .. })));
+}
+
+// ---------------------------------------------------------------------------
+// Retry/backoff and db-error accounting
+// ---------------------------------------------------------------------------
+
+#[test]
+fn db_flush_failure_retries_then_counts() {
+    let dir = tmpdir("db-flush");
+    let db = dir.join("sub").join("d.h5");
+    let region = collect_region("dbflush", &db);
+    let binds = Bindings::new().with("N", 1);
+    collect_one(&region, &binds, &[0.1, 0.2, 0.3], 1.0);
+    region.flush_db().unwrap();
+    assert!(db.exists());
+    let clean = region.stats();
+    assert_eq!(clean.db_errors, 0);
+    assert_eq!(clean.retry_attempts, 0);
+    assert_eq!(clean.retry_giveups, 0);
+
+    // Yank the directory out from under the store: the atomic-rename flush
+    // can no longer create its temp file. Default policy = 3 attempts.
+    std::fs::remove_dir_all(&dir).unwrap();
+    let err = region.flush_db().unwrap_err();
+    assert!(format!("{err}").contains("io"), "unexpected error: {err}");
+    let s = region.stats();
+    assert_eq!(s.db_errors, 1);
+    assert_eq!(s.retry_attempts, 2, "3 attempts = 2 retries");
+    assert_eq!(s.retry_giveups, 1);
+
+    // Restoring the directory lets the same handle flush cleanly — the
+    // collected rows were never lost, only unpersisted.
+    std::fs::create_dir_all(db.parent().unwrap()).unwrap();
+    region.flush_db().unwrap();
+    assert!(db.exists());
+    assert_eq!(region.stats().db_errors, 1, "recovered flush adds no error");
+}
+
+#[test]
+fn retry_policy_none_fails_fast() {
+    let dir = tmpdir("fail-fast");
+    let db = dir.join("d.h5");
+    let region = collect_region("failfast", &db);
+    region.set_retry_policy(RetryPolicy::none());
+    assert_eq!(region.retry_policy(), RetryPolicy::none());
+    let binds = Bindings::new().with("N", 1);
+    collect_one(&region, &binds, &[0.4, 0.5, 0.6], 2.0);
+    std::fs::remove_dir_all(&dir).unwrap();
+    region.flush_db().unwrap_err();
+    let s = region.stats();
+    assert_eq!(s.retry_attempts, 0, "none() never retries");
+    assert_eq!(s.retry_giveups, 1);
+    assert_eq!(s.db_errors, 1);
+    // Leave the directory in place so the drop-time flush succeeds quietly.
+    std::fs::create_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Degrade-to-host through the fallback controller
+// ---------------------------------------------------------------------------
+
+#[test]
+fn missing_model_without_policy_still_errors() {
+    let dir = tmpdir("no-policy");
+    let region = infer_region("nopolicy", &dir.join("missing.hml"));
+    region.set_retry_policy(RetryPolicy::none());
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 1)
+        .unwrap();
+    // No controller: nothing to recover through, so the error surfaces.
+    assert!(session
+        .invoke()
+        .input("x", &[0.0f32; 3])
+        .unwrap()
+        .run(|| ())
+        .is_err());
+    let s = region.stats();
+    assert_eq!(s.surrogate_errors, 1);
+    assert!(s.retry_giveups >= 1);
+}
+
+#[test]
+fn permanent_model_failure_degrades_session_to_host() {
+    let dir = tmpdir("degrade-session");
+    let model = dir.join("late.hml");
+    let region = infer_region("degrade", &model);
+    region.set_retry_policy(RetryPolicy::none());
+    region
+        .set_validation_policy(ValidationPolicy::new(ErrorMetric::Rmse, 1e9).with_sample_rate(1000))
+        .unwrap();
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 1)
+        .unwrap();
+
+    // The model file does not exist: the pass fails permanently, the
+    // invocation is served by the closure, and the controller trips.
+    let mut y = [0.0f32; 1];
+    let mut out = session
+        .invoke()
+        .input("x", &[0.2f32, 0.4, 0.6])
+        .unwrap()
+        .run(|| y[0] = 5.0)
+        .unwrap();
+    out.output("y", &mut y).unwrap();
+    assert_eq!(out.finish().unwrap(), PathTaken::Accurate);
+    assert_eq!(y[0], 5.0, "host closure served the degraded invocation");
+    assert!(!region.surrogate_active(), "controller tripped");
+
+    // Subsequent invocations skip the broken surrogate up front: no new
+    // surrogate error, served as ordinary fallbacks.
+    let mut y2 = [0.0f32; 1];
+    let mut out = session
+        .invoke()
+        .input("x", &[0.2f32, 0.4, 0.6])
+        .unwrap()
+        .run(|| y2[0] = 6.0)
+        .unwrap();
+    out.output("y", &mut y2).unwrap();
+    assert_eq!(out.finish().unwrap(), PathTaken::Accurate);
+    assert_eq!(y2[0], 6.0);
+
+    let s = region.stats();
+    assert_eq!(s.surrogate_errors, 1, "only the failing pass counts");
+    assert_eq!(s.fallback_invocations, 2);
+    assert_eq!(s.surrogate_invocations, 0);
+}
+
+#[test]
+fn permanent_model_failure_degrades_one_shot_to_host() {
+    let dir = tmpdir("degrade-oneshot");
+    let region = infer_region("degrade1", &dir.join("missing.hml"));
+    region.set_retry_policy(RetryPolicy::none());
+    region
+        .set_validation_policy(ValidationPolicy::new(ErrorMetric::Rmse, 1e9).with_sample_rate(1000))
+        .unwrap();
+    let binds = Bindings::new().with("N", 1);
+    let mut y = [0.0f32; 1];
+    let mut out = region
+        .invoke(&binds)
+        .input("x", &[0.1f32, 0.1, 0.1], &[3])
+        .unwrap()
+        .run(|| y[0] = 7.0)
+        .unwrap();
+    out.output("y", &mut y, &[1]).unwrap();
+    assert_eq!(out.finish().unwrap(), PathTaken::Accurate);
+    assert_eq!(y[0], 7.0);
+    assert!(!region.surrogate_active());
+    let s = region.stats();
+    assert_eq!(s.surrogate_errors, 1);
+    assert_eq!(s.fallback_invocations, 1);
+}
+
+#[test]
+fn tripped_controller_recovers_when_the_model_appears() {
+    let dir = tmpdir("recover");
+    let model = dir.join("late.hml");
+    let region = infer_region("recover", &model);
+    region
+        .set_validation_policy(
+            ValidationPolicy::new(ErrorMetric::Rmse, 1e9)
+                .with_sample_rate(1)
+                .with_window(1),
+        )
+        .unwrap();
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 1)
+        .unwrap();
+    let invoke_host = |yv: f32| {
+        let mut y = [0.0f32; 1];
+        let mut out = session
+            .invoke()
+            .input("x", &[0.3f32, 0.6, 0.9])
+            .unwrap()
+            .run(|| y[0] = yv)
+            .unwrap();
+        out.output("y", &mut y).unwrap();
+        (out.finish().unwrap(), y[0])
+    };
+
+    // Trip on the missing model.
+    let (path, y) = invoke_host(1.0);
+    assert_eq!((path, y), (PathTaken::Accurate, 1.0));
+    assert!(!region.surrogate_active());
+
+    // The model shows up (a deploy completes); recovery probes on drawn
+    // fallback invocations walk the controller back to enabled.
+    save_mlp(&model, 21);
+    for i in 0..4 {
+        if region.surrogate_active() {
+            break;
+        }
+        let (path, _) = invoke_host(i as f32);
+        assert_eq!(path, PathTaken::Accurate);
+    }
+    assert!(
+        region.surrogate_active(),
+        "probes re-enable once the model loads"
+    );
+    let s = region.stats();
+    assert!(s.surrogate_reenables >= 1);
+
+    // And the next invocation actually serves the surrogate.
+    let (path, _) = invoke_host(f32::NAN);
+    assert_eq!(path, PathTaken::Surrogate);
+}

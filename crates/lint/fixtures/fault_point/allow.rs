@@ -1,0 +1,16 @@
+// Lint fixture (never compiled): the shipped seam idiom. Injection seams
+// are plain named calls, delays are deterministic spin ticks (never wall
+// clock), and no escape hatch is needed anywhere — the fault plumbing obeys
+// the same determinism discipline as the code it perturbs.
+pub fn load_with_seam(path: &str) -> Result<(), hpacml_faults::InjectedFault> {
+    hpacml_faults::fault_point!("nn.load");
+    for _ in 0..64 {
+        std::hint::spin_loop();
+    }
+    let _ = path;
+    Ok(())
+}
+
+pub fn publish_with_seam() {
+    hpacml_faults::fault_point_infallible!("serve.execute.publish");
+}

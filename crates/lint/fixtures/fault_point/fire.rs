@@ -1,0 +1,14 @@
+// Lint fixture (never compiled): a `fault_point!` seam earns no lint
+// exemptions. A seam that sneaks a wall-clock delay into kernel code still
+// draws no-wall-clock, and a reasonless escape slapped on the seam line is
+// an escape-hygiene finding that suppresses nothing.
+use std::time::Instant;
+
+pub fn load_with_seam(path: &str) -> Result<(), hpacml_faults::InjectedFault> {
+    hpacml_faults::fault_point!("nn.load");
+    let t0 = Instant::now();
+    // lint: allow(no-wall-clock)
+    while t0.elapsed().as_millis() < 1 {}
+    let _ = path;
+    Ok(())
+}

@@ -239,6 +239,34 @@ fn allow_justification_accepts_preceding_or_trailing_comment() {
 }
 
 #[test]
+fn fault_point_seam_grants_no_exemptions() {
+    // An injection seam is ordinary code to the lint: a wall-clock delay
+    // smuggled in next to a `fault_point!` still fires in kernel scope, and
+    // a reasonless escape on the seam's delay loop suppresses nothing.
+    let f = lint(
+        "crates/nn/src/fixture.rs",
+        include_str!("../fixtures/fault_point/fire.rs"),
+    );
+    assert_eq!(
+        rules_of(&f),
+        ["no-wall-clock", "no-wall-clock", "escape-hygiene"],
+        "{f:?}"
+    );
+    assert!(f[2].message.contains("without a justification"), "{f:?}");
+}
+
+#[test]
+fn fault_point_shipped_seam_idiom_is_clean() {
+    // The idiom every shipped seam uses — named `fault_point!` calls plus
+    // deterministic spin-tick delays — needs no escape hatch at all.
+    let f = lint(
+        "crates/nn/src/fixture.rs",
+        include_str!("../fixtures/fault_point/allow.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
 fn reasonless_escape_keeps_finding_and_flags_the_escape() {
     let f = lint(
         "crates/tensor/src/fixture.rs",

@@ -58,4 +58,9 @@ fn workspace_walk_covers_every_crate() {
         !files.iter().any(|f| f.contains("fixtures/")),
         "fixtures must not be linted as workspace sources"
     );
+    // The fault-injection crate is not exempt from the discipline it
+    // perturbs: both of its sources must be on the walk explicitly.
+    for must in ["crates/faults/src/lib.rs", "crates/faults/src/retry.rs"] {
+        assert!(files.iter().any(|f| f == must), "walker must lint {must}");
+    }
 }

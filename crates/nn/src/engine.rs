@@ -8,6 +8,8 @@
 
 use crate::serialize::{load_model, SavedModel};
 use crate::Result;
+use hpacml_faults::fault_point;
+use hpacml_faults::retry::RetryPolicy;
 use hpacml_tensor::Tensor;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -22,13 +24,26 @@ pub struct InferenceEngine {
     // path-keyed model cache is lookup-dominated anyway.
     cache: RwLock<BTreeMap<PathBuf, Arc<SavedModel>>>,
     loads: AtomicU64,
+    /// Transient-failure budget for the disk load (deterministic tick
+    /// backoff; see `hpacml_faults::retry`).
+    retry: RetryPolicy,
+    retries: AtomicU64,
+    giveups: AtomicU64,
 }
 
 impl InferenceEngine {
     pub fn new() -> Self {
+        Self::with_retry(RetryPolicy::default())
+    }
+
+    /// An engine with an explicit retry budget for model loads.
+    pub fn with_retry(retry: RetryPolicy) -> Self {
         InferenceEngine {
             cache: RwLock::new(BTreeMap::new()),
             loads: AtomicU64::new(0),
+            retry,
+            retries: AtomicU64::new(0),
+            giveups: AtomicU64::new(0),
         }
     }
 
@@ -42,6 +57,9 @@ impl InferenceEngine {
     ///
     /// Concurrent callers racing on the same path observe exactly one load:
     /// the miss path re-checks under the write lock before touching disk.
+    /// A load that fails transiently (I/O flake) is retried under the
+    /// engine's [`RetryPolicy`]; only an exhausted budget surfaces the
+    /// error ([`InferenceEngine::giveup_count`] counts those).
     pub fn load(&self, path: impl AsRef<Path>) -> Result<Arc<SavedModel>> {
         let path = path.as_ref();
         if let Some(m) = self.cache.read().get(path) {
@@ -51,7 +69,16 @@ impl InferenceEngine {
         if let Some(m) = cache.get(path) {
             return Ok(Arc::clone(m));
         }
-        let loaded = Arc::new(load_model(path)?);
+        let out = self.retry.run(|_| -> Result<SavedModel> {
+            fault_point!("nn.load");
+            load_model(path)
+        });
+        self.retries
+            .fetch_add(u64::from(out.retries()), Ordering::Relaxed);
+        if out.gave_up() {
+            self.giveups.fetch_add(1, Ordering::Relaxed);
+        }
+        let loaded = Arc::new(out.result?);
         self.loads.fetch_add(1, Ordering::Relaxed);
         cache.insert(path.to_path_buf(), Arc::clone(&loaded));
         Ok(loaded)
@@ -66,6 +93,17 @@ impl InferenceEngine {
     /// Number of distinct model loads performed (cache misses).
     pub fn load_count(&self) -> u64 {
         self.loads.load(Ordering::Relaxed)
+    }
+
+    /// Transient-failure retries performed by [`InferenceEngine::load`]
+    /// (attempts beyond each first try).
+    pub fn retry_count(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Loads that exhausted the retry budget and surfaced an error.
+    pub fn giveup_count(&self) -> u64 {
+        self.giveups.load(Ordering::Relaxed)
     }
 
     /// Drop a cached model (e.g. after retraining in a workflow loop).

@@ -72,6 +72,12 @@ impl std::fmt::Display for NnError {
 
 impl std::error::Error for NnError {}
 
+impl From<hpacml_faults::InjectedFault> for NnError {
+    fn from(f: hpacml_faults::InjectedFault) -> Self {
+        NnError::Io(f.into())
+    }
+}
+
 impl From<TensorError> for NnError {
     fn from(e: TensorError) -> Self {
         NnError::Tensor(e)

@@ -18,7 +18,7 @@ pub mod file;
 pub mod group;
 
 pub use dataset::{DType, Dataset};
-pub use file::H5File;
+pub use file::{H5File, RecoveryReport};
 pub use group::{Attr, Group, Node};
 
 /// Errors raised by the store.
@@ -61,6 +61,12 @@ impl std::error::Error for StoreError {}
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
         StoreError::Io(e)
+    }
+}
+
+impl From<hpacml_faults::InjectedFault> for StoreError {
+    fn from(f: hpacml_faults::InjectedFault) -> Self {
+        StoreError::Io(f.into())
     }
 }
 
