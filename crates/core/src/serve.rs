@@ -94,6 +94,15 @@ use std::time::{Duration, Instant};
 /// `max_wait` (higher reacts faster, lower smooths bursts).
 const OCCUPANCY_ALPHA: f64 = 0.25;
 
+/// `Duration` → nanoseconds as `u64`, saturating. `Duration` holds up to
+/// ~2^64 seconds, so `as_nanos() as u64` would *truncate* an absurd-but-legal
+/// budget or flush horizon to a small number — and a rejection that reports
+/// a tiny `flush_in_ns` masks the real cause. Saturated values pin the
+/// diagnostic at "effectively unbounded" instead.
+fn saturating_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// A whole-batch host-code fallback: `(n, staged_inputs, outputs)`, where
 /// `staged_inputs[i]` holds the `n` per-sample arrays of declared input `i`
 /// back to back and `outputs[j]` must be filled with the `n` per-sample
@@ -153,6 +162,11 @@ struct ServerState {
     /// Scales the leader's wait: light load shrinks it toward zero,
     /// sustained occupancy grows it back toward the configured `max_wait`.
     occupancy_ewma: f64,
+    /// Whether any flush has been observed yet. The first observation
+    /// *seeds* the EWMA (replaces the optimistic 1.0 prior outright) so a
+    /// cold server stops imposing the full `max_wait` on light-load
+    /// submitters after one flush instead of after `~1/alpha` of them.
+    occupancy_seeded: bool,
 }
 
 /// What a submitter must do after staging its sample.
@@ -218,8 +232,11 @@ impl<'s, 'r> BatchServer<'s, 'r> {
                 shutdown: false,
                 in_flight: 0,
                 // Start at the configured bound (the pre-adaptive
-                // behavior); the first light-load flushes walk it down.
+                // behavior) so the very first batch still waits for
+                // company; the first observed flush *seeds* the EWMA with
+                // its actual fill, so a cold server adapts after one batch.
                 occupancy_ewma: 1.0,
+                occupancy_seeded: false,
             }),
             leader_cv: Condvar::new(),
             in_arrays,
@@ -440,8 +457,8 @@ impl<'s, 'r> BatchServer<'s, 'r> {
                 region.update_stats(|s| s.serve_rejected_deadline += 1);
                 return Err(ServeError::Deadline {
                     region: region.name().to_string(),
-                    budget_ns: budget.as_nanos() as u64,
-                    flush_in_ns: flush_in.as_nanos() as u64,
+                    budget_ns: saturating_ns(budget),
+                    flush_in_ns: saturating_ns(flush_in),
                 }
                 .into());
             }
@@ -716,10 +733,17 @@ impl<'s, 'r> BatchServer<'s, 'r> {
 
         let mut st = self.state.lock();
         st.in_flight = st.in_flight.saturating_sub(n);
-        // Fold this flush's fill into the adaptive-wait EWMA.
-        let fill = n as f64 / self.session.max_batch() as f64;
-        st.occupancy_ewma =
-            ((1.0 - OCCUPANCY_ALPHA) * st.occupancy_ewma + OCCUPANCY_ALPHA * fill).clamp(0.0, 1.0);
+        // Fold this flush's fill into the adaptive-wait EWMA. The first
+        // observation seeds the EWMA outright: blending it with the cold
+        // 1.0 prior would keep charging light-load submitters most of
+        // `max_wait` for several more batches.
+        let fill = (n as f64 / self.session.max_batch() as f64).clamp(0.0, 1.0);
+        st.occupancy_ewma = if st.occupancy_seeded {
+            ((1.0 - OCCUPANCY_ALPHA) * st.occupancy_ewma + OCCUPANCY_ALPHA * fill).clamp(0.0, 1.0)
+        } else {
+            st.occupancy_seeded = true;
+            fill
+        };
         let mut staging = f.staging;
         for b in &mut staging {
             b.clear();

@@ -249,6 +249,96 @@ fn adaptive_wait_tracks_occupancy() {
 }
 
 #[test]
+fn deadline_rejection_saturates_absurd_horizons() {
+    // `Duration` can hold ~2^64 seconds; `as_nanos()` of such a value does
+    // not fit u64. The rejection diagnostics must saturate, not truncate —
+    // a truncated `flush_in_ns` would report a tiny horizon and mask why
+    // the submit was shed.
+    let dir = tmpdir("saturate");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 13);
+    let region = infer_region("saturate", &model);
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 4)
+        .unwrap();
+    // 2^40 seconds ≈ 1.1e21 ns: legal Duration, un-representable as u64 ns.
+    let server = BatchServer::new(&session, Duration::from_secs(1 << 40)).unwrap();
+
+    let sample = [0.1f32, 0.2, 0.3];
+    std::thread::scope(|scope| {
+        let leader = scope.spawn(|| {
+            let mut out = [0.0f32; 1];
+            server.submit(&[&sample], &mut [&mut out]).map(|()| out[0])
+        });
+        while server.pending() < 1 {
+            std::thread::yield_now();
+        }
+        // Budget of 2^39 s is also beyond u64 ns, yet below the flush
+        // horizon — both reported fields must pin at u64::MAX.
+        let mut out = [0.0f32; 1];
+        let err = server
+            .submit_with_deadline(&[&sample], &mut [&mut out], Duration::from_secs(1 << 39))
+            .unwrap_err();
+        match err {
+            CoreError::Serve(ServeError::Deadline {
+                budget_ns,
+                flush_in_ns,
+                ..
+            }) => {
+                assert_eq!(budget_ns, u64::MAX, "budget must saturate, not wrap");
+                assert_eq!(flush_in_ns, u64::MAX, "horizon must saturate, not wrap");
+            }
+            other => panic!("expected Deadline, got: {other}"),
+        }
+        // Release the leader parked on the absurd wait.
+        server.drain();
+        leader.join().unwrap().unwrap();
+    });
+    assert_eq!(region.stats().serve_rejected_deadline, 1);
+}
+
+#[test]
+fn cold_server_adapts_after_first_flush() {
+    // A cold server's EWMA must be *seeded* by the first observed fill,
+    // not blended with the optimistic 1.0 prior — otherwise the first
+    // several light-load submitters each pay most of `max_wait` while the
+    // average walks down.
+    let dir = tmpdir("coldstart");
+    let model = dir.join("m.hml");
+    save_mlp(&model, 17);
+    let region = infer_region("coldstart", &model);
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 8)
+        .unwrap();
+    let max_wait = Duration::from_millis(100);
+    let server = BatchServer::new(&session, max_wait).unwrap();
+
+    // The very first submit still waits for company (no data yet).
+    let sample = [0.5f32, 0.5, 0.5];
+    let mut out = [0.0f32; 1];
+    server.submit(&[&sample], &mut [&mut out]).unwrap();
+
+    // One 1/8-fill flush seeds the EWMA at 0.125: the wait collapses to an
+    // eighth of the bound. The old blend would leave it at ~0.78.
+    let after_one = server.current_max_wait();
+    assert!(
+        after_one <= max_wait / 4,
+        "one light flush must collapse the cold wait (got {after_one:?})"
+    );
+
+    // And the second solo submitter observes the collapsed wait directly.
+    let t0 = std::time::Instant::now();
+    server.submit(&[&sample], &mut [&mut out]).unwrap();
+    let second = t0.elapsed();
+    assert!(
+        second < max_wait / 2,
+        "second solo submit must not pay the cold-start wait (took {second:?})"
+    );
+}
+
+#[test]
 fn batch_failure_names_member_and_fill() {
     let dir = tmpdir("member");
     let model = dir.join("m.hml");

@@ -82,6 +82,10 @@ pub struct FileScope {
     pub unsafe_allowed: bool,
     /// `crates/core/src/` — the lock-across-wait rule.
     pub core_src: bool,
+    /// `crates/serve/src/` — the daemon's swap/drain protocol leans on the
+    /// same guard discipline as the batch server, so lock-across-wait
+    /// applies there too.
+    pub serve_src: bool,
 }
 
 impl FileScope {
@@ -98,11 +102,13 @@ impl FileScope {
         let unsafe_allowed =
             rel.starts_with("crates/par/") || rel.starts_with("vendor/") || harness;
         let core_src = rel.starts_with("crates/core/src/");
+        let serve_src = rel.starts_with("crates/serve/src/");
         FileScope {
             rel,
             kernel,
             unsafe_allowed,
             core_src,
+            serve_src,
         }
     }
 

@@ -13,7 +13,7 @@
 //! | `safety-comment`      | the allowlist              | every allowed `unsafe` carries a `// SAFETY:` comment |
 //! | `atomic-ordering`     | everywhere                 | atomics name `Ordering::…` at the call site |
 //! | `std-sync-lock`       | everywhere                 | `parking_lot` is the workspace lock standard |
-//! | `lock-across-wait`    | `crates/core/src/`         | no lock guard held across an unrelated blocking wait |
+//! | `lock-across-wait`    | `crates/{core,serve}/src/` | no lock guard held across an unrelated blocking wait |
 //! | `allow-justification` | everywhere                 | every `#[allow(...)]` has an adjacent `//` justification |
 
 use crate::lexer::Lexed;
@@ -319,7 +319,7 @@ pub fn std_sync_lock(scope: &FileScope, lexed: &Lexed, out: &mut Vec<Finding>) {
 /// Waits that hand a named guard to the condvar (releasing the lock) are
 /// fine; everything else that blocks while a guard is live is flagged.
 pub fn lock_across_wait(scope: &FileScope, lexed: &Lexed, out: &mut Vec<Finding>) {
-    if !scope.core_src {
+    if !scope.core_src && !scope.serve_src {
         return;
     }
     // (guard name, brace depth at binding)

@@ -221,6 +221,37 @@ fn lock_across_wait_is_scoped_to_core() {
 }
 
 #[test]
+fn lock_across_wait_covers_the_serving_daemon() {
+    // The daemon's swap/drain protocol (close queues, then join owners)
+    // lives in `crates/serve/src/` and polices the same guard discipline
+    // as the batch server, so the rule fires there too…
+    let f = lint(
+        "crates/serve/src/daemon_fixture.rs",
+        include_str!("../fixtures/lock_across_wait/fire.rs"),
+    );
+    assert_eq!(
+        rules_of(&f),
+        ["lock-across-wait", "lock-across-wait"],
+        "{f:?}"
+    );
+    // …and the handover/early-drop patterns the daemon actually uses pass.
+    let f = lint(
+        "crates/serve/src/daemon_fixture.rs",
+        include_str!("../fixtures/lock_across_wait/allow.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn serve_crate_is_not_on_the_unsafe_allowlist() {
+    let f = lint(
+        "crates/serve/src/snapshot_fixture.rs",
+        include_str!("../fixtures/no_unsafe/fire.rs"),
+    );
+    assert_eq!(rules_of(&f), ["no-unsafe"], "{f:?}");
+}
+
+#[test]
 fn allow_justification_fires_without_adjacent_comment() {
     let f = lint(
         "crates/apps/src/fixture.rs",

@@ -1,0 +1,333 @@
+//! Load generator for the serving daemon: closed-loop submitters with
+//! live config reloads, then a paced open-loop phase with per-request
+//! deadlines. Emits `serve.loadgen_*` / `serve.swap_*` keys in the flat
+//! bench-baseline JSON format and can merge them into an existing
+//! `BENCH_inference.json` in place.
+//!
+//! ```sh
+//! cargo run --release -p hpacml-serve --bin loadgen -- \
+//!     [--threads N] [--iters N] [--applies N] [--rate-rps R] \
+//!     [--open-iters N] [--swap-budget-ms B] \
+//!     [--merge-into BENCH_inference.json] [--assert-swap-sane]
+//! ```
+//!
+//! `--assert-swap-sane` gates the live-reload scenario: at least two
+//! snapshot swaps actually happened under load, zero requests were
+//! dropped or failed across them, every output was bitwise one of the two
+//! deployed models' results, and the p99 apply latency stayed within the
+//! swap budget. These are correctness properties of the swap protocol,
+//! not wall-clock performance, so the gate is safe on noisy CI hosts.
+
+use hpacml_directive::sema::Bindings;
+use hpacml_nn::spec::{Activation, ModelSpec};
+use hpacml_serve::DaemonBuilder;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Deadline budget for the open-loop phase: generous relative to the
+/// sub-millisecond batch waits, so misses indicate a stall, not pacing.
+const OPEN_LOOP_BUDGET: Duration = Duration::from_millis(50);
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join("hpacml-loadgen");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn save_mlp(path: &Path, seed: u64) {
+    let spec = ModelSpec::mlp(3, &[16, 16], 1, Activation::Tanh, 0.0);
+    let mut model = spec.build(seed).unwrap();
+    hpacml_nn::serialize::save_model(path, &spec, &mut model, None, None).unwrap();
+}
+
+fn directive_src(model: &Path) -> String {
+    format!(
+        r#"#pragma approx tensor functor(rows: [i, 0:3] = ([3*i : 3*i+3]))
+#pragma approx tensor functor(single: [i, 0:1] = ([i]))
+#pragma approx tensor map(to: rows(x[0:N]))
+#pragma approx ml(infer) in(x) out(single(y[0:N])) model("{}")"#,
+        model.display()
+    )
+}
+
+fn config_for(model: &Path, max_batch: usize, max_wait: &str, workers: usize) -> String {
+    let esc = directive_src(model)
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n");
+    format!(
+        "region demo {{\n directive \"{esc}\";\n bind N 1;\n input x 3;\n output y 1;\n max_batch {max_batch};\n max_wait {max_wait};\n workers {workers};\n}}\n"
+    )
+}
+
+fn direct_outputs(model: &Path, samples: &[[f32; 3]]) -> Vec<f32> {
+    let region = hpacml_core::Region::from_source("loadgen-ref", &directive_src(model)).unwrap();
+    let binds = Bindings::new().with("N", 1);
+    let session = region
+        .session(&binds, &[("x", &[3]), ("y", &[1])], 4)
+        .unwrap();
+    samples
+        .iter()
+        .map(|s| {
+            let mut y = [0.0f32; 1];
+            let mut out = session
+                .invoke()
+                .input("x", s)
+                .unwrap()
+                .run(|| unreachable!())
+                .unwrap();
+            out.output("y", &mut y).unwrap();
+            out.finish().unwrap();
+            y[0]
+        })
+        .collect()
+}
+
+fn sample(i: usize) -> [f32; 3] {
+    [
+        (i as f32 * 0.29).sin(),
+        (i as f32 * 0.53).cos(),
+        (i as f32 * 0.017) - 0.8,
+    ]
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Merge `entries` into a flat bench-baseline JSON file (`"key": value`
+/// per line, as written by bench_json): existing keys with the same name
+/// are replaced in place, new keys are appended before the closing brace.
+fn merge_into(path: &str, entries: &[(String, String)]) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--merge-into {path}: cannot read: {e}"));
+    let mut kept: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed == "{" || trimmed == "}" || trimmed.is_empty() {
+            continue;
+        }
+        let key = trimmed
+            .strip_prefix('"')
+            .and_then(|r| r.split_once('"'))
+            .map(|(k, _)| k)
+            .unwrap_or_else(|| panic!("--merge-into {path}: unrecognized line: {line}"));
+        if entries.iter().any(|(k, _)| k == key) {
+            continue;
+        }
+        let value = trimmed
+            .split_once(':')
+            .unwrap()
+            .1
+            .trim()
+            .trim_end_matches(',');
+        kept.push(format!("  \"{key}\": {value}"));
+    }
+    for (k, v) in entries {
+        kept.push(format!("  \"{k}\": {v}"));
+    }
+    let json = format!("{{\n{}\n}}\n", kept.join(",\n"));
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("--merge-into {path}: cannot write: {e}"));
+    eprintln!("[loadgen] merged {} keys into {path}", entries.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads: usize = arg_value(&args, "--threads").unwrap_or(4).max(1);
+    let iters: usize = arg_value(&args, "--iters").unwrap_or(1500).max(1);
+    let applies: usize = arg_value(&args, "--applies").unwrap_or(6);
+    let rate_rps: u64 = arg_value(&args, "--rate-rps").unwrap_or(2000).max(1);
+    let open_iters: usize = arg_value(&args, "--open-iters").unwrap_or(600);
+    let swap_budget = Duration::from_millis(arg_value(&args, "--swap-budget-ms").unwrap_or(200));
+    let merge_path: Option<String> = arg_value(&args, "--merge-into");
+    let assert_swap_sane = args.iter().any(|a| a == "--assert-swap-sane");
+
+    let dir = tmpdir();
+    let (v1, v2) = (dir.join("v1.hml"), dir.join("v2.hml"));
+    save_mlp(&v1, 3);
+    save_mlp(&v2, 4);
+    let samples: Vec<[f32; 3]> = (0..threads).map(sample).collect();
+    let expect_v1 = direct_outputs(&v1, &samples);
+    let expect_v2 = direct_outputs(&v2, &samples);
+
+    let cfg_a = config_for(&v1, 8, "200us", 4);
+    let cfg_b = config_for(&v2, 4, "150us", 3);
+    let daemon = &DaemonBuilder::new().bootstrap(&cfg_a).unwrap();
+
+    // --- Closed loop under live reloads: every submitter validates each
+    // output bitwise against both deployed models.
+    let mismatches = &AtomicU64::new(0);
+    let closed_start = Instant::now();
+    let mut swap_ns: Vec<u64> = Vec::with_capacity(applies);
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let s = &samples[t];
+                let (e1, e2) = (expect_v1[t], expect_v2[t]);
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(iters);
+                    for _ in 0..iters {
+                        let mut y = [0.0f32; 1];
+                        let start = Instant::now();
+                        daemon.submit("demo", &[s], &mut [&mut y]).unwrap();
+                        lat.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                        if y[0] != e1 && y[0] != e2 {
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for k in 0..applies {
+            // Spread the reloads across the submit storm.
+            std::thread::sleep(Duration::from_millis(8));
+            let next = if k % 2 == 0 { &cfg_b } else { &cfg_a };
+            let start = Instant::now();
+            daemon.apply(next).unwrap();
+            swap_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let closed_elapsed = closed_start.elapsed();
+    let closed_issued = (threads * iters) as u64;
+    let occupancy = daemon
+        .region_stats("demo")
+        .map(|s| s.mean_batch_fill())
+        .unwrap_or(0.0);
+
+    // --- Open loop: paced arrivals on an absolute schedule (no
+    // coordinated omission) with a per-request deadline.
+    let pacers = threads.min(2);
+    let per_pacer = open_iters / pacers;
+    std::thread::scope(|scope| {
+        for s in samples.iter().take(pacers) {
+            scope.spawn(move || {
+                let gap = Duration::from_nanos(1_000_000_000 * pacers as u64 / rate_rps);
+                let t0 = Instant::now();
+                for k in 0..per_pacer {
+                    let due = t0 + gap * k as u32;
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let mut y = [0.0f32; 1];
+                    match daemon.submit_with_deadline("demo", &[s], &mut [&mut y], OPEN_LOOP_BUDGET)
+                    {
+                        Ok(()) => {}
+                        // Typed shedding is accounted by the daemon
+                        // counters; anything else is a hard failure.
+                        Err(e) if e.is_deadline() || e.is_overloaded() => {}
+                        Err(e) => panic!("open-loop submit failed: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    let open_issued = (pacers * per_pacer) as u64;
+
+    let stats = daemon.stats();
+    daemon.shutdown();
+
+    latencies.sort_unstable();
+    swap_ns.sort_unstable();
+    let issued = closed_issued + open_issued;
+    let accounted =
+        stats.served + stats.rejected_overload + stats.rejected_deadline + stats.errored;
+    let dropped = issued.saturating_sub(accounted);
+    let throughput = closed_issued as f64 / closed_elapsed.as_secs_f64();
+    let reject_rate = stats.rejected_overload as f64 / issued as f64;
+    let miss_rate = stats.rejected_deadline as f64 / issued as f64;
+    let swap_p99 = percentile(&swap_ns, 0.99);
+
+    let entries: Vec<(String, String)> = vec![
+        (
+            "serve.loadgen_p50_ns".into(),
+            percentile(&latencies, 0.50).to_string(),
+        ),
+        (
+            "serve.loadgen_p99_ns".into(),
+            percentile(&latencies, 0.99).to_string(),
+        ),
+        (
+            "serve.loadgen_p999_ns".into(),
+            percentile(&latencies, 0.999).to_string(),
+        ),
+        (
+            "serve.loadgen_throughput_rps".into(),
+            format!("{throughput:.0}"),
+        ),
+        ("serve.loadgen_occupancy".into(), format!("{occupancy:.3}")),
+        (
+            "serve.loadgen_reject_rate".into(),
+            format!("{reject_rate:.4}"),
+        ),
+        (
+            "serve.loadgen_deadline_miss_rate".into(),
+            format!("{miss_rate:.4}"),
+        ),
+        ("serve.swap_applies".into(), stats.swaps.to_string()),
+        ("serve.swap_retries".into(), stats.swap_retries.to_string()),
+        ("serve.swap_dropped".into(), dropped.to_string()),
+        ("serve.swap_p99_ns".into(), swap_p99.to_string()),
+    ];
+    let body = entries
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    println!("{{\n{body}\n}}");
+
+    if let Some(path) = &merge_path {
+        merge_into(path, &entries);
+    }
+
+    if assert_swap_sane {
+        let mis = mismatches.load(Ordering::Relaxed);
+        assert!(
+            stats.swaps >= 2,
+            "swap gate: expected at least 2 live reloads under load, saw {}",
+            stats.swaps
+        );
+        assert_eq!(
+            dropped, 0,
+            "swap gate: {dropped} of {issued} requests vanished across swaps ({stats:?})"
+        );
+        assert_eq!(
+            stats.errored, 0,
+            "swap gate: no request may fail across swaps ({stats:?})"
+        );
+        assert_eq!(
+            mis, 0,
+            "swap gate: {mis} outputs matched neither deployed model"
+        );
+        assert!(
+            stats.served > 0,
+            "swap gate: nothing was served ({stats:?})"
+        );
+        assert!(
+            swap_p99 <= u64::try_from(swap_budget.as_nanos()).unwrap_or(u64::MAX),
+            "swap gate: p99 apply latency {swap_p99} ns exceeds the {} ms budget",
+            swap_budget.as_millis()
+        );
+        eprintln!(
+            "[loadgen] swap gate passed: {} swaps, 0 dropped, p99 apply {swap_p99} ns",
+            stats.swaps
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! The serving daemon: config-driven bootstrap, a lock-free request path
+//! over the current [`RuntimeSnapshot`], and atomic live reconfiguration.
+//!
+//! `apply(config)` is the control plane's only verb. It builds the next
+//! snapshot *off to the side* (new regions, packed panels, policies — each
+//! shadow-probed before it may serve), then swaps the current-snapshot
+//! `Arc` and bumps the generation counter. In-flight invocations finish on
+//! the old snapshot — its queues drain before its owners exit — and
+//! submits racing the swap are handed back by the closed queue and retried
+//! against the fresh snapshot, so nothing is dropped. A failed build (bad
+//! config, missing model, broken probe) leaves the current snapshot
+//! serving untouched.
+//!
+//! The request path never takes the daemon's locks in steady state: the
+//! generation counter is a single atomic load, and a per-thread cache maps
+//! `(daemon, generation)` to the snapshot `Arc`. Only the first submit
+//! after a swap (per thread) touches the snapshot mutex.
+
+use crate::config::{Config, ConfigError};
+use crate::snapshot::{Counters, HostHandler, Reply, Request, RuntimeSnapshot};
+use hpacml_core::{CoreError, ServeError};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the daemon's control and request paths.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// The config text failed to parse.
+    Config(ConfigError),
+    /// A region unit failed to build or probe during `apply`/bootstrap.
+    Build { region: String, msg: String },
+    /// Submit named a region the current snapshot does not serve.
+    UnknownRegion { region: String, generation: u64 },
+    /// Submit arrays do not match the region's declared shapes.
+    Arity { region: String, msg: String },
+    /// The request's budget expired while it was still in the daemon
+    /// queue, before it could join a batch.
+    QueueDeadline {
+        region: String,
+        budget_ns: u64,
+        queued_ns: u64,
+    },
+    /// The daemon is shut down.
+    ShutDown,
+    /// An error from the serving core (typed rejections included).
+    Core(CoreError),
+}
+
+impl DaemonError {
+    /// The underlying typed [`ServeError`], if this wraps one.
+    pub fn serve(&self) -> Option<&ServeError> {
+        match self {
+            DaemonError::Core(CoreError::Serve(e)) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Admission-control rejection (`max_pending` exceeded)?
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self.serve(), Some(ServeError::Overloaded { .. }))
+    }
+
+    /// Deadline rejection — either up-front at the batch join, or already
+    /// expired in the daemon queue?
+    pub fn is_deadline(&self) -> bool {
+        matches!(self.serve(), Some(ServeError::Deadline { .. }))
+            || matches!(self, DaemonError::QueueDeadline { .. })
+    }
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Config(e) => write!(f, "{e}"),
+            DaemonError::Build { region, msg } => {
+                write!(f, "region '{region}': {msg}")
+            }
+            DaemonError::UnknownRegion { region, generation } => {
+                write!(f, "unknown region '{region}' (snapshot generation {generation})")
+            }
+            DaemonError::Arity { region, msg } => {
+                write!(f, "region '{region}': {msg}")
+            }
+            DaemonError::QueueDeadline {
+                region,
+                budget_ns,
+                queued_ns,
+            } => write!(
+                f,
+                "region '{region}': request spent {queued_ns}ns queued, over its {budget_ns}ns budget"
+            ),
+            DaemonError::ShutDown => write!(f, "daemon is shut down"),
+            DaemonError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<ConfigError> for DaemonError {
+    fn from(e: ConfigError) -> Self {
+        DaemonError::Config(e)
+    }
+}
+
+impl From<CoreError> for DaemonError {
+    fn from(e: CoreError) -> Self {
+        DaemonError::Core(e)
+    }
+}
+
+/// What an `apply` did: the new generation and the regions it serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyReport {
+    pub generation: u64,
+    pub regions: Vec<String>,
+}
+
+/// Daemon-wide serving totals (cumulative across snapshot swaps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DaemonStats {
+    /// Current snapshot generation (1 = bootstrap).
+    pub generation: u64,
+    /// Requests completed successfully.
+    pub served: u64,
+    /// Requests shed by the `max_pending` admission cap.
+    pub rejected_overload: u64,
+    /// Requests rejected on a deadline (queue or batch-join).
+    pub rejected_deadline: u64,
+    /// Requests that failed with any other error.
+    pub errored: u64,
+    /// Successful `apply` calls after bootstrap.
+    pub swaps: u64,
+    /// Submits that raced a swap and were retried on the next snapshot.
+    pub swap_retries: u64,
+}
+
+/// Registers host handlers, then bootstraps a [`Daemon`] from config text.
+#[derive(Default)]
+pub struct DaemonBuilder {
+    handlers: BTreeMap<String, HostHandler>,
+}
+
+impl DaemonBuilder {
+    pub fn new() -> Self {
+        DaemonBuilder::default()
+    }
+
+    /// Register the host-code fallback for `region` (same contract as
+    /// [`hpacml_core::BatchServer::with_fallback`]). Required for regions
+    /// that declare a `validation` block; optional otherwise.
+    pub fn host_handler<F>(mut self, region: impl Into<String>, handler: F) -> Self
+    where
+        F: Fn(usize, &[Vec<f32>], &mut [Vec<f32>]) + Send + Sync + 'static,
+    {
+        self.handlers.insert(region.into(), Arc::new(handler));
+        self
+    }
+
+    /// Parse `config`, compile it into the generation-1 snapshot, and
+    /// start serving.
+    pub fn bootstrap(self, config: &str) -> Result<Daemon, DaemonError> {
+        let parsed = Config::parse(config)?;
+        let counters = Arc::new(Counters::default());
+        let first = RuntimeSnapshot::build(parsed, &self.handlers, &counters, 1)?;
+        Ok(Daemon {
+            id: NEXT_DAEMON_ID.fetch_add(1, Ordering::Relaxed),
+            generation: AtomicU64::new(1),
+            current: Mutex::new(first),
+            apply_lock: Mutex::new(()),
+            handlers: self.handlers,
+            counters,
+            shut: AtomicBool::new(false),
+        })
+    }
+}
+
+/// Distinguishes daemons in the per-thread snapshot cache (an address
+/// would alias across drop/recreate).
+static NEXT_DAEMON_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(daemon id, generation, snapshot)` — the lock-free fast path.
+    static SNAP_CACHE: RefCell<Vec<(u64, u64, Arc<RuntimeSnapshot>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// A multi-region serving daemon over [`RuntimeSnapshot`]s. See the
+/// module docs for the swap protocol.
+pub struct Daemon {
+    id: u64,
+    generation: AtomicU64,
+    current: Mutex<Arc<RuntimeSnapshot>>,
+    apply_lock: Mutex<()>,
+    handlers: BTreeMap<String, HostHandler>,
+    counters: Arc<Counters>,
+    shut: AtomicBool,
+}
+
+impl Daemon {
+    /// Current snapshot generation (1 = bootstrap; +1 per `apply`).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// The current snapshot (shared, immutable).
+    pub fn snapshot(&self) -> Arc<RuntimeSnapshot> {
+        let generation = self.generation.load(Ordering::Acquire);
+        SNAP_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, _, snap)) = cache
+                .iter()
+                .find(|(id, g, _)| *id == self.id && *g == generation)
+            {
+                return Arc::clone(snap);
+            }
+            let snap = Arc::clone(&self.current.lock());
+            cache.retain(|(id, _, _)| *id != self.id);
+            // Bound the cache: one live entry per daemon, few daemons.
+            if cache.len() >= 8 {
+                cache.remove(0);
+            }
+            cache.push((self.id, snap.generation(), Arc::clone(&snap)));
+            snap
+        })
+    }
+
+    /// Cumulative serving totals plus the current generation.
+    pub fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            generation: self.generation(),
+            served: self.counters.served.load(Ordering::Relaxed),
+            rejected_overload: self.counters.rejected_overload.load(Ordering::Relaxed),
+            rejected_deadline: self.counters.rejected_deadline.load(Ordering::Relaxed),
+            errored: self.counters.errored.load(Ordering::Relaxed),
+            swaps: self.counters.swaps.load(Ordering::Relaxed),
+            swap_retries: self.counters.swap_retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Live region stats from the current snapshot.
+    pub fn region_stats(&self, region: &str) -> Option<hpacml_core::RegionStats> {
+        self.snapshot().region_stats(region)
+    }
+
+    /// Compile `config` into the next snapshot and swap it in atomically.
+    /// On any failure the current snapshot keeps serving unchanged. On
+    /// success, in-flight requests finish on the old snapshot (drained,
+    /// then retired) while new submits land on the new one.
+    pub fn apply(&self, config: &str) -> Result<ApplyReport, DaemonError> {
+        let _serialized = self.apply_lock.lock();
+        if self.shut.load(Ordering::Acquire) {
+            return Err(DaemonError::ShutDown);
+        }
+        let parsed = Config::parse(config)?;
+        let next_gen = self.generation.load(Ordering::Acquire) + 1;
+        let next = RuntimeSnapshot::build(parsed, &self.handlers, &self.counters, next_gen)?;
+        let regions = next.region_names();
+        let old = {
+            let mut cur = self.current.lock();
+            std::mem::replace(&mut *cur, next)
+        };
+        self.generation.store(next_gen, Ordering::Release);
+        self.counters.swaps.fetch_add(1, Ordering::Relaxed);
+        old.retire();
+        Ok(ApplyReport {
+            generation: next_gen,
+            regions,
+        })
+    }
+
+    /// Submit one sample to `region` and block for its outputs. `inputs`
+    /// and `outputs` are one slice per declared array, in config order.
+    pub fn submit(
+        &self,
+        region: &str,
+        inputs: &[&[f32]],
+        outputs: &mut [&mut [f32]],
+    ) -> Result<(), DaemonError> {
+        self.submit_inner(region, inputs, outputs, None)
+    }
+
+    /// [`submit`](Self::submit) with an explicit wait budget covering both
+    /// daemon queueing and the batch join (overrides the config deadline).
+    pub fn submit_with_deadline(
+        &self,
+        region: &str,
+        inputs: &[&[f32]],
+        outputs: &mut [&mut [f32]],
+        budget: Duration,
+    ) -> Result<(), DaemonError> {
+        self.submit_inner(region, inputs, outputs, Some(budget))
+    }
+
+    fn submit_inner(
+        &self,
+        region: &str,
+        inputs: &[&[f32]],
+        outputs: &mut [&mut [f32]],
+        budget: Option<Duration>,
+    ) -> Result<(), DaemonError> {
+        // Staged input buffers survive a bounced push (swap race) so a
+        // retry re-enqueues without re-copying from the caller.
+        let mut staged: Option<Vec<Vec<f32>>> = None;
+        loop {
+            if self.shut.load(Ordering::Acquire) {
+                return Err(DaemonError::ShutDown);
+            }
+            let snap = self.snapshot();
+            let unit = snap
+                .units
+                .get(region)
+                .ok_or_else(|| DaemonError::UnknownRegion {
+                    region: region.to_string(),
+                    generation: snap.generation(),
+                })?;
+            check_arity(region, unit.inputs.as_slice(), inputs.len(), |k| {
+                inputs[k].len()
+            })?;
+            check_arity(region, unit.outputs.as_slice(), outputs.len(), |k| {
+                outputs[k].len()
+            })?;
+            let bufs = staged
+                .take()
+                .unwrap_or_else(|| inputs.iter().map(|s| s.to_vec()).collect());
+            let reply = Arc::new(Reply::new());
+            let request = Request {
+                inputs: bufs,
+                budget,
+                enqueued: Instant::now(),
+                reply: Arc::clone(&reply),
+            };
+            match unit.queue.push(request) {
+                Ok(()) => {
+                    let outs = reply.wait()?;
+                    for (dst, src) in outputs.iter_mut().zip(outs.iter()) {
+                        dst.copy_from_slice(src);
+                    }
+                    return Ok(());
+                }
+                Err(bounced) => {
+                    // The queue closed under us (snapshot swap or
+                    // shutdown): recycle the staged inputs and retry on
+                    // whatever snapshot is current now.
+                    staged = Some(bounced.inputs);
+                    self.counters.swap_retries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Stop serving: retire the current snapshot (in-flight requests
+    /// drain first) and reject every later submit/apply with
+    /// [`DaemonError::ShutDown`]. Idempotent.
+    pub fn shutdown(&self) {
+        let _serialized = self.apply_lock.lock();
+        if self.shut.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let snap = Arc::clone(&self.current.lock());
+        snap.retire();
+    }
+}
+
+impl fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Daemon")
+            .field("generation", &self.generation())
+            .field("regions", &self.snapshot().region_names())
+            .field("shut", &self.shut.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Validate one submit's arrays against the unit's declared shapes.
+fn check_arity(
+    region: &str,
+    declared: &[(String, usize)],
+    got: usize,
+    len_of: impl Fn(usize) -> usize,
+) -> Result<(), DaemonError> {
+    if got != declared.len() {
+        return Err(DaemonError::Arity {
+            region: region.to_string(),
+            msg: format!("expected {} arrays, got {got}", declared.len()),
+        });
+    }
+    for (k, (name, want)) in declared.iter().enumerate() {
+        let have = len_of(k);
+        if have != *want {
+            return Err(DaemonError::Arity {
+                region: region.to_string(),
+                msg: format!("array '{name}' expects {want} elements per sample, got {have}"),
+            });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! Property tests for the config parser: totality over garbage (never a
+//! panic) and parse→render→parse as the identity on valid configs.
+
+use hpacml_serve::config::{
+    Config, DaemonConfig, Metric, Precision, RegionConfig, ValidationConfig,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Totality: arbitrary input must parse or error, never panic.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn printable_soup_never_panics(raw in proptest::collection::vec(0usize..96, 0..80)) {
+        let text: String = raw
+            .iter()
+            .map(|i| if *i == 95 { '\n' } else { (32 + *i as u8) as char })
+            .collect();
+        let _ = Config::parse(&text);
+    }
+
+    #[test]
+    fn token_soup_never_panics(picks in proptest::collection::vec(0usize..16, 0..40)) {
+        const VOCAB: &[&str] = &[
+            "daemon", "region", "{", "}", ";", "\"", "directive", "input",
+            "output", "max_wait", "10xs", "bind", "validation", "#", "precision",
+            "\\",
+        ];
+        let text = picks
+            .iter()
+            .map(|i| VOCAB[*i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = Config::parse(&text);
+    }
+
+    #[test]
+    fn truncations_of_a_valid_config_never_panic(cut in 0usize..400) {
+        let full = sample_config(3, 7).render();
+        // Truncate at a char boundary at-or-below the requested cut.
+        let mut end = cut.min(full.len());
+        while !full.is_char_boundary(end) {
+            end -= 1;
+        }
+        let _ = Config::parse(&full[..end]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Round trip: render(parse(·)) is a fixed point, parse(render(c)) == c.
+// ---------------------------------------------------------------------------
+
+/// Deterministically build a valid-by-construction `Config` from a handful
+/// of drawn scalars. Names are index-derived so uniqueness holds for free;
+/// everything else (sizes, durations, policies) is driven by `knob`.
+fn sample_config(nregions: usize, knob: u64) -> Config {
+    let pick = |salt: u64, m: u64| (knob.wrapping_mul(0x9e37_79b9).wrapping_add(salt)) % m;
+    let tricky = ["plain", "qu\"ote", "line\nbreak", "tab\tand\\slash", ""];
+    let mut regions = Vec::new();
+    for r in 0..nregions {
+        let salt = r as u64;
+        let validation = if pick(salt, 3) == 0 {
+            Some(ValidationConfig {
+                metric: [Metric::Rmse, Metric::Mape, Metric::MaxAbs][pick(salt + 1, 3) as usize],
+                budget: 0.001 * (1 + pick(salt + 2, 5000)) as f64,
+                rate: (pick(salt + 3, 2) == 0).then(|| 1 + pick(salt + 3, 64) as u32),
+                window: (pick(salt + 4, 2) == 0).then(|| 1 + pick(salt + 4, 128) as usize),
+                batch_samples: (pick(salt + 5, 2) == 0).then(|| 1 + pick(salt + 5, 8) as usize),
+            })
+        } else {
+            None
+        };
+        regions.push(RegionConfig {
+            name: format!("r{r}"),
+            directive: format!(
+                "#pragma approx {} {}",
+                tricky[pick(salt + 6, tricky.len() as u64) as usize],
+                salt
+            ),
+            model: (pick(salt + 7, 2) == 0).then(|| format!("models/m{r}.hml")),
+            db: (pick(salt + 8, 3) == 0).then(|| format!("db/d{r}.h5")),
+            binds: (0..pick(salt + 9, 3))
+                .map(|b| (format!("b{b}"), pick(salt + b, 2000) as i64 - 1000))
+                .collect(),
+            inputs: (0..1 + pick(salt + 10, 3))
+                .map(|i| (format!("in{i}"), 1 + pick(salt + i, 16) as usize))
+                .collect(),
+            outputs: (0..1 + pick(salt + 11, 3))
+                .map(|o| (format!("out{o}"), 1 + pick(salt + o + 40, 16) as usize))
+                .collect(),
+            max_batch: 1 + pick(salt + 12, 256) as usize,
+            max_wait: Duration::from_nanos(pick(salt + 13, 5_000_000_000)),
+            max_pending: (pick(salt + 14, 2) == 0).then(|| 1 + pick(salt + 14, 512) as usize),
+            deadline: (pick(salt + 15, 2) == 0)
+                .then(|| Duration::from_micros(1 + pick(salt + 15, 1_000_000))),
+            workers: (pick(salt + 16, 2) == 0).then(|| 1 + pick(salt + 16, 8) as usize),
+            precision: [Precision::F32, Precision::Bf16, Precision::Int8]
+                [pick(salt + 17, 3) as usize],
+            calib_rows: (pick(salt + 18, 3) == 0).then(|| 1 + pick(salt + 18, 4096) as usize),
+            validation,
+        });
+    }
+    Config {
+        daemon: DaemonConfig {
+            workers: 1 + pick(100, 8) as usize,
+            max_pending: (pick(101, 2) == 0).then(|| 1 + pick(101, 512) as usize),
+            deadline: (pick(102, 2) == 0).then(|| Duration::from_millis(1 + pick(102, 10_000))),
+        },
+        regions,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_render_parse_round_trips(nregions in 0usize..5, knob in 0u64..u64::MAX) {
+        let original = sample_config(nregions, knob);
+        let text = original.render();
+        let parsed = Config::parse(&text).expect("rendered config must parse");
+        prop_assert_eq!(&parsed, &original);
+        // And render is a fixed point: canonical text re-renders byte-equal.
+        prop_assert_eq!(parsed.render(), text);
+    }
+}

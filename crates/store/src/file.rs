@@ -126,10 +126,16 @@ impl H5File {
         } else {
             return Err(StoreError::BadMagic);
         };
+        // A non-clean recovery means the in-memory tree is a *repaired*
+        // prefix of what is on disk. Mark the file dirty so the repair is
+        // flushed (on drop at the latest); otherwise every later `open`
+        // re-pays the recovery scan and re-reports against the same
+        // corrupt tail.
+        let dirty = recovery.is_some();
         Ok(H5File {
             path: path.as_ref().to_path_buf(),
             root,
-            dirty: false,
+            dirty,
             recovery,
         })
     }
@@ -590,6 +596,38 @@ mod tests {
         }
         let f = H5File::open(&path).unwrap();
         assert!(f.recovery().is_none(), "re-flushed file must be clean");
+    }
+
+    #[test]
+    fn recovery_persists_without_further_writes() {
+        // Opening a damaged file repairs it in memory; that repair must be
+        // flushed even if the caller never touches the tree, so the next
+        // open does not re-pay recovery against the same corrupt tail.
+        let path = tmp("recover_persist.h5lite");
+        {
+            let mut f = H5File::create(&path);
+            *f.root_mut() = sample_tree();
+            f.flush().unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        {
+            let f = H5File::open(&path).unwrap();
+            assert!(f.recovery().is_some());
+            // Dropped untouched: the recovery itself marks the file dirty.
+        }
+        let f = H5File::open(&path).unwrap();
+        assert!(
+            f.recovery().is_none(),
+            "repair must persist on drop without explicit writes"
+        );
+        // Surviving rows are intact across the reflush.
+        let region = f.root().group("stencil_region").unwrap();
+        assert_eq!(
+            region.dataset("inputs").unwrap().read_f32().unwrap(),
+            (0..30).map(|i| i as f32).collect::<Vec<_>>()
+        );
+        assert_eq!(region.attr("invocations"), Some(&Attr::Int(3)));
     }
 
     #[test]

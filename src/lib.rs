@@ -18,5 +18,6 @@ pub use hpacml_directive as directive;
 pub use hpacml_nn as nn;
 pub use hpacml_par as par;
 pub use hpacml_search as search;
+pub use hpacml_serve as serve;
 pub use hpacml_store as store;
 pub use hpacml_tensor as tensor;
